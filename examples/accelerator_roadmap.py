@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Scenario study: planning a 10-year ML accelerator roadmap.
+
+An ML infrastructure team expects model architectures to turn over every
+18 months or so.  Should the fleet be built on reconfigurable FPGAs or on
+per-generation ASICs?  This example sweeps the workload-churn rate and
+fleet size, locates the A2F/F2A sustainability boundaries, and prints a
+recommendation table — the paper's Figs. 4-6 methodology applied to a
+concrete planning question.
+
+Run:
+    python examples/accelerator_roadmap.py
+"""
+
+import numpy as np
+
+from repro.analysis.crossover import first_crossover
+from repro.analysis.sweep import sweep
+from repro.core.comparison import PlatformComparator
+from repro.core.scenario import Scenario
+from repro.reporting.chart import line_chart
+from repro.reporting.table import format_table
+
+ROADMAP_YEARS = 10.0
+FLEET_SIZES = (50_000, 250_000, 1_000_000, 4_000_000)
+
+
+def churn_study(comparator: PlatformComparator, volume: int) -> dict[str, object]:
+    """How fast must workloads churn for the FPGA to win at this volume?"""
+    lifetimes = [round(t, 2) for t in np.arange(0.5, 5.01, 0.25)]
+    rows = []
+    for lifetime in lifetimes:
+        num_apps = max(1, round(ROADMAP_YEARS / lifetime))
+        scenario = Scenario(
+            num_apps=num_apps, app_lifetime_years=lifetime, volume=volume
+        )
+        comparison = comparator.compare(scenario)
+        rows.append(
+            {"lifetime": lifetime, "num_apps": num_apps, "ratio": comparison.ratio}
+        )
+    # The slowest churn (longest lifetime) at which the FPGA still wins.
+    winning = [r for r in rows if r["ratio"] < 1.0]
+    threshold = max((r["lifetime"] for r in winning), default=None)
+    return {"rows": rows, "max_winning_lifetime": threshold}
+
+
+def main() -> None:
+    comparator = PlatformComparator.for_domain("dnn")
+
+    print(f"=== {ROADMAP_YEARS:.0f}-year DNN accelerator roadmap ===\n")
+
+    summary = []
+    for volume in FLEET_SIZES:
+        study = churn_study(comparator, volume)
+        threshold = study["max_winning_lifetime"]
+        summary.append(
+            {
+                "fleet size": f"{volume:,}",
+                "FPGA wins if app lifetime <=": (
+                    f"{threshold:.2f} y" if threshold else "never"
+                ),
+            }
+        )
+    print(format_table(summary, title="Workload-churn threshold per fleet size"))
+
+    # Detail for the mid-size fleet: ratio vs lifetime.
+    study = churn_study(comparator, 1_000_000)
+    rows = study["rows"]
+    print()
+    print(line_chart(
+        [r["lifetime"] for r in rows],
+        {"FPGA:ASIC ratio": [r["ratio"] for r in rows]},
+        title="1M-unit fleet: ratio vs application lifetime (1.0 = parity)",
+        y_label="app lifetime (y)",
+    ))
+
+    # Classic volume crossover at 2-year churn (the paper's Fig. 6 view).
+    base = Scenario(num_apps=5, app_lifetime_years=2.0, volume=1)
+    volumes = [int(v) for v in np.geomspace(1e3, 1e7, 25)]
+    result = sweep(comparator, base, "volume", volumes)
+    f2a = first_crossover(result.values, result.fpga_totals, result.asic_totals, "F2A")
+    print()
+    if f2a is not None:
+        print(f"At 2-year churn, FPGAs stay greener up to ~{f2a.x:,.0f} units "
+              "per application (paper: ~2M for DNN).")
+    else:
+        print("No volume crossover found in 1e3..1e7 units.")
+
+
+if __name__ == "__main__":
+    main()

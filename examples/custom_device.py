@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Bring your own device: assessing a custom FPGA/ASIC pair.
+
+Shows the full public-API surface beyond the built-in catalog: defining
+devices at a chosen node, sizing multi-FPGA deployments via equivalent
+gates (N_FPGA), customising the model suite (fab location, recycled
+sourcing, EOL strategy), and reading per-chip manufacturing diagnostics.
+
+Run:
+    python examples/custom_device.py
+"""
+
+from repro import (
+    AsicDevice,
+    AsicLifecycleModel,
+    FpgaDevice,
+    FpgaLifecycleModel,
+    ModelSuite,
+    Scenario,
+)
+from repro.eol.model import EolModel
+from repro.manufacturing.act import FabProfile, ManufacturingModel
+from repro.reporting.table import format_table
+
+
+def main() -> None:
+    # A 5 nm datacenter video-transcode ASIC, and a large 7 nm FPGA whose
+    # fabric fits 60 Mgates of ASIC-equivalent logic.
+    asic = AsicDevice(
+        name="transcode-asic", area_mm2=210.0, node_name="5nm", peak_power_w=45.0
+    )
+    fpga = FpgaDevice(
+        name="big-fpga", area_mm2=620.0, node_name="7nm", peak_power_w=95.0,
+        capacity_mgates=60.0,
+    )
+
+    # Custom suite: fab in a hydro-powered region, 40% recycled material
+    # sourcing, aggressive 80% end-of-life recycling.
+    suite = ModelSuite.default().with_overrides(
+        manufacturing=ManufacturingModel(
+            fab=FabProfile(energy_source="iceland"),
+            recycled_fraction=0.4,
+        ),
+        eol=EolModel(recycled_fraction=0.8),
+    )
+
+    # The application needs 100 Mgates: it will not fit in one FPGA.
+    scenario = Scenario(
+        num_apps=4,
+        app_lifetime_years=1.5,
+        volume=200_000,
+        app_size_mgates=100.0,
+    )
+
+    fpga_model = FpgaLifecycleModel(fpga, suite)
+    asic_model = AsicLifecycleModel(asic, suite)
+    fpga_result = fpga_model.assess(scenario)
+    asic_result = asic_model.assess(scenario)
+
+    print(f"N_FPGA per deployed unit: {fpga_result.n_fpga_per_unit} "
+          f"(app 100 Mgates / capacity {fpga.logic_capacity_mgates:.0f} Mgates)\n")
+
+    rows = [
+        {"platform": fpga.name, **fpga_result.footprint.as_dict()},
+        {"platform": asic.name, **asic_result.footprint.as_dict()},
+    ]
+    print(format_table(rows, precision=0, title="Lifecycle CFP (kg CO2e)"))
+
+    ratio = fpga_result.footprint.total / asic_result.footprint.total
+    print(f"\nFPGA:ASIC ratio = {ratio:.3f} -> "
+          f"{'FPGA' if ratio < 1 else 'ASIC'} is greener here")
+
+    # Per-chip manufacturing diagnostics (yield, wafer share, components).
+    mfg = suite.manufacturing.assess_die(fpga.area_mm2, fpga.node)
+    print()
+    print(format_table([mfg.as_dict()], title=f"{fpga.name} per-die manufacturing"))
+
+
+if __name__ == "__main__":
+    main()

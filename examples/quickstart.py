@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: is an FPGA or an ASIC the greener accelerator for you?
+
+Builds the paper's iso-performance comparison for one domain, prints the
+full lifecycle carbon breakdown of both platforms, and reports the
+FPGA:ASIC ratio and winner.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import Scenario, compare_domain
+from repro.reporting.chart import bar_chart
+from repro.reporting.table import format_table
+
+
+def main() -> None:
+    # A product team plans 6 application generations, each living 2 years,
+    # shipping one million units per generation.
+    scenario = Scenario(num_apps=6, app_lifetime_years=2.0, volume=1_000_000)
+
+    result = compare_domain("dnn", scenario)
+
+    rows = [
+        {"platform": "FPGA (reconfigured)", **result.fpga.footprint.as_dict()},
+        {"platform": "ASIC (remade per app)", **result.asic.footprint.as_dict()},
+    ]
+    print(format_table(rows, precision=0,
+                       title="Lifecycle CFP, DNN domain (kg CO2e)"))
+    print()
+    print(bar_chart(
+        ["FPGA", "ASIC"],
+        [result.fpga.footprint.total, result.asic.footprint.total],
+        title="Total CFP (kg CO2e)",
+    ))
+    print()
+    print(f"FPGA:ASIC ratio = {result.ratio:.3f}")
+    print(f"Greener platform: {result.winner.upper()}")
+    print(f"Carbon saved by choosing it: {abs(result.fpga_advantage_kg):,.0f} kg CO2e")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Uncertainty study: how robust is the FPGA-vs-ASIC verdict?
+
+The paper's Section 5 stresses that inputs (grid intensities, duty
+cycles, project durations, recycling rates) are coarse.  This example
+propagates the Table 1 ranges through the model with Monte Carlo, prints
+the distribution of the FPGA:ASIC ratio, and ranks the drivers with a
+tornado analysis.
+
+Run:
+    python examples/uncertainty_analysis.py
+"""
+
+import dataclasses
+
+from repro.analysis.montecarlo import ParameterDistribution, monte_carlo
+from repro.analysis.sensitivity import tornado
+from repro.core.comparison import PlatformComparator
+from repro.core.scenario import Scenario
+from repro.design.model import DesignModel
+from repro.eol.model import EolModel
+from repro.manufacturing.act import ManufacturingModel
+from repro.operation.energy import OperatingProfile
+from repro.operation.model import OperationModel
+from repro.reporting.chart import bar_chart
+from repro.reporting.table import format_table
+
+SCENARIO = Scenario(num_apps=5, app_lifetime_years=2.0, volume=1_000_000)
+
+
+def _with_suite(comparator, **overrides):
+    return dataclasses.replace(
+        comparator, suite=comparator.suite.with_overrides(**overrides)
+    )
+
+
+def set_use_intensity(comparator, value):
+    profile = comparator.suite.operation.profile
+    return _with_suite(
+        comparator, operation=OperationModel(energy_source=value, profile=profile)
+    )
+
+
+def set_duty_cycle(comparator, value):
+    operation = comparator.suite.operation
+    return _with_suite(
+        comparator,
+        operation=OperationModel(
+            energy_source=operation.energy_source,
+            profile=OperatingProfile(duty_cycle=value),
+        ),
+    )
+
+
+def set_recycled_materials(comparator, value):
+    return _with_suite(
+        comparator, manufacturing=ManufacturingModel(recycled_fraction=value)
+    )
+
+
+def set_eol_recycling(comparator, value):
+    return _with_suite(comparator, eol=EolModel(recycled_fraction=value))
+
+
+def set_design_intensity(comparator, value):
+    return _with_suite(comparator, design=DesignModel(energy_source=value))
+
+
+DISTRIBUTIONS = [
+    ParameterDistribution("use grid intensity (g/kWh)", 30.0, 700.0,
+                          set_use_intensity, kind="loguniform"),
+    ParameterDistribution("duty cycle", 0.05, 0.95, set_duty_cycle),
+    ParameterDistribution("recycled material fraction (rho)", 0.0, 1.0,
+                          set_recycled_materials),
+    ParameterDistribution("EOL recycling fraction (delta)", 0.0, 1.0,
+                          set_eol_recycling),
+    ParameterDistribution("design grid intensity (g/kWh)", 30.0, 700.0,
+                          set_design_intensity, kind="loguniform"),
+]
+
+
+def main() -> None:
+    comparator = PlatformComparator.for_domain("dnn")
+    print(f"Baseline FPGA:ASIC ratio: {comparator.ratio(SCENARIO):.3f}\n")
+
+    result = monte_carlo(comparator, SCENARIO, DISTRIBUTIONS, n_samples=400)
+    summary = result.summary()
+    print(format_table([summary], title="Monte Carlo over Table 1 ranges"))
+    print()
+    quantiles = result.quantiles((0.05, 0.25, 0.5, 0.75, 0.95))
+    print(format_table(
+        [{"quantile": f"p{int(q * 100):02d}", "ratio": v} for q, v in quantiles.items()],
+        title="Ratio distribution",
+    ))
+    print(f"\nP(FPGA greener) = {result.fpga_win_probability:.1%}\n")
+
+    sensitivity = tornado(comparator, SCENARIO, DISTRIBUTIONS)
+    print(format_table(sensitivity.rows(), title="Tornado (one-at-a-time) analysis"))
+    print()
+    entries = sensitivity.sorted_by_span()
+    print(bar_chart(
+        [e.name for e in entries],
+        [e.span for e in entries],
+        title="Ratio span per knob (tornado widths)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Regenerate every paper artifact: reports to stdout, CSVs to results/.
+
+Run:
+    python scripts/run_all.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.registry import EXPERIMENT_IDS, run_experiment
+
+
+def main() -> int:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for experiment_id in EXPERIMENT_IDS:
+        started = time.time()
+        report = run_experiment(experiment_id, csv_dir=out_dir)
+        elapsed = time.time() - started
+        (out_dir / f"{experiment_id}.txt").write_text(report.render() + "\n")
+        print(f"{experiment_id:16s} done in {elapsed:5.1f}s "
+              f"({len(report.tables)} tables)")
+    print(f"\nall artifacts written to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""GreenFPGA reproduction: lifecycle carbon-footprint models for FPGAs.
+
+A from-scratch Python implementation of *GreenFPGA: Evaluating FPGAs as
+Environmentally Sustainable Computing Solutions* (DAC 2024): embodied and
+operational carbon models for FPGAs and ASICs, iso-performance
+comparison, crossover analysis, and every experiment from the paper's
+evaluation section.
+
+Quickstart::
+
+    from repro import Scenario, compare_domain
+
+    result = compare_domain("dnn", Scenario(num_apps=6, app_lifetime_years=2.0,
+                                            volume=1_000_000))
+    print(result.winner, result.ratio)
+"""
+
+from repro.core.asic_model import AsicAssessment, AsicLifecycleModel
+from repro.core.comparison import ComparisonResult, PlatformComparator, compare_domain
+from repro.core.fpga_model import FpgaAssessment, FpgaLifecycleModel
+from repro.core.gpu_model import GpuLifecycleModel
+from repro.core.lifecycle import CarbonFootprint
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.devices.asic import AsicDevice
+from repro.devices.catalog import DOMAIN_NAMES, DomainSpec, get_domain, get_industry_device
+from repro.devices.fpga import FpgaDevice
+from repro.devices.gpu import GpuDevice
+from repro.errors import GreenFpgaError
+from repro.fleet.planner import Application, FleetPlanner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "AsicAssessment",
+    "AsicDevice",
+    "AsicLifecycleModel",
+    "CarbonFootprint",
+    "ComparisonResult",
+    "DOMAIN_NAMES",
+    "DomainSpec",
+    "FleetPlanner",
+    "FpgaAssessment",
+    "FpgaDevice",
+    "FpgaLifecycleModel",
+    "GpuDevice",
+    "GpuLifecycleModel",
+    "GreenFpgaError",
+    "ModelSuite",
+    "PlatformComparator",
+    "Scenario",
+    "__version__",
+    "compare_domain",
+    "get_domain",
+    "get_industry_device",
+]

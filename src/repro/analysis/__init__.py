@@ -1,0 +1,24 @@
+"""Analysis machinery for the paper's evaluation (Section 4)."""
+
+from repro.analysis.breakdown import ComponentBreakdown, breakdown_table
+from repro.analysis.crossover import Crossover, find_crossovers
+from repro.analysis.heatmap import HeatmapResult, pairwise_heatmap
+from repro.analysis.montecarlo import MonteCarloResult, ParameterDistribution, monte_carlo
+from repro.analysis.sensitivity import SensitivityResult, tornado
+from repro.analysis.sweep import SweepResult, sweep
+
+__all__ = [
+    "ComponentBreakdown",
+    "Crossover",
+    "HeatmapResult",
+    "MonteCarloResult",
+    "ParameterDistribution",
+    "SensitivityResult",
+    "SweepResult",
+    "breakdown_table",
+    "find_crossovers",
+    "monte_carlo",
+    "pairwise_heatmap",
+    "sweep",
+    "tornado",
+]

@@ -1,0 +1,77 @@
+"""Component breakdowns (paper Figs. 7, 10, 11).
+
+Turns :class:`~repro.core.lifecycle.CarbonFootprint` decompositions into
+stacked series across a sweep (Fig. 7) or per-device component tables
+(Figs. 10-11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.sweep import SweepResult
+from repro.core.lifecycle import CarbonFootprint
+
+
+@dataclass(frozen=True)
+class ComponentBreakdown:
+    """Per-component series for one platform across a sweep.
+
+    Attributes:
+        platform: ``"fpga"`` or ``"asic"``.
+        axis: Swept axis name.
+        values: Axis values.
+        components: Component name -> per-point kg series, in
+            :attr:`CarbonFootprint.COMPONENTS` order, plus ``embodied``,
+            ``operational_total`` style aggregates available via rows().
+    """
+
+    platform: str
+    axis: str
+    values: tuple[float, ...]
+    components: dict[str, tuple[float, ...]]
+
+    def stacked_rows(self) -> list[dict[str, float]]:
+        """One row per sweep point with every component column."""
+        rows = []
+        for index, value in enumerate(self.values):
+            row = {self.axis: value}
+            for name, series in self.components.items():
+                row[name] = series[index]
+            row["embodied"] = sum(
+                self.components[c][index]
+                for c in ("design", "manufacturing", "packaging", "eol")
+            )
+            row["total"] = sum(series[index] for series in self.components.values())
+            rows.append(row)
+        return rows
+
+
+def breakdown_from_sweep(result: SweepResult, platform: str) -> ComponentBreakdown:
+    """Extract a per-component breakdown for one platform from a sweep."""
+    if platform not in ("fpga", "asic"):
+        raise KeyError(f"platform must be 'fpga' or 'asic', got {platform!r}")
+    footprints = [
+        getattr(comparison, platform).footprint for comparison in result.comparisons
+    ]
+    components = {
+        name: tuple(getattr(fp, name) for fp in footprints)
+        for name in CarbonFootprint.COMPONENTS
+    }
+    return ComponentBreakdown(
+        platform=platform,
+        axis=result.axis,
+        values=result.values,
+        components=components,
+    )
+
+
+def breakdown_table(footprint: CarbonFootprint) -> list[tuple[str, float, float]]:
+    """(component, kg, fraction-of-total) rows for one footprint.
+
+    Used by the industry-testcase experiments (Figs. 10-11).
+    """
+    return [
+        (name, getattr(footprint, name), footprint.fraction_of_total(name))
+        for name in CarbonFootprint.COMPONENTS
+    ]

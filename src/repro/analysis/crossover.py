@@ -1,0 +1,88 @@
+"""A2F / F2A crossover detection (paper Section 4.2).
+
+The paper defines the **A2F** point as where the FPGA's CFP drops below
+the ASIC's, and **F2A** as where it rises back above.  Along a sweep these
+are the sign changes of ``C_FPGA - C_ASIC``; we locate each by linear
+interpolation between the bracketing sweep points.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """One crossover along a sweep.
+
+    Attributes:
+        kind: ``"A2F"`` (FPGA becomes greener) or ``"F2A"``.
+        x: Interpolated axis value where the CFPs are equal.
+        left_index: Sweep index immediately before the crossover.
+    """
+
+    kind: str
+    x: float
+    left_index: int
+
+
+def find_crossovers(
+    xs: Sequence[float],
+    fpga_totals: Sequence[float],
+    asic_totals: Sequence[float],
+) -> list[Crossover]:
+    """Locate every A2F/F2A crossover along a sweep.
+
+    Args:
+        xs: Monotonically increasing axis values.
+        fpga_totals: FPGA total CFP at each x.
+        asic_totals: ASIC total CFP at each x.
+
+    Returns:
+        Crossovers in axis order.  Points where the difference is exactly
+        zero are treated as the boundary itself.
+    """
+    if not (len(xs) == len(fpga_totals) == len(asic_totals)):
+        raise ParameterError("xs, fpga_totals and asic_totals must have equal length")
+    if len(xs) < 2:
+        return []
+    for left, right in zip(xs, list(xs)[1:]):
+        if right <= left:
+            raise ParameterError("xs must be strictly increasing")
+
+    diffs = [f - a for f, a in zip(fpga_totals, asic_totals)]
+    crossovers: list[Crossover] = []
+    # Track the last *nonzero* sign so that grid points where the curves
+    # merely touch (diff == 0) don't spawn spurious crossovers: a real
+    # crossing requires opposite nonzero signs on either side.
+    prev_index: int | None = None
+    for i, diff in enumerate(diffs):
+        if diff == 0.0:
+            continue
+        if prev_index is not None:
+            prev = diffs[prev_index]
+            # Compare signs directly: prev * diff can underflow to zero
+            # for subnormal differences and miss the sign change.
+            if (prev > 0.0) != (diff > 0.0):
+                frac = prev / (prev - diff)
+                x_cross = xs[prev_index] + frac * (xs[i] - xs[prev_index])
+                kind = "A2F" if prev > 0.0 else "F2A"
+                crossovers.append(Crossover(kind, float(x_cross), prev_index))
+        prev_index = i
+    return crossovers
+
+
+def first_crossover(
+    xs: Sequence[float],
+    fpga_totals: Sequence[float],
+    asic_totals: Sequence[float],
+    kind: str | None = None,
+) -> Crossover | None:
+    """First crossover (optionally of one ``kind``), or None."""
+    for crossover in find_crossovers(xs, fpga_totals, asic_totals):
+        if kind is None or crossover.kind == kind:
+            return crossover
+    return None

@@ -1,0 +1,145 @@
+"""Carbon-aware design-space exploration (extension).
+
+The paper positions GreenFPGA next to carbon-aware DSE platforms (its
+ref [16]).  This module provides that workflow on top of the lifecycle
+models: enumerate a grid of :class:`~repro.config.Parameters` overrides
+(fab location, recycled sourcing, grid, duty cycle, node...), assess a
+scenario under every configuration, and return the ranked results plus
+the Pareto front over user-chosen objectives.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.config import Parameters
+from repro.core.comparison import PlatformComparator
+from repro.core.scenario import Scenario
+from repro.devices.catalog import DomainSpec, get_domain
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration of the design space."""
+
+    overrides: dict[str, object]
+    fpga_total_kg: float
+    asic_total_kg: float
+    ratio: float
+
+    @property
+    def best_total_kg(self) -> float:
+        """CFP of the greener platform under this configuration."""
+        return min(self.fpga_total_kg, self.asic_total_kg)
+
+    @property
+    def winner(self) -> str:
+        """Greener platform under this configuration."""
+        return "fpga" if self.ratio < 1.0 else "asic"
+
+    def as_row(self) -> dict[str, object]:
+        """Flat row for reporting."""
+        row: dict[str, object] = dict(self.overrides)
+        row.update(
+            {
+                "fpga_total_kg": self.fpga_total_kg,
+                "asic_total_kg": self.asic_total_kg,
+                "ratio": self.ratio,
+                "winner": self.winner,
+            }
+        )
+        return row
+
+
+@dataclass(frozen=True)
+class DseResult:
+    """All evaluated design points, ranked by greenest outcome."""
+
+    points: tuple[DesignPoint, ...]
+
+    def best(self) -> DesignPoint:
+        """The configuration with the lowest best-platform CFP."""
+        return min(self.points, key=lambda p: p.best_total_kg)
+
+    def ranked(self) -> list[DesignPoint]:
+        """Points sorted by best-platform CFP, greenest first."""
+        return sorted(self.points, key=lambda p: p.best_total_kg)
+
+    def pareto_front(
+        self, objectives: Sequence[str] = ("fpga_total_kg", "asic_total_kg")
+    ) -> list[DesignPoint]:
+        """Non-dominated points, minimising every named objective.
+
+        Objectives are attribute names of :class:`DesignPoint`.
+        """
+        if not objectives:
+            raise ParameterError("objectives must not be empty")
+
+        def values(point: DesignPoint) -> tuple[float, ...]:
+            return tuple(float(getattr(point, obj)) for obj in objectives)
+
+        front: list[DesignPoint] = []
+        for candidate in self.points:
+            c_vals = values(candidate)
+            dominated = False
+            for other in self.points:
+                if other is candidate:
+                    continue
+                o_vals = values(other)
+                if all(o <= c for o, c in zip(o_vals, c_vals)) and any(
+                    o < c for o, c in zip(o_vals, c_vals)
+                ):
+                    dominated = True
+                    break
+            if not dominated:
+                front.append(candidate)
+        return sorted(front, key=values)
+
+
+def explore(
+    domain: "DomainSpec | str",
+    scenario: Scenario,
+    grid: Mapping[str, Sequence[object]],
+    base: Parameters | None = None,
+) -> DseResult:
+    """Evaluate every combination of ``grid`` overrides.
+
+    Args:
+        domain: Table 2 domain (or explicit spec) to compare under.
+        scenario: Fixed deployment scenario.
+        grid: Parameter-name -> candidate values.  Names must be
+            :class:`~repro.config.Parameters` fields.
+        base: Baseline parameters for everything not in the grid.
+
+    Returns:
+        A :class:`DseResult` with one point per grid combination.
+    """
+    if not grid:
+        raise ParameterError("grid must not be empty")
+    spec = domain if isinstance(domain, DomainSpec) else get_domain(domain)
+    base = base if base is not None else Parameters()
+
+    names = list(grid)
+    points = []
+    for combo in itertools.product(*(grid[name] for name in names)):
+        overrides = dict(zip(names, combo))
+        params = base.with_overrides(**overrides)
+        suite = params.build_suite()
+        comparator = PlatformComparator(
+            fpga_device=spec.fpga_device(),
+            asic_device=spec.asic_device(),
+            suite=suite,
+        )
+        comparison = comparator.compare(scenario)
+        points.append(
+            DesignPoint(
+                overrides=overrides,
+                fpga_total_kg=comparison.fpga.footprint.total,
+                asic_total_kg=comparison.asic.footprint.total,
+                ratio=comparison.ratio,
+            )
+        )
+    return DseResult(points=tuple(points))

@@ -1,0 +1,108 @@
+"""Pairwise-sweep heatmaps of the FPGA:ASIC CFP ratio (paper Fig. 8).
+
+Two scenario axes vary while the third stays at its baseline; each cell
+holds the ratio, and the iso-ratio = 1 contour is the sustainability
+boundary the paper marks with pink dashes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.sweep import SWEEP_AXES, _AXIS_APPLIERS
+from repro.core.comparison import PlatformComparator
+from repro.core.scenario import Scenario
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class HeatmapResult:
+    """Grid of FPGA:ASIC ratios over two scenario axes.
+
+    Attributes:
+        x_axis / y_axis: Varied axes (x varies along columns).
+        x_values / y_values: Grid coordinates.
+        ratios: 2-D array, ``ratios[i, j]`` at ``(y_values[i], x_values[j])``.
+    """
+
+    x_axis: str
+    y_axis: str
+    x_values: tuple[float, ...]
+    y_values: tuple[float, ...]
+    ratios: np.ndarray
+
+    def fpga_sustainable_mask(self) -> np.ndarray:
+        """Boolean grid, True where the FPGA is the greener platform."""
+        return self.ratios < 1.0
+
+    def boundary_cells(self) -> list[tuple[int, int]]:
+        """Grid cells adjacent to the ratio = 1 contour.
+
+        A cell is on the boundary when any 4-neighbour is on the other
+        side of ratio 1 — a discrete version of the paper's pink dashes.
+        """
+        mask = self.fpga_sustainable_mask()
+        cells: list[tuple[int, int]] = []
+        n_rows, n_cols = mask.shape
+        for i in range(n_rows):
+            for j in range(n_cols):
+                neighbours = []
+                if i > 0:
+                    neighbours.append(mask[i - 1, j])
+                if i + 1 < n_rows:
+                    neighbours.append(mask[i + 1, j])
+                if j > 0:
+                    neighbours.append(mask[i, j - 1])
+                if j + 1 < n_cols:
+                    neighbours.append(mask[i, j + 1])
+                if any(n != mask[i, j] for n in neighbours):
+                    cells.append((i, j))
+        return cells
+
+    def rows(self) -> list[dict[str, float]]:
+        """Flat per-cell rows for CSV export."""
+        out: list[dict[str, float]] = []
+        for i, y in enumerate(self.y_values):
+            for j, x in enumerate(self.x_values):
+                out.append(
+                    {self.x_axis: x, self.y_axis: y, "ratio": float(self.ratios[i, j])}
+                )
+        return out
+
+
+def pairwise_heatmap(
+    comparator: PlatformComparator,
+    base_scenario: Scenario,
+    x_axis: str,
+    x_values: Sequence[float],
+    y_axis: str,
+    y_values: Sequence[float],
+) -> HeatmapResult:
+    """Compute the FPGA:ASIC ratio over a 2-D grid of scenario axes."""
+    for axis in (x_axis, y_axis):
+        if axis not in _AXIS_APPLIERS:
+            raise ParameterError(
+                f"unknown heatmap axis {axis!r}; expected one of {SWEEP_AXES}"
+            )
+    if x_axis == y_axis:
+        raise ParameterError("heatmap axes must differ")
+    if not x_values or not y_values:
+        raise ParameterError("heatmap axis values must not be empty")
+
+    apply_x = _AXIS_APPLIERS[x_axis]
+    apply_y = _AXIS_APPLIERS[y_axis]
+    ratios = np.empty((len(y_values), len(x_values)), dtype=float)
+    for i, y in enumerate(y_values):
+        row_scenario = apply_y(base_scenario, y)
+        for j, x in enumerate(x_values):
+            ratios[i, j] = comparator.ratio(apply_x(row_scenario, x))
+    return HeatmapResult(
+        x_axis=x_axis,
+        y_axis=y_axis,
+        x_values=tuple(float(v) for v in x_values),
+        y_values=tuple(float(v) for v in y_values),
+        ratios=ratios,
+    )

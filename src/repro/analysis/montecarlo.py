@@ -1,0 +1,122 @@
+"""Monte-Carlo uncertainty propagation over Table 1 parameter ranges.
+
+The paper's Section 5 stresses that inputs are uncertain (proprietary
+yields, project durations, coarse sustainability reports).  This module
+samples scenario-level model knobs from user-declared distributions and
+reports the induced distribution of the FPGA:ASIC ratio — including the
+probability that the FPGA is the greener platform.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.comparison import PlatformComparator
+from repro.core.scenario import Scenario
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class ParameterDistribution:
+    """One uncertain model knob.
+
+    Attributes:
+        name: Knob label (reported in results).
+        low / high: Range bounds (Table 1 style).
+        apply: Callback ``(comparator, value) -> PlatformComparator``
+            returning a comparator with the knob set to ``value``.
+        kind: ``"uniform"`` or ``"loguniform"`` sampling over the range.
+    """
+
+    name: str
+    low: float
+    high: float
+    apply: Callable[[PlatformComparator, float], PlatformComparator]
+    kind: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ParameterError(f"{self.name}: high < low")
+        if self.kind not in ("uniform", "loguniform"):
+            raise ParameterError(f"{self.name}: unknown sampling kind {self.kind!r}")
+        if self.kind == "loguniform" and self.low <= 0.0:
+            raise ParameterError(f"{self.name}: loguniform requires low > 0")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value from this distribution."""
+        if self.kind == "loguniform":
+            return float(np.exp(rng.uniform(np.log(self.low), np.log(self.high))))
+        return float(rng.uniform(self.low, self.high))
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Sampled distribution of the FPGA:ASIC ratio."""
+
+    ratios: np.ndarray
+    samples: tuple[dict[str, float], ...]
+
+    @property
+    def n_samples(self) -> int:
+        """Number of Monte-Carlo draws."""
+        return int(self.ratios.size)
+
+    @property
+    def fpga_win_probability(self) -> float:
+        """Fraction of draws where the FPGA is greener (ratio < 1)."""
+        return float(np.mean(self.ratios < 1.0))
+
+    def quantiles(self, qs: Sequence[float] = (0.05, 0.25, 0.5, 0.75, 0.95)) -> dict[float, float]:
+        """Requested quantiles of the ratio distribution."""
+        values = np.quantile(self.ratios, list(qs))
+        return {float(q): float(v) for q, v in zip(qs, values)}
+
+    def summary(self) -> dict[str, float]:
+        """Flat summary for reporting."""
+        quantiles = self.quantiles()
+        return {
+            "n_samples": float(self.n_samples),
+            "fpga_win_probability": self.fpga_win_probability,
+            "ratio_mean": float(np.mean(self.ratios)),
+            "ratio_p05": quantiles[0.05],
+            "ratio_p50": quantiles[0.5],
+            "ratio_p95": quantiles[0.95],
+        }
+
+
+def monte_carlo(
+    comparator: PlatformComparator,
+    scenario: Scenario,
+    distributions: Sequence[ParameterDistribution],
+    n_samples: int = 500,
+    seed: int = 2024,
+) -> MonteCarloResult:
+    """Propagate parameter uncertainty into the FPGA:ASIC ratio.
+
+    Args:
+        comparator: Baseline device pair + suite.
+        scenario: Fixed deployment scenario.
+        distributions: Knobs to perturb each draw.
+        n_samples: Number of draws.
+        seed: RNG seed (results are reproducible by construction).
+    """
+    if n_samples < 1:
+        raise ParameterError("n_samples must be >= 1")
+    if not distributions:
+        raise ParameterError("at least one ParameterDistribution is required")
+    rng = np.random.default_rng(seed)
+    ratios = np.empty(n_samples, dtype=float)
+    samples: list[dict[str, float]] = []
+    for i in range(n_samples):
+        drawn: dict[str, float] = {}
+        perturbed = comparator
+        for dist in distributions:
+            value = dist.sample(rng)
+            drawn[dist.name] = value
+            perturbed = dist.apply(perturbed, value)
+        ratios[i] = perturbed.ratio(scenario)
+        samples.append(drawn)
+    return MonteCarloResult(ratios=ratios, samples=tuple(samples))

@@ -1,0 +1,99 @@
+"""One-dimensional scenario sweeps (paper Figs. 4-6).
+
+A sweep varies one scenario axis (``num_apps``, ``lifetime`` or
+``volume``), assesses both platforms at every point, and records total
+CFPs and ratios ready for crossover analysis and plotting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.comparison import ComparisonResult, PlatformComparator
+from repro.core.scenario import Scenario
+from repro.errors import ParameterError
+
+#: Axes a sweep can vary and how each value is applied to the scenario.
+_AXIS_APPLIERS = {
+    "num_apps": lambda scenario, value: scenario.with_num_apps(int(value)),
+    "lifetime": lambda scenario, value: scenario.with_lifetime(float(value)),
+    "volume": lambda scenario, value: scenario.with_volume(int(value)),
+}
+
+SWEEP_AXES = tuple(_AXIS_APPLIERS)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of a one-dimensional sweep.
+
+    Attributes:
+        axis: Which scenario axis was varied.
+        values: Axis values, in sweep order.
+        comparisons: Full comparison at each axis value.
+    """
+
+    axis: str
+    values: tuple[float, ...]
+    comparisons: tuple[ComparisonResult, ...]
+
+    @property
+    def fpga_totals(self) -> tuple[float, ...]:
+        """FPGA total CFP at each point (kg)."""
+        return tuple(c.fpga.footprint.total for c in self.comparisons)
+
+    @property
+    def asic_totals(self) -> tuple[float, ...]:
+        """ASIC total CFP at each point (kg)."""
+        return tuple(c.asic.footprint.total for c in self.comparisons)
+
+    @property
+    def ratios(self) -> tuple[float, ...]:
+        """FPGA:ASIC ratio at each point."""
+        return tuple(c.ratio for c in self.comparisons)
+
+    def winner_at(self, index: int) -> str:
+        """Winning platform at sweep point ``index``."""
+        return self.comparisons[index].winner
+
+    def rows(self) -> list[dict[str, float | str]]:
+        """Flat per-point rows for reporting/CSV."""
+        out: list[dict[str, float | str]] = []
+        for value, comparison in zip(self.values, self.comparisons):
+            row: dict[str, float | str] = {self.axis: value}
+            row.update(comparison.summary())
+            out.append(row)
+        return out
+
+
+def sweep(
+    comparator: PlatformComparator,
+    base_scenario: Scenario,
+    axis: str,
+    values: Sequence[float],
+) -> SweepResult:
+    """Assess both platforms across ``values`` of one scenario axis.
+
+    Args:
+        comparator: Device pair + model suite to assess.
+        base_scenario: Scenario whose other axes stay fixed.
+        axis: One of :data:`SWEEP_AXES`.
+        values: Axis values to visit (any order; preserved).
+
+    Raises:
+        ParameterError: for an unknown axis or empty values.
+    """
+    if axis not in _AXIS_APPLIERS:
+        raise ParameterError(f"unknown sweep axis {axis!r}; expected one of {SWEEP_AXES}")
+    if not values:
+        raise ParameterError("sweep values must not be empty")
+    apply_axis = _AXIS_APPLIERS[axis]
+    comparisons = tuple(
+        comparator.compare(apply_axis(base_scenario, value)) for value in values
+    )
+    return SweepResult(
+        axis=axis,
+        values=tuple(float(v) for v in values),
+        comparisons=comparisons,
+    )

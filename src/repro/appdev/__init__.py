@@ -1,0 +1,5 @@
+"""Application-development carbon model (paper Section 3.3(2), Eq. (7))."""
+
+from repro.appdev.model import AppDevModel, AppDevResult, DevelopmentEffort
+
+__all__ = ["AppDevModel", "AppDevResult", "DevelopmentEffort"]

@@ -1,0 +1,127 @@
+"""Application-development CFP — the paper's Eq. (7).
+
+``T_app-dev = N_app * (T_app,FE + T_app,BE) + N_vol * T_app,config``
+
+* ``T_app,FE`` — RTL/HLS authoring and verification, once per application
+  (Table 1: 1.5-2.5 months).
+* ``T_app,BE`` — synthesis/place-and-route, once per FPGA architecture
+  (Table 1: 0.5-1.5 months).
+* ``T_app,config`` — loading the bitstream into each deployed FPGA.
+
+The CFP is the development-compute power times the energy source's carbon
+intensity times this total time.  For ASICs the FE/BE terms are zero (the
+hardware flow is part of the chip project, Eq. (4)); an optional
+software-flow effort models ASIC-side application bring-up (the paper
+cites TPU-style regression flows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.grid import carbon_intensity_kg_per_kwh
+from repro.errors import require_non_negative
+from repro.units import months_to_hours, watts_to_kw
+
+
+@dataclass(frozen=True)
+class DevelopmentEffort:
+    """Per-application development effort in calendar months.
+
+    Attributes:
+        frontend_months: ``T_app,FE`` — RTL/HLS + verification.
+        backend_months: ``T_app,BE`` — synth/place/route per architecture.
+        config_hours_per_unit: ``T_app,config`` — per deployed unit.
+    """
+
+    frontend_months: float = 2.0
+    backend_months: float = 1.0
+    config_hours_per_unit: float = 0.05
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.frontend_months, "frontend_months")
+        require_non_negative(self.backend_months, "backend_months")
+        require_non_negative(self.config_hours_per_unit, "config_hours_per_unit")
+
+    @classmethod
+    def for_asic(cls, software_months: float = 0.0) -> "DevelopmentEffort":
+        """ASIC effort: FE/BE are zero per the paper; optional SW flow.
+
+        ``software_months`` models TPU-style compiler/regression bring-up
+        charged to the frontend slot.
+        """
+        return cls(
+            frontend_months=software_months,
+            backend_months=0.0,
+            config_hours_per_unit=0.0,
+        )
+
+    def per_application_hours(self) -> float:
+        """FE + BE hours for one application."""
+        return months_to_hours(self.frontend_months + self.backend_months)
+
+
+@dataclass(frozen=True)
+class AppDevResult:
+    """App-dev footprint decomposition for one application."""
+
+    total_kg: float
+    development_kg: float
+    configuration_kg: float
+    development_hours: float
+    configuration_hours: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for reporting."""
+        return {
+            "total_kg": self.total_kg,
+            "development_kg": self.development_kg,
+            "configuration_kg": self.configuration_kg,
+            "development_hours": self.development_hours,
+            "configuration_hours": self.configuration_hours,
+        }
+
+
+@dataclass(frozen=True)
+class AppDevModel:
+    """Eq. (7) application-development model.
+
+    Attributes:
+        farm_power_w: Average power of the development compute farm
+            (workstations + EDA servers) active during development.
+        config_power_w: Power of the programming rig while configuring
+            one deployed FPGA.
+        energy_source: Carbon intensity of development-site electricity.
+    """
+
+    farm_power_w: float = 12_000.0
+    config_power_w: float = 150.0
+    energy_source: object = "usa"
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.farm_power_w, "farm_power_w")
+        require_non_negative(self.config_power_w, "config_power_w")
+
+    def assess_application(
+        self,
+        effort: DevelopmentEffort,
+        volume: int,
+    ) -> AppDevResult:
+        """App-dev CFP of one application deployed on ``volume`` units."""
+        require_non_negative(float(volume), "volume")
+        intensity = carbon_intensity_kg_per_kwh(self.energy_source)
+        dev_hours = effort.per_application_hours()
+        config_hours = effort.config_hours_per_unit * float(volume)
+        development = watts_to_kw(self.farm_power_w) * dev_hours * intensity
+        configuration = watts_to_kw(self.config_power_w) * config_hours * intensity
+        return AppDevResult(
+            total_kg=development + configuration,
+            development_kg=development,
+            configuration_kg=configuration,
+            development_hours=dev_hours,
+            configuration_hours=config_hours,
+        )
+
+    def per_application_kg(self, effort: DevelopmentEffort, volume: int) -> float:
+        """Convenience scalar: app-dev kg CO2e for one application."""
+        return self.assess_application(effort, volume).total_kg

@@ -1,0 +1,91 @@
+"""Command-line interface: ``greenfpga``.
+
+Subcommands:
+
+* ``greenfpga list`` — list experiments, domains and industry devices.
+* ``greenfpga run <experiment> [--csv-dir DIR]`` — run a paper experiment
+  and print its report (optionally exporting CSVs).
+* ``greenfpga compare --domain dnn --apps 5 --lifetime 2 --volume 1e6`` —
+  one-off FPGA-vs-ASIC comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.comparison import compare_domain
+from repro.core.scenario import Scenario
+from repro.devices.catalog import DOMAIN_NAMES, list_industry_devices
+from repro.reporting.table import format_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="greenfpga",
+        description="GreenFPGA: FPGA vs ASIC lifecycle carbon-footprint analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments, domains and devices")
+
+    run = sub.add_parser("run", help="run a paper experiment by id (e.g. fig4)")
+    run.add_argument("experiment", help="experiment id, e.g. fig4, table2")
+    run.add_argument("--csv-dir", default=None, help="directory for CSV export")
+
+    compare = sub.add_parser("compare", help="compare FPGA vs ASIC for a domain")
+    compare.add_argument("--domain", default="dnn", choices=list(DOMAIN_NAMES))
+    compare.add_argument("--apps", type=int, default=5, help="number of applications")
+    compare.add_argument("--lifetime", type=float, default=2.0, help="app lifetime, years")
+    compare.add_argument("--volume", type=float, default=1.0e6, help="units per app")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.registry import list_experiments
+
+    print("experiments:")
+    for exp_id, description in list_experiments():
+        print(f"  {exp_id:<8} {description}")
+    print("domains:", ", ".join(DOMAIN_NAMES))
+    print("industry devices:", ", ".join(list_industry_devices()))
+    return 0
+
+
+def _cmd_run(experiment: str, csv_dir: str | None) -> int:
+    from repro.experiments.registry import run_experiment
+
+    report = run_experiment(experiment, csv_dir=csv_dir)
+    print(report.render())
+    return 0
+
+
+def _cmd_compare(domain: str, apps: int, lifetime: float, volume: float) -> int:
+    scenario = Scenario(
+        num_apps=apps, app_lifetime_years=lifetime, volume=int(volume)
+    )
+    result = compare_domain(domain, scenario)
+    rows = [
+        {"platform": "FPGA", **result.fpga.footprint.as_dict()},
+        {"platform": "ASIC", **result.asic.footprint.as_dict()},
+    ]
+    print(format_table(rows, title=f"{domain}: N_app={apps}, T_i={lifetime}y, N_vol={volume:g}"))
+    print(f"\nFPGA:ASIC ratio = {result.ratio:.3f}  ->  winner: {result.winner.upper()}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.csv_dir)
+    if args.command == "compare":
+        return _cmd_compare(args.domain, args.apps, args.lifetime, args.volume)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Core lifecycle models — the paper's primary contribution."""
+
+from repro.core.asic_model import AsicAssessment, AsicLifecycleModel
+from repro.core.comparison import ComparisonResult, PlatformComparator, compare_domain
+from repro.core.fpga_model import FpgaAssessment, FpgaLifecycleModel
+from repro.core.lifecycle import CarbonFootprint
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+
+__all__ = [
+    "AsicAssessment",
+    "AsicLifecycleModel",
+    "CarbonFootprint",
+    "ComparisonResult",
+    "FpgaAssessment",
+    "FpgaLifecycleModel",
+    "ModelSuite",
+    "PlatformComparator",
+    "Scenario",
+    "compare_domain",
+]

@@ -1,0 +1,91 @@
+"""ASIC lifecycle CFP — the paper's Eq. (1).
+
+``C_ASIC = sum_i [C_emb,i + T_i * C_deploy,i]``
+
+Every application change requires a **new chip project**: design,
+manufacturing, packaging and EOL all recur per application.  If one
+application outlives the silicon (rare: app lifetimes are shorter than
+ASIC chip lifetimes), chips are additionally repurchased within the
+application.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.lifecycle import CarbonFootprint
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.devices.asic import AsicDevice
+
+
+@dataclass(frozen=True)
+class AsicAssessment:
+    """Result of one ASIC scenario assessment."""
+
+    footprint: CarbonFootprint
+    per_chip_embodied_kg: float
+    per_application: tuple[CarbonFootprint, ...]
+
+    @property
+    def total_kg(self) -> float:
+        """Total lifecycle kg CO2e."""
+        return self.footprint.total
+
+
+@dataclass(frozen=True)
+class AsicLifecycleModel:
+    """Assess ASIC deployments under Eq. (1).
+
+    Attributes:
+        device: The ASIC (re)manufactured for each application.
+        suite: Sub-model bundle.
+    """
+
+    device: AsicDevice
+    suite: ModelSuite = field(default_factory=ModelSuite)
+
+    def per_chip_embodied(self) -> CarbonFootprint:
+        """Manufacturing + packaging + EOL of one ASIC chip."""
+        mfg = self.suite.manufacturing.per_die_kg(self.device.area_mm2, self.device.node)
+        pkg = self.suite.packaging.assess_package(self.device.area_mm2)
+        eol = self.suite.eol.per_chip_kg(pkg.package_mass_g)
+        return CarbonFootprint(manufacturing=mfg, packaging=pkg.total_kg, eol=eol)
+
+    def assess(self, scenario: Scenario) -> AsicAssessment:
+        """Full Eq. (1) assessment of ``scenario``."""
+        design_kg = self.suite.design.project_kg(
+            self.device.logic_gates_mgates, self.suite.asic_team
+        )
+        per_chip = self.per_chip_embodied()
+        op_per_chip_year = self.suite.operation.per_chip_year_kg(self.device.peak_power_w)
+
+        per_application: list[CarbonFootprint] = []
+        for lifetime in scenario.lifetimes:
+            generations = max(
+                1, math.ceil(lifetime / self.device.chip_lifetime_years - 1.0e-9)
+            )
+            embodied = CarbonFootprint(design=design_kg) + per_chip.scaled(
+                float(scenario.volume * generations)
+            )
+            operational = lifetime * float(scenario.volume) * op_per_chip_year
+            appdev = self.suite.appdev.per_application_kg(
+                self.suite.asic_effort, scenario.volume
+            )
+            per_application.append(
+                embodied + CarbonFootprint(operational=operational, appdev=appdev)
+            )
+
+        footprint = CarbonFootprint.zero()
+        for app in per_application:
+            footprint = footprint + app
+        return AsicAssessment(
+            footprint=footprint,
+            per_chip_embodied_kg=per_chip.total,
+            per_application=tuple(per_application),
+        )
+
+    def total_kg(self, scenario: Scenario) -> float:
+        """Convenience scalar: total lifecycle kg CO2e."""
+        return self.assess(scenario).footprint.total

@@ -1,0 +1,113 @@
+"""FPGA-vs-ASIC comparison at iso-performance (paper Section 4.2).
+
+Builds both lifecycle models for a Table 2 domain (or explicit devices),
+assesses them under one scenario, and reports the FPGA:ASIC CFP ratio the
+paper's heatmaps plot, plus the winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.asic_model import AsicAssessment, AsicLifecycleModel
+from repro.core.fpga_model import FpgaAssessment, FpgaLifecycleModel
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.devices.asic import AsicDevice
+from repro.devices.catalog import DomainSpec, get_domain
+from repro.devices.fpga import FpgaDevice
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of one FPGA-vs-ASIC comparison."""
+
+    scenario: Scenario
+    fpga: FpgaAssessment
+    asic: AsicAssessment
+
+    @property
+    def ratio(self) -> float:
+        """FPGA:ASIC total-CFP ratio (the paper's heatmap quantity).
+
+        < 1 means the FPGA is the more sustainable platform.
+        """
+        return self.fpga.footprint.total / self.asic.footprint.total
+
+    @property
+    def winner(self) -> str:
+        """``"fpga"`` or ``"asic"`` (ties go to the ASIC, ratio == 1)."""
+        return "fpga" if self.ratio < 1.0 else "asic"
+
+    @property
+    def fpga_advantage_kg(self) -> float:
+        """ASIC total minus FPGA total (positive when FPGA wins)."""
+        return self.asic.footprint.total - self.fpga.footprint.total
+
+    def summary(self) -> dict[str, float | str]:
+        """Flat summary for reporting."""
+        return {
+            "fpga_total_kg": self.fpga.footprint.total,
+            "asic_total_kg": self.asic.footprint.total,
+            "ratio": self.ratio,
+            "winner": self.winner,
+            "fpga_advantage_kg": self.fpga_advantage_kg,
+        }
+
+
+@dataclass(frozen=True)
+class PlatformComparator:
+    """Reusable comparator for one FPGA/ASIC device pair.
+
+    Attributes:
+        fpga_device: Reconfigurable platform.
+        asic_device: Fixed-function platform (remade per application).
+        suite: Shared sub-model bundle.
+    """
+
+    fpga_device: FpgaDevice
+    asic_device: AsicDevice
+    suite: ModelSuite = field(default_factory=ModelSuite)
+
+    @classmethod
+    def for_domain(
+        cls, domain: DomainSpec | str, suite: ModelSuite | None = None
+    ) -> "PlatformComparator":
+        """Comparator for a Table 2 domain at iso-performance."""
+        spec = domain if isinstance(domain, DomainSpec) else get_domain(domain)
+        return cls(
+            fpga_device=spec.fpga_device(),
+            asic_device=spec.asic_device(),
+            suite=suite if suite is not None else ModelSuite.default(),
+        )
+
+    @property
+    def fpga_model(self) -> FpgaLifecycleModel:
+        """Lifecycle model for the FPGA side."""
+        return FpgaLifecycleModel(device=self.fpga_device, suite=self.suite)
+
+    @property
+    def asic_model(self) -> AsicLifecycleModel:
+        """Lifecycle model for the ASIC side."""
+        return AsicLifecycleModel(device=self.asic_device, suite=self.suite)
+
+    def compare(self, scenario: Scenario) -> ComparisonResult:
+        """Assess both platforms under ``scenario``."""
+        return ComparisonResult(
+            scenario=scenario,
+            fpga=self.fpga_model.assess(scenario),
+            asic=self.asic_model.assess(scenario),
+        )
+
+    def ratio(self, scenario: Scenario) -> float:
+        """Convenience scalar: FPGA:ASIC total-CFP ratio."""
+        return self.compare(scenario).ratio
+
+
+def compare_domain(
+    domain: DomainSpec | str,
+    scenario: Scenario,
+    suite: ModelSuite | None = None,
+) -> ComparisonResult:
+    """One-call comparison for a Table 2 domain under ``scenario``."""
+    return PlatformComparator.for_domain(domain, suite).compare(scenario)

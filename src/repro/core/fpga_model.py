@@ -1,0 +1,105 @@
+"""FPGA lifecycle CFP — the paper's Eq. (2) with Eq. (3) embodied terms.
+
+``C_FPGA = C_emb + sum_i T_i * C_deploy,i``
+
+The defining property of the FPGA path: the embodied cost is paid **once**
+(per chip generation) and reconfiguration substitutes for remanufacture
+across applications.  When the study horizon exceeds the FPGA's chip
+lifetime (Fig. 9), worn-out chips are repurchased: manufacturing,
+packaging and EOL repeat per generation while the design project does not
+(the same product is bought again).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.lifecycle import CarbonFootprint
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.devices.fpga import FpgaDevice
+
+
+@dataclass(frozen=True)
+class FpgaAssessment:
+    """Result of one FPGA scenario assessment."""
+
+    footprint: CarbonFootprint
+    per_chip_embodied_kg: float
+    n_fpga_per_unit: int
+    generations: int
+
+    @property
+    def total_kg(self) -> float:
+        """Total lifecycle kg CO2e."""
+        return self.footprint.total
+
+
+@dataclass(frozen=True)
+class FpgaLifecycleModel:
+    """Assess FPGA deployments under Eq. (2).
+
+    Attributes:
+        device: The FPGA being deployed.
+        suite: Sub-model bundle.
+    """
+
+    device: FpgaDevice
+    suite: ModelSuite = field(default_factory=ModelSuite)
+
+    def chip_generations(self, scenario: Scenario) -> int:
+        """Chip purchases needed to cover the scenario horizon.
+
+        1 unless the scenario enforces the chip lifetime (Fig. 9); then
+        a new generation is bought each time the horizon crosses a
+        multiple of the device's chip lifetime.
+        """
+        if not scenario.enforce_chip_lifetime:
+            return 1
+        return max(1, math.ceil(
+            scenario.horizon_years / self.device.chip_lifetime_years - 1.0e-9
+        ))
+
+    def per_chip_embodied(self) -> CarbonFootprint:
+        """Manufacturing + packaging + EOL of one FPGA chip."""
+        mfg = self.suite.manufacturing.per_die_kg(self.device.area_mm2, self.device.node)
+        pkg = self.suite.packaging.assess_package(self.device.area_mm2)
+        eol = self.suite.eol.per_chip_kg(pkg.package_mass_g)
+        return CarbonFootprint(manufacturing=mfg, packaging=pkg.total_kg, eol=eol)
+
+    def assess(self, scenario: Scenario) -> FpgaAssessment:
+        """Full Eq. (2) assessment of ``scenario``."""
+        n_fpga = self.device.units_required(scenario.app_size_mgates)
+        generations = self.chip_generations(scenario)
+
+        # The chip project is sized by the FPGA's own silicon (its fabric),
+        # not by the applications later mapped onto it.
+        silicon_gates = self.device.area_mm2 * self.device.node.gate_density_mgates_per_mm2
+        design_kg = self.suite.design.project_kg(silicon_gates, self.suite.fpga_team)
+        per_chip = self.per_chip_embodied()
+        fleet = float(scenario.volume * n_fpga * generations)
+        embodied = CarbonFootprint(design=design_kg) + per_chip.scaled(fleet)
+
+        op_per_chip_year = self.suite.operation.per_chip_year_kg(self.device.peak_power_w)
+        operational = 0.0
+        appdev = 0.0
+        for lifetime in scenario.lifetimes:
+            operational += (
+                lifetime * float(scenario.volume * n_fpga) * op_per_chip_year
+            )
+            appdev += self.suite.appdev.per_application_kg(
+                self.suite.fpga_effort, scenario.volume * n_fpga
+            )
+
+        footprint = embodied + CarbonFootprint(operational=operational, appdev=appdev)
+        return FpgaAssessment(
+            footprint=footprint,
+            per_chip_embodied_kg=per_chip.total,
+            n_fpga_per_unit=n_fpga,
+            generations=generations,
+        )
+
+    def total_kg(self, scenario: Scenario) -> float:
+        """Convenience scalar: total lifecycle kg CO2e."""
+        return self.assess(scenario).footprint.total

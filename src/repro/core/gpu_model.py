@@ -1,0 +1,104 @@
+"""GPU lifecycle CFP (extension) — Eq. (2) semantics with GPU economics.
+
+Like the FPGA (Eq. 2), a GPU is reused across applications: embodied CFP
+is paid once per chip generation.  Three differences are modelled:
+
+* **Design amortisation** — a merchant GPU's chip project is shared
+  across the whole market (``market_amortisation``), unlike a captive
+  ASIC or the per-deployment FPGA attribution.
+* **Software-only application bring-up** — porting a workload to CUDA-
+  style kernels is charged via the suite's ``gpu_effort`` equivalent
+  (we reuse the ASIC-style software effort knob passed at call time).
+* **Shorter silicon life** — datacenter GPU fleets turn over in ~6
+  years, so long-horizon studies repurchase sooner than FPGAs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.appdev.model import DevelopmentEffort
+from repro.core.lifecycle import CarbonFootprint
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.devices.gpu import GpuDevice
+
+#: Default software bring-up effort per application (CUDA port + tuning).
+DEFAULT_GPU_EFFORT = DevelopmentEffort(
+    frontend_months=0.5, backend_months=0.0, config_hours_per_unit=0.0
+)
+
+
+@dataclass(frozen=True)
+class GpuAssessment:
+    """Result of one GPU scenario assessment."""
+
+    footprint: CarbonFootprint
+    per_chip_embodied_kg: float
+    generations: int
+
+    @property
+    def total_kg(self) -> float:
+        """Total lifecycle kg CO2e."""
+        return self.footprint.total
+
+
+@dataclass(frozen=True)
+class GpuLifecycleModel:
+    """Assess GPU deployments under Eq. (2) semantics.
+
+    Attributes:
+        device: The GPU being deployed.
+        suite: Sub-model bundle (manufacturing/packaging/EOL/operation
+            and design models are shared with the FPGA/ASIC paths).
+        effort: Per-application software bring-up effort.
+    """
+
+    device: GpuDevice
+    suite: ModelSuite = field(default_factory=ModelSuite)
+    effort: DevelopmentEffort = DEFAULT_GPU_EFFORT
+
+    def chip_generations(self, scenario: Scenario) -> int:
+        """Chip purchases needed to cover the scenario horizon."""
+        if not scenario.enforce_chip_lifetime:
+            return 1
+        return max(1, math.ceil(
+            scenario.horizon_years / self.device.chip_lifetime_years - 1.0e-9
+        ))
+
+    def per_chip_embodied(self) -> CarbonFootprint:
+        """Manufacturing + packaging + EOL of one GPU."""
+        mfg = self.suite.manufacturing.per_die_kg(self.device.area_mm2, self.device.node)
+        pkg = self.suite.packaging.assess_package(self.device.area_mm2)
+        eol = self.suite.eol.per_chip_kg(pkg.package_mass_g)
+        return CarbonFootprint(manufacturing=mfg, packaging=pkg.total_kg, eol=eol)
+
+    def assess(self, scenario: Scenario) -> GpuAssessment:
+        """Full lifecycle assessment of ``scenario``."""
+        generations = self.chip_generations(scenario)
+        design_kg = (
+            self.suite.design.project_kg(self.device.logic_gates_mgates)
+            / self.device.market_amortisation
+        )
+        per_chip = self.per_chip_embodied()
+        fleet = float(scenario.volume * generations)
+        embodied = CarbonFootprint(design=design_kg) + per_chip.scaled(fleet)
+
+        op_per_chip_year = self.suite.operation.per_chip_year_kg(self.device.peak_power_w)
+        operational = 0.0
+        appdev = 0.0
+        for lifetime in scenario.lifetimes:
+            operational += lifetime * float(scenario.volume) * op_per_chip_year
+            appdev += self.suite.appdev.per_application_kg(self.effort, scenario.volume)
+
+        footprint = embodied + CarbonFootprint(operational=operational, appdev=appdev)
+        return GpuAssessment(
+            footprint=footprint,
+            per_chip_embodied_kg=per_chip.total,
+            generations=generations,
+        )
+
+    def total_kg(self, scenario: Scenario) -> float:
+        """Convenience scalar: total lifecycle kg CO2e."""
+        return self.assess(scenario).footprint.total

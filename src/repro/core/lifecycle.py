@@ -1,0 +1,101 @@
+"""Carbon-footprint vector shared by every lifecycle model.
+
+A :class:`CarbonFootprint` carries the six lifecycle components the paper
+tracks (design, manufacturing, packaging, end-of-life, application
+development, operation) and exposes the embodied / deployment / total
+aggregations from Eqs. (1)-(3).  It behaves like a vector: components add
+and scale, which is how volume and multi-application accounting compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class CarbonFootprint:
+    """Lifecycle CFP decomposition, all fields in kg CO2e.
+
+    ``eol`` may be negative (net recycling credit, Eq. (6)).
+    """
+
+    design: float = 0.0
+    manufacturing: float = 0.0
+    packaging: float = 0.0
+    eol: float = 0.0
+    appdev: float = 0.0
+    operational: float = 0.0
+
+    #: Component names in canonical (paper) order.
+    COMPONENTS = ("design", "manufacturing", "packaging", "eol", "appdev", "operational")
+
+    @classmethod
+    def zero(cls) -> "CarbonFootprint":
+        """An all-zero footprint (additive identity)."""
+        return cls()
+
+    @property
+    def embodied(self) -> float:
+        """Embodied CFP: design + manufacturing + packaging + EOL (Eq. 3)."""
+        return self.design + self.manufacturing + self.packaging + self.eol
+
+    @property
+    def deployment(self) -> float:
+        """Deployment CFP: operation + application development (Sec. 3.3)."""
+        return self.operational + self.appdev
+
+    @property
+    def total(self) -> float:
+        """Total CFP: embodied + deployment."""
+        return self.embodied + self.deployment
+
+    def __add__(self, other: "CarbonFootprint") -> "CarbonFootprint":
+        if not isinstance(other, CarbonFootprint):
+            return NotImplemented
+        return CarbonFootprint(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __sub__(self, other: "CarbonFootprint") -> "CarbonFootprint":
+        if not isinstance(other, CarbonFootprint):
+            return NotImplemented
+        return self + other.scaled(-1.0)
+
+    def scaled(self, factor: float) -> "CarbonFootprint":
+        """Return this footprint with every component multiplied."""
+        return CarbonFootprint(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+    def __mul__(self, factor: float) -> "CarbonFootprint":
+        if not isinstance(factor, (int, float)):
+            return NotImplemented
+        return self.scaled(float(factor))
+
+    __rmul__ = __mul__
+
+    def as_dict(self) -> dict[str, float]:
+        """Component dict plus the three aggregations."""
+        out = {name: getattr(self, name) for name in self.COMPONENTS}
+        out["embodied"] = self.embodied
+        out["deployment"] = self.deployment
+        out["total"] = self.total
+        return out
+
+    def fraction_of_total(self, component: str) -> float:
+        """Share of ``component`` in the total (0 when total is 0)."""
+        if component not in self.COMPONENTS:
+            raise KeyError(f"unknown component {component!r}")
+        total = self.total
+        if total == 0.0:
+            return 0.0
+        return getattr(self, component) / total
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"{name}={getattr(self, name):,.1f}" for name in self.COMPONENTS
+        )
+        return f"CarbonFootprint(total={self.total:,.1f} kg; {parts})"

@@ -1,0 +1,58 @@
+"""Model suite: one bundle of all sub-models a lifecycle assessment needs.
+
+Mirrors the paper's Fig. 3 block diagram — design, manufacturing,
+packaging, EOL, operation and app-dev models behind a single object so
+scenarios and experiments don't plumb six models around individually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.appdev.model import AppDevModel, DevelopmentEffort
+from repro.design.model import DesignModel, DesignTeam
+from repro.eol.model import EolModel
+from repro.manufacturing.act import ManufacturingModel
+from repro.operation.model import OperationModel
+from repro.packaging.monolithic import MonolithicPackagingModel
+
+
+@dataclass(frozen=True)
+class ModelSuite:
+    """All sub-models used by FPGA/ASIC lifecycle assessments.
+
+    Attributes:
+        manufacturing: Die manufacturing model (ACT-style).
+        packaging: Package manufacture/assembly model.
+        design: Chip-project design model (Eq. 4).
+        eol: End-of-life model (Eq. 6).
+        operation: Use-phase model.
+        appdev: Application-development model (Eq. 7).
+        fpga_team / asic_team: Design-team profiles per platform.
+        fpga_effort: Per-application development effort on the FPGA
+            (RTL/HLS + P&R + per-unit configuration).
+        asic_effort: Per-application effort on the ASIC (the paper sets
+            FE/BE to zero; override for software-flow studies).
+    """
+
+    manufacturing: ManufacturingModel = field(default_factory=ManufacturingModel)
+    packaging: MonolithicPackagingModel = field(default_factory=MonolithicPackagingModel)
+    design: DesignModel = field(default_factory=DesignModel)
+    eol: EolModel = field(default_factory=EolModel)
+    operation: OperationModel = field(default_factory=OperationModel)
+    appdev: AppDevModel = field(default_factory=AppDevModel)
+    fpga_team: DesignTeam = field(default_factory=DesignTeam)
+    asic_team: DesignTeam = field(default_factory=DesignTeam)
+    fpga_effort: DevelopmentEffort = field(default_factory=DevelopmentEffort)
+    asic_effort: DevelopmentEffort = field(
+        default_factory=lambda: DevelopmentEffort.for_asic()
+    )
+
+    @classmethod
+    def default(cls) -> "ModelSuite":
+        """The calibrated default suite used by the paper experiments."""
+        return cls()
+
+    def with_overrides(self, **kwargs: object) -> "ModelSuite":
+        """Return a copy with selected sub-models replaced."""
+        return replace(self, **kwargs)

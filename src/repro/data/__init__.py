@@ -1,0 +1,30 @@
+"""Static datasets encoded from the public sources the paper cites.
+
+* :mod:`repro.data.nodes`   — per-technology-node manufacturing factors
+  (ACT [4] / imec white paper [20] / ECO-CHIP [5] trends).
+* :mod:`repro.data.grid`    — carbon intensity of energy sources and grid
+  regions (paper Table 1, refs [4, 15, 22]).
+* :mod:`repro.data.warm`    — EPA WARM [29] recycling / discard factors.
+* :mod:`repro.data.reports` — design-house sustainability report extracts
+  (paper refs [21, 23-25]).
+"""
+
+from repro.data.grid import GridRegion, carbon_intensity_kg_per_kwh, list_regions
+from repro.data.nodes import TechnologyNode, get_node, list_nodes
+from repro.data.reports import DesignHouseReport, get_report, list_reports
+from repro.data.warm import WarmFactors, get_material, list_materials
+
+__all__ = [
+    "GridRegion",
+    "TechnologyNode",
+    "DesignHouseReport",
+    "WarmFactors",
+    "carbon_intensity_kg_per_kwh",
+    "get_node",
+    "get_material",
+    "get_report",
+    "list_regions",
+    "list_nodes",
+    "list_materials",
+    "list_reports",
+]

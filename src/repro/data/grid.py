@@ -1,0 +1,97 @@
+"""Carbon intensity of electricity sources and grid regions.
+
+The paper's Table 1 gives the design-phase carbon intensity range
+30-700 g CO2e/kWh (refs [4, 22]); operational and fab intensities use the
+same published per-source values.  Lifecycle intensities per source follow
+the IPCC AR5 median values that ACT [4] uses; regional grids are annual
+averages from public grid data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnknownEntityError, require_non_negative
+from repro.units import g_per_kwh_to_kg_per_kwh
+
+
+@dataclass(frozen=True)
+class GridRegion:
+    """An electricity source or regional grid mix.
+
+    Attributes:
+        name: Registry key (lowercase snake case).
+        intensity_g_per_kwh: Lifecycle carbon intensity in g CO2e/kWh.
+        renewable_fraction: Fraction of generation from renewables, used
+            for reporting only.
+        description: One-line provenance note.
+    """
+
+    name: str
+    intensity_g_per_kwh: float
+    renewable_fraction: float
+    description: str
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.intensity_g_per_kwh, "intensity_g_per_kwh")
+
+    @property
+    def intensity_kg_per_kwh(self) -> float:
+        """Carbon intensity in kg CO2e/kWh (internal model unit)."""
+        return g_per_kwh_to_kg_per_kwh(self.intensity_g_per_kwh)
+
+
+_REGIONS: tuple[GridRegion, ...] = (
+    # Pure sources (IPCC AR5 lifecycle medians, as used by ACT).
+    GridRegion("coal", 820.0, 0.0, "hard coal, lifecycle median"),
+    GridRegion("gas", 490.0, 0.0, "combined-cycle natural gas"),
+    GridRegion("biomass", 230.0, 1.0, "dedicated biomass"),
+    GridRegion("solar", 41.0, 1.0, "utility-scale photovoltaic"),
+    GridRegion("geothermal", 38.0, 1.0, "geothermal"),
+    GridRegion("hydro", 24.0, 1.0, "reservoir hydro"),
+    GridRegion("nuclear", 12.0, 0.0, "pressurised-water nuclear"),
+    GridRegion("wind", 11.0, 1.0, "onshore wind"),
+    # Regional grid mixes (annual averages).
+    GridRegion("world", 475.0, 0.28, "world average grid mix"),
+    GridRegion("usa", 380.0, 0.21, "United States average grid"),
+    GridRegion("taiwan", 509.0, 0.08, "Taiwan grid (major fab location)"),
+    GridRegion("south_korea", 415.0, 0.07, "South Korea grid"),
+    GridRegion("europe", 275.0, 0.38, "EU-27 average grid"),
+    GridRegion("india", 630.0, 0.19, "India grid"),
+    GridRegion("china", 540.0, 0.28, "China grid"),
+    GridRegion("iceland", 28.0, 1.0, "Iceland (hydro/geothermal)"),
+    GridRegion("sweden", 45.0, 0.69, "Sweden grid"),
+    # Procurement strategies used by the paper's scenarios.
+    GridRegion("renewable_ppa", 50.0, 0.95, "renewable power purchase mix"),
+    GridRegion("green_datacenter", 100.0, 0.80, "hyperscale DC with offsets"),
+    GridRegion("fab_average", 450.0, 0.12, "volume-weighted fab energy mix"),
+)
+
+_REGION_INDEX: dict[str, GridRegion] = {region.name: region for region in _REGIONS}
+
+
+def list_regions() -> list[str]:
+    """Names of all built-in sources/regions."""
+    return [region.name for region in _REGIONS]
+
+
+def get_region(name: str) -> GridRegion:
+    """Look up a built-in source or regional grid by name."""
+    region = _REGION_INDEX.get(name.strip().lower())
+    if region is None:
+        raise UnknownEntityError("grid region", name, list_regions())
+    return region
+
+
+def carbon_intensity_kg_per_kwh(source: "str | float | GridRegion") -> float:
+    """Resolve a carbon-intensity specification to kg CO2e/kWh.
+
+    Accepts a region name (``"taiwan"``), a :class:`GridRegion`, or a raw
+    numeric intensity in **g CO2e/kWh** (the unit the paper's Table 1
+    uses), making every model's energy-source knob uniformly flexible.
+    """
+    if isinstance(source, GridRegion):
+        return source.intensity_kg_per_kwh
+    if isinstance(source, (int, float)):
+        return g_per_kwh_to_kg_per_kwh(require_non_negative(float(source), "carbon intensity"))
+    return get_region(source).intensity_kg_per_kwh

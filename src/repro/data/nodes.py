@@ -1,0 +1,145 @@
+"""Per-technology-node manufacturing carbon factors.
+
+The numbers follow the ACT [4] / imec "green transition" white paper [20]
+trends that the paper's manufacturing model inherits (Section 3.2(2)):
+
+* **EPA** (energy per area, kWh/cm^2) grows toward advanced nodes because
+  EUV and multi-patterning add process steps.
+* **GPA** (direct greenhouse gases per area, kg CO2e/cm^2) grows mildly
+  with step count; fabs abate a large fraction.
+* **MPA** (material sourcing footprint per area, kg CO2e/cm^2) grows with
+  mask-count/material complexity.  A recycled-sourcing variant carries a
+  reduced footprint, implementing the paper's Eq. (5) inputs.
+* **defect density** (per cm^2) reflects a *mature* process at each node;
+  yield is computed by :mod:`repro.manufacturing.yield_model`.
+* **gate density** (million gates / mm^2) converts between the paper's
+  "equivalent logic gates" application sizing and physical die area.
+
+These are calibration data, not measurements; the paper itself sources
+them from aggregate industry reports (see its Section 5 validation
+discussion).  Values can be overridden by constructing custom
+:class:`TechnologyNode` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import UnknownEntityError, require_fraction, require_positive
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Manufacturing carbon factors for one logic technology node.
+
+    Attributes:
+        name: Human-readable node name, e.g. ``"10nm"``.
+        feature_nm: Nominal feature size in nanometres.
+        epa_kwh_per_cm2: Fab energy per processed wafer area.
+        gpa_kg_per_cm2: Direct (scope-1) gas emissions per wafer area,
+            already net of abatement.
+        mpa_new_kg_per_cm2: Material sourcing footprint per wafer area
+            when all materials are newly extracted.
+        mpa_recycled_kg_per_cm2: Material sourcing footprint per wafer
+            area when materials come from recycled feedstock.
+        defect_density_per_cm2: Defect density D0 used by the yield model.
+        line_yield: Wafer-level (line) yield multiplier in (0, 1].
+        gate_density_mgates_per_mm2: Logic density in million equivalent
+            gates per mm^2 (used to size dies from gate counts).
+        wafer_diameter_mm: Production wafer diameter.
+    """
+
+    name: str
+    feature_nm: float
+    epa_kwh_per_cm2: float
+    gpa_kg_per_cm2: float
+    mpa_new_kg_per_cm2: float
+    mpa_recycled_kg_per_cm2: float
+    defect_density_per_cm2: float
+    line_yield: float
+    gate_density_mgates_per_mm2: float
+    wafer_diameter_mm: float = 300.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.feature_nm, "feature_nm")
+        require_positive(self.epa_kwh_per_cm2, "epa_kwh_per_cm2")
+        require_positive(self.gpa_kg_per_cm2, "gpa_kg_per_cm2")
+        require_positive(self.mpa_new_kg_per_cm2, "mpa_new_kg_per_cm2")
+        require_positive(self.mpa_recycled_kg_per_cm2, "mpa_recycled_kg_per_cm2")
+        require_positive(self.defect_density_per_cm2, "defect_density_per_cm2")
+        require_fraction(self.line_yield, "line_yield")
+        require_positive(self.line_yield, "line_yield")
+        require_positive(self.gate_density_mgates_per_mm2, "gate_density")
+        require_positive(self.wafer_diameter_mm, "wafer_diameter_mm")
+
+    def with_overrides(self, **kwargs: float) -> "TechnologyNode":
+        """Return a copy of this node with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+def _node(
+    feature_nm: float,
+    epa: float,
+    gpa: float,
+    mpa_new: float,
+    defect: float,
+    gate_density: float,
+    line_yield: float = 0.98,
+    recycled_discount: float = 0.55,
+) -> TechnologyNode:
+    """Build a node entry; recycled MPA is a discounted new-material MPA."""
+    return TechnologyNode(
+        name=f"{feature_nm:g}nm",
+        feature_nm=feature_nm,
+        epa_kwh_per_cm2=epa,
+        gpa_kg_per_cm2=gpa,
+        mpa_new_kg_per_cm2=mpa_new,
+        mpa_recycled_kg_per_cm2=mpa_new * (1.0 - recycled_discount),
+        defect_density_per_cm2=defect,
+        line_yield=line_yield,
+        gate_density_mgates_per_mm2=gate_density,
+    )
+
+
+#: Node table, 28 nm down to 3 nm.  EPA/GPA/MPA trend upward toward
+#: advanced nodes (ACT Fig. 6 / imec SSTS white paper); defect densities
+#: reflect mature high-volume production; gate density roughly doubles
+#: every full node.
+_NODES: tuple[TechnologyNode, ...] = (
+    _node(28.0, epa=1.50, gpa=0.36, mpa_new=0.51, defect=0.060, gate_density=3.4),
+    _node(22.0, epa=1.70, gpa=0.38, mpa_new=0.53, defect=0.065, gate_density=4.6),
+    _node(20.0, epa=1.80, gpa=0.39, mpa_new=0.55, defect=0.070, gate_density=5.1),
+    _node(16.0, epa=2.00, gpa=0.40, mpa_new=0.57, defect=0.075, gate_density=7.2),
+    _node(14.0, epa=2.12, gpa=0.42, mpa_new=0.60, defect=0.080, gate_density=8.3),
+    _node(12.0, epa=2.24, gpa=0.43, mpa_new=0.62, defect=0.085, gate_density=9.6),
+    _node(10.0, epa=2.40, gpa=0.46, mpa_new=0.65, defect=0.090, gate_density=11.5),
+    _node(8.0, epa=2.68, gpa=0.48, mpa_new=0.70, defect=0.100, gate_density=14.8),
+    _node(7.0, epa=3.04, gpa=0.51, mpa_new=0.75, defect=0.110, gate_density=17.0),
+    _node(5.0, epa=4.10, gpa=0.56, mpa_new=0.86, defect=0.130, gate_density=24.6),
+    _node(3.0, epa=5.40, gpa=0.64, mpa_new=1.00, defect=0.160, gate_density=35.3),
+)
+
+_NODE_INDEX: dict[str, TechnologyNode] = {node.name: node for node in _NODES}
+
+
+def list_nodes() -> list[str]:
+    """Names of all built-in technology nodes, newest last."""
+    return [node.name for node in _NODES]
+
+
+def get_node(name: str | float | int) -> TechnologyNode:
+    """Look up a built-in node by name (``"10nm"``) or feature size (10).
+
+    Raises:
+        UnknownEntityError: if the node is not in the built-in table.
+    """
+    if isinstance(name, (int, float)):
+        key = f"{float(name):g}nm"
+    else:
+        key = name.strip().lower()
+        if not key.endswith("nm"):
+            key = f"{key}nm"
+    node = _NODE_INDEX.get(key)
+    if node is None:
+        raise UnknownEntityError("technology node", str(name), list_nodes())
+    return node

@@ -1,0 +1,75 @@
+"""End-of-life carbon factors from the EPA Waste Reduction Model (WARM).
+
+The paper's Eq. (6) uses a recycling credit ``C_recycle`` and a discard
+footprint ``C_dis`` per ton of material, citing EPA WARM [29].  Table 1
+gives the ranges 7.65-29.83 MTCO2e/ton (recycle credit) and
+0.03-2.08 MTCO2e/ton (discard).  We encode per-material-category factors
+spanning exactly those ranges; "mixed_electronics" is the default category
+for a packaged FPGA/ASIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnknownEntityError, require_non_negative
+
+
+@dataclass(frozen=True)
+class WarmFactors:
+    """WARM end-of-life factors for one material category.
+
+    Attributes:
+        name: Registry key.
+        recycle_credit_mtco2e_per_ton: Avoided emissions per ton recycled
+            (entered as a positive credit, subtracted in Eq. (6)).
+        discard_mtco2e_per_ton: Emissions per ton landfilled/incinerated.
+        typical_recycled_content: Typical fraction of this material that
+            can be sourced recycled (Eq. (5) rho default).
+    """
+
+    name: str
+    recycle_credit_mtco2e_per_ton: float
+    discard_mtco2e_per_ton: float
+    typical_recycled_content: float
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.recycle_credit_mtco2e_per_ton, "recycle credit")
+        require_non_negative(self.discard_mtco2e_per_ton, "discard factor")
+
+    @property
+    def recycle_credit_kg_per_kg(self) -> float:
+        """Recycle credit in kg CO2e per kg (MTCO2e/ton is numerically kg/kg)."""
+        return self.recycle_credit_mtco2e_per_ton
+
+    @property
+    def discard_kg_per_kg(self) -> float:
+        """Discard footprint in kg CO2e per kg."""
+        return self.discard_mtco2e_per_ton
+
+
+_MATERIALS: tuple[WarmFactors, ...] = (
+    WarmFactors("mixed_electronics", 20.00, 1.10, 0.35),
+    WarmFactors("pcb_laminate", 14.20, 2.08, 0.20),
+    WarmFactors("copper", 29.83, 0.04, 0.60),
+    WarmFactors("aluminum", 27.40, 0.03, 0.68),
+    WarmFactors("gold_bearing_scrap", 28.90, 0.06, 0.30),
+    WarmFactors("silicon", 7.65, 0.35, 0.12),
+    WarmFactors("organic_substrate", 9.40, 1.75, 0.15),
+    WarmFactors("solder", 16.80, 0.90, 0.25),
+)
+
+_MATERIAL_INDEX: dict[str, WarmFactors] = {entry.name: entry for entry in _MATERIALS}
+
+
+def list_materials() -> list[str]:
+    """Names of all built-in WARM material categories."""
+    return [entry.name for entry in _MATERIALS]
+
+
+def get_material(name: str) -> WarmFactors:
+    """Look up a WARM material category by name."""
+    entry = _MATERIAL_INDEX.get(name.strip().lower())
+    if entry is None:
+        raise UnknownEntityError("WARM material", name, list_materials())
+    return entry

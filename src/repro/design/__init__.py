@@ -1,0 +1,5 @@
+"""Design-phase carbon model (paper Section 3.2(1), Eq. (4))."""
+
+from repro.design.model import DesignModel, DesignResult, DesignTeam
+
+__all__ = ["DesignModel", "DesignResult", "DesignTeam"]

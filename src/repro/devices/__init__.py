@@ -1,0 +1,25 @@
+"""Device specifications and the paper's testcase catalog (Tables 2-3)."""
+
+from repro.devices.asic import AsicDevice
+from repro.devices.catalog import (
+    DOMAIN_NAMES,
+    INDUSTRY_ASICS,
+    INDUSTRY_FPGAS,
+    DomainSpec,
+    get_domain,
+    get_industry_device,
+    list_industry_devices,
+)
+from repro.devices.fpga import FpgaDevice
+
+__all__ = [
+    "AsicDevice",
+    "DOMAIN_NAMES",
+    "DomainSpec",
+    "FpgaDevice",
+    "INDUSTRY_ASICS",
+    "INDUSTRY_FPGAS",
+    "get_domain",
+    "get_industry_device",
+    "list_industry_devices",
+]

@@ -1,0 +1,50 @@
+"""ASIC device specification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.nodes import TechnologyNode, get_node
+from repro.errors import require_positive
+
+
+@dataclass(frozen=True)
+class AsicDevice:
+    """A fixed-function accelerator chip.
+
+    Attributes:
+        name: Identifier for reporting.
+        area_mm2: Die area.
+        node_name: Technology node (``"10nm"`` etc.).
+        peak_power_w: Active (TDP) power.
+        chip_lifetime_years: Useful silicon life before wear-out /
+            obsolescence forces remanufacture (paper: ASICs 5-8 y).
+        gates_mgates: Logic size in million equivalent gates; derived
+            from area and node density when not given.
+    """
+
+    name: str
+    area_mm2: float
+    node_name: str
+    peak_power_w: float
+    chip_lifetime_years: float = 8.0
+    gates_mgates: float | None = None
+
+    def __post_init__(self) -> None:
+        require_positive(self.area_mm2, "area_mm2")
+        require_positive(self.peak_power_w, "peak_power_w")
+        require_positive(self.chip_lifetime_years, "chip_lifetime_years")
+        if self.gates_mgates is not None:
+            require_positive(self.gates_mgates, "gates_mgates")
+
+    @property
+    def node(self) -> TechnologyNode:
+        """Resolved technology node."""
+        return get_node(self.node_name)
+
+    @property
+    def logic_gates_mgates(self) -> float:
+        """Logic size in Mgates (explicit value or area x node density)."""
+        if self.gates_mgates is not None:
+            return self.gates_mgates
+        return self.area_mm2 * self.node.gate_density_mgates_per_mm2

@@ -1,0 +1,81 @@
+"""FPGA device specification, including reconfigurable-capacity sizing.
+
+The paper sizes applications and FPGAs in "equivalent logic gates": the
+number of ASIC gates an application needs, and how many of those gates one
+FPGA can implement.  ``N_FPGA = ceil(app_size / fpga_capacity)`` (Eq. (3)
+footnote) — for most testcases this is 1, but ASIC counterparts at the
+reticle limit can require several FPGAs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.data.nodes import TechnologyNode, get_node
+from repro.errors import require_positive
+
+
+#: Typical FPGA fabric area overhead versus an ASIC implementation of the
+#: same logic (LUTs, routing, configuration memory).  Used only to derive
+#: a capacity estimate when none is given.
+DEFAULT_FABRIC_OVERHEAD = 25.0
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """A reconfigurable accelerator chip.
+
+    Attributes:
+        name: Identifier for reporting.
+        area_mm2: Die area.
+        node_name: Technology node.
+        peak_power_w: Active (TDP) power.
+        chip_lifetime_years: Useful silicon life; FPGAs ship and are
+            supported for 12-15 years (paper ref [11]).
+        capacity_mgates: ASIC-equivalent logic gates the fabric can
+            implement (Eq. (3) ``FPGA_capacity``).  Derived from area,
+            node density and fabric overhead when not given.
+        fabric_overhead: Area overhead versus ASIC logic, used only for
+            the capacity derivation.
+    """
+
+    name: str
+    area_mm2: float
+    node_name: str
+    peak_power_w: float
+    chip_lifetime_years: float = 15.0
+    capacity_mgates: float | None = None
+    fabric_overhead: float = DEFAULT_FABRIC_OVERHEAD
+
+    def __post_init__(self) -> None:
+        require_positive(self.area_mm2, "area_mm2")
+        require_positive(self.peak_power_w, "peak_power_w")
+        require_positive(self.chip_lifetime_years, "chip_lifetime_years")
+        require_positive(self.fabric_overhead, "fabric_overhead")
+        if self.capacity_mgates is not None:
+            require_positive(self.capacity_mgates, "capacity_mgates")
+
+    @property
+    def node(self) -> TechnologyNode:
+        """Resolved technology node."""
+        return get_node(self.node_name)
+
+    @property
+    def logic_capacity_mgates(self) -> float:
+        """ASIC-equivalent gates this FPGA can implement."""
+        if self.capacity_mgates is not None:
+            return self.capacity_mgates
+        raw = self.area_mm2 * self.node.gate_density_mgates_per_mm2
+        return raw / self.fabric_overhead
+
+    def units_required(self, app_size_mgates: float | None) -> int:
+        """``N_FPGA`` for an application of ``app_size_mgates``.
+
+        ``None`` means the application is sized to the device (the
+        iso-performance testcases), i.e. one FPGA.
+        """
+        if app_size_mgates is None:
+            return 1
+        require_positive(app_size_mgates, "app_size_mgates")
+        return max(1, math.ceil(app_size_mgates / self.logic_capacity_mgates))

@@ -1,0 +1,58 @@
+"""GPU device specification (extension).
+
+The paper's introduction names three acceleration options — GPUs, FPGAs
+and ASICs — but evaluates only the latter two, noting GPUs "have
+high-power and less flexibility than FPGAs".  This extension makes that
+argument quantitative: a GPU is software-reprogrammable (embodied CFP
+paid once, like the FPGA) but is a commodity part whose design CFP is
+amortised over a much larger merchant market, while its power at
+iso-performance is typically the highest of the three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.nodes import TechnologyNode, get_node
+from repro.errors import require_positive
+
+
+@dataclass(frozen=True)
+class GpuDevice:
+    """A commodity GPU accelerator.
+
+    Attributes:
+        name: Identifier for reporting.
+        area_mm2: Die area.
+        node_name: Technology node.
+        peak_power_w: Active (TDP) power.
+        chip_lifetime_years: Useful life; datacenter GPUs turn over
+            faster than FPGAs (typically 5-7 years).
+        market_amortisation: Factor by which the one-time design CFP is
+            divided — a merchant GPU's design project is shared across
+            the entire market volume, not one deployment.  1.0 charges
+            the full project to this deployment (FPGA/ASIC treatment).
+    """
+
+    name: str
+    area_mm2: float
+    node_name: str
+    peak_power_w: float
+    chip_lifetime_years: float = 6.0
+    market_amortisation: float = 10.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.area_mm2, "area_mm2")
+        require_positive(self.peak_power_w, "peak_power_w")
+        require_positive(self.chip_lifetime_years, "chip_lifetime_years")
+        require_positive(self.market_amortisation, "market_amortisation")
+
+    @property
+    def node(self) -> TechnologyNode:
+        """Resolved technology node."""
+        return get_node(self.node_name)
+
+    @property
+    def logic_gates_mgates(self) -> float:
+        """Silicon size in Mgates (area x node density)."""
+        return self.area_mm2 * self.node.gate_density_mgates_per_mm2

@@ -1,0 +1,5 @@
+"""End-of-life carbon model (paper Section 3.2(4), Eq. (6))."""
+
+from repro.eol.model import EolModel, EolResult
+
+__all__ = ["EolModel", "EolResult"]

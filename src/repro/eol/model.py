@@ -1,0 +1,81 @@
+"""End-of-life CFP — the paper's Eq. (6).
+
+``C_EOL = (1 - delta) * C_dis - delta * C_recycle``
+
+applied to the physical mass of the packaged part.  ``delta`` is the
+recycled fraction at end of life; ``C_dis`` and ``C_recycle`` come from
+EPA WARM [29] (see :mod:`repro.data.warm`).  Per-chip masses are tens of
+grams, so EOL is a small (often negative, i.e. credit) contributor —
+matching the paper's Section 4.3 observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.warm import WarmFactors, get_material
+from repro.errors import require_fraction, require_non_negative
+
+
+@dataclass(frozen=True)
+class EolResult:
+    """Per-chip end-of-life footprint decomposition."""
+
+    total_kg: float
+    discard_kg: float
+    recycle_credit_kg: float
+    mass_g: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for reporting."""
+        return {
+            "total_kg": self.total_kg,
+            "discard_kg": self.discard_kg,
+            "recycle_credit_kg": self.recycle_credit_kg,
+            "mass_g": self.mass_g,
+        }
+
+
+@dataclass(frozen=True)
+class EolModel:
+    """Eq. (6) end-of-life model.
+
+    Attributes:
+        recycled_fraction: Eq. (6) delta, fraction of mass recycled.
+        material: WARM material category or instance for factors.
+        transport_kg_per_kg: Collection/transport overhead per kg of
+            e-waste handled (applies to the full mass).
+    """
+
+    recycled_fraction: float = 0.30
+    material: WarmFactors | str = "mixed_electronics"
+    transport_kg_per_kg: float = 0.05
+
+    def __post_init__(self) -> None:
+        require_fraction(self.recycled_fraction, "recycled_fraction")
+        require_non_negative(self.transport_kg_per_kg, "transport_kg_per_kg")
+
+    def _material(self) -> WarmFactors:
+        if isinstance(self.material, WarmFactors):
+            return self.material
+        return get_material(self.material)
+
+    def assess_chip(self, mass_g: float) -> EolResult:
+        """End-of-life footprint of one packaged chip of ``mass_g`` grams."""
+        require_non_negative(mass_g, "mass_g")
+        factors = self._material()
+        mass_kg = mass_g / 1000.0
+        delta = self.recycled_fraction
+        discard = (1.0 - delta) * factors.discard_kg_per_kg * mass_kg
+        credit = delta * factors.recycle_credit_kg_per_kg * mass_kg
+        transport = self.transport_kg_per_kg * mass_kg
+        return EolResult(
+            total_kg=discard - credit + transport,
+            discard_kg=discard + transport,
+            recycle_credit_kg=credit,
+            mass_g=mass_g,
+        )
+
+    def per_chip_kg(self, mass_g: float) -> float:
+        """Convenience scalar: net EOL kg CO2e per chip (may be negative)."""
+        return self.assess_chip(mass_g).total_kg

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the GreenFPGA reproduction."""
+
+from __future__ import annotations
+
+
+class GreenFpgaError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ParameterError(GreenFpgaError, ValueError):
+    """A model input is out of its physically meaningful range."""
+
+
+class ConfigError(GreenFpgaError, ValueError):
+    """A configuration file or parameter set could not be interpreted."""
+
+
+class UnknownEntityError(GreenFpgaError, KeyError):
+    """A registry lookup (node, grid region, device, material) failed."""
+
+    def __init__(self, kind: str, name: str, known: list[str]):
+        self.kind = kind
+        self.name = name
+        self.known = sorted(known)
+        super().__init__(
+            f"unknown {kind} {name!r}; known {kind}s: {', '.join(self.known)}"
+        )
+
+
+class CapacityError(GreenFpgaError, ValueError):
+    """An application cannot be mapped onto the given device."""
+
+
+class ExperimentError(GreenFpgaError, RuntimeError):
+    """An experiment failed to produce the expected artefacts."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ParameterError` unless ``condition`` holds."""
+    if not condition:
+        raise ParameterError(message)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    require(value > 0.0, f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    require(value >= 0.0, f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it."""
+    require(0.0 <= value <= 1.0, f"{name} must be in [0, 1], got {value!r}")
+    return value

@@ -1,0 +1,12 @@
+"""Paper experiments: one module per figure/table of Section 4.
+
+Use :func:`repro.experiments.registry.run_experiment` (or the
+``greenfpga run <id>`` CLI) to execute any of them; each returns an
+:class:`repro.experiments.base.ExperimentReport` with tables, ASCII
+charts and the headline observations.
+"""
+
+from repro.experiments.base import ExperimentReport
+from repro.experiments.registry import EXPERIMENT_IDS, list_experiments, run_experiment
+
+__all__ = ["EXPERIMENT_IDS", "ExperimentReport", "list_experiments", "run_experiment"]

@@ -1,0 +1,76 @@
+"""Shared experiment-report structure.
+
+Every experiment module exposes ``run(suite=None) -> ExperimentReport``;
+the report carries named tables (rows of dicts), pre-rendered ASCII
+charts, and free-form notes (the paper's claims vs. what we measured).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.reporting.csvout import write_csv
+from repro.reporting.table import format_table
+
+Rows = Sequence[Mapping[str, object]]
+
+
+@dataclass
+class ExperimentReport:
+    """Structured output of one paper experiment.
+
+    Attributes:
+        experiment_id: Registry key (``"fig4"`` etc.).
+        title: Human-readable title (the paper artifact).
+        description: One-paragraph summary of the setup.
+        tables: Named row-sets (also the CSV export units).
+        charts: Pre-rendered ASCII charts.
+        notes: Headline observations, paper-vs-measured remarks.
+    """
+
+    experiment_id: str
+    title: str
+    description: str
+    tables: dict[str, Rows] = field(default_factory=dict)
+    charts: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_table(self, name: str, rows: Rows) -> None:
+        """Attach a named table."""
+        self.tables[name] = rows
+
+    def add_chart(self, chart: str) -> None:
+        """Attach a pre-rendered ASCII chart."""
+        self.charts.append(chart)
+
+    def add_note(self, note: str) -> None:
+        """Attach an observation line."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the whole report as plain text."""
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            self.description,
+        ]
+        for name, rows in self.tables.items():
+            parts.append("")
+            parts.append(format_table(list(rows), title=name))
+        for chart in self.charts:
+            parts.append("")
+            parts.append(chart)
+        if self.notes:
+            parts.append("")
+            parts.append("Notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def export_csv(self, directory: "str | Path") -> list[Path]:
+        """Write every table as ``<id>_<table>.csv`` under ``directory``."""
+        out = []
+        for name, rows in self.tables.items():
+            filename = f"{self.experiment_id}_{name}.csv"
+            out.append(write_csv(Path(directory) / filename, list(rows)))
+        return out

@@ -1,0 +1,69 @@
+"""Extension experiment: three-way GPU / FPGA / ASIC comparison.
+
+The paper's introduction rules GPUs out qualitatively ("high-power and
+less flexibility").  This experiment quantifies that: the commodity GPU
+shares the FPGA's reuse advantage (embodied paid once) but its higher
+iso-performance power makes its operational CFP dominate, so it only
+wins at very low volumes where its amortised design CFP matters.
+"""
+
+from __future__ import annotations
+
+from repro.core.comparison import PlatformComparator
+from repro.core.gpu_model import GpuLifecycleModel
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.devices.catalog import DOMAIN_NAMES, gpu_device_for
+from repro.experiments.base import ExperimentReport
+from repro.reporting.chart import bar_chart
+
+BASELINE = Scenario(num_apps=5, app_lifetime_years=2.0, volume=1_000_000)
+
+
+def three_way_totals(
+    domain: str, scenario: Scenario | None = None, suite: ModelSuite | None = None
+) -> dict[str, float]:
+    """Total CFP for GPU/FPGA/ASIC in one domain."""
+    scenario = scenario if scenario is not None else BASELINE
+    suite = suite if suite is not None else ModelSuite.default()
+    comparator = PlatformComparator.for_domain(domain, suite)
+    comparison = comparator.compare(scenario)
+    gpu = GpuLifecycleModel(gpu_device_for(domain), suite).assess(scenario)
+    return {
+        "gpu": gpu.footprint.total,
+        "fpga": comparison.fpga.footprint.total,
+        "asic": comparison.asic.footprint.total,
+    }
+
+
+def run(suite: ModelSuite | None = None) -> ExperimentReport:
+    """Run the three-way comparison across all domains."""
+    report = ExperimentReport(
+        experiment_id="ext_gpu",
+        title="Extension: GPU vs FPGA vs ASIC at iso-performance",
+        description=(
+            "Adds the commodity GPU (software-reprogrammable, market-"
+            "amortised design, highest power) to the paper's two-way "
+            f"comparison.  Baseline: N_app={BASELINE.num_apps}, "
+            f"T_i={BASELINE.lifetimes[0]} y, N_vol={BASELINE.volume:,}."
+        ),
+    )
+    rows = []
+    for domain in DOMAIN_NAMES:
+        totals = three_way_totals(domain, suite=suite)
+        winner = min(totals, key=totals.get)
+        rows.append({"domain": domain, **totals, "winner": winner})
+        report.add_chart(
+            bar_chart(
+                list(totals),
+                list(totals.values()),
+                title=f"{domain}: total CFP (kg CO2e)",
+            )
+        )
+    report.add_table("three_way", rows)
+    report.add_note(
+        "GPUs inherit the FPGA's reuse advantage but their iso-performance "
+        "power keeps them the least sustainable platform at volume — the "
+        "quantitative form of the paper's qualitative exclusion"
+    )
+    return report

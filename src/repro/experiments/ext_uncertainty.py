@@ -1,0 +1,114 @@
+"""Extension experiment: uncertainty and sensitivity over Table 1 ranges.
+
+The paper's Section 5 discusses validation limits qualitatively; this
+experiment quantifies them.  Every Table 1-style knob is sampled over
+its published range (Monte Carlo) and swept one-at-a-time (tornado),
+reporting the distribution of the DNN FPGA:ASIC ratio and which
+assumptions can flip the verdict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.montecarlo import ParameterDistribution, monte_carlo
+from repro.analysis.sensitivity import tornado
+from repro.core.comparison import PlatformComparator
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.design.model import DesignModel
+from repro.eol.model import EolModel
+from repro.experiments.base import ExperimentReport
+from repro.manufacturing.act import ManufacturingModel
+from repro.operation.energy import OperatingProfile
+from repro.operation.model import OperationModel
+
+BASELINE = Scenario(num_apps=5, app_lifetime_years=2.0, volume=1_000_000)
+N_SAMPLES = 300
+
+
+def _with_suite(comparator, **overrides):
+    return dataclasses.replace(
+        comparator, suite=comparator.suite.with_overrides(**overrides)
+    )
+
+
+def _set_use_intensity(comparator, value):
+    return _with_suite(
+        comparator,
+        operation=OperationModel(
+            energy_source=value, profile=comparator.suite.operation.profile
+        ),
+    )
+
+
+def _set_duty(comparator, value):
+    operation = comparator.suite.operation
+    return _with_suite(
+        comparator,
+        operation=OperationModel(
+            energy_source=operation.energy_source,
+            profile=OperatingProfile(duty_cycle=value),
+        ),
+    )
+
+
+def _set_rho(comparator, value):
+    return _with_suite(
+        comparator, manufacturing=ManufacturingModel(recycled_fraction=value)
+    )
+
+
+def _set_delta(comparator, value):
+    return _with_suite(comparator, eol=EolModel(recycled_fraction=value))
+
+
+def _set_design_intensity(comparator, value):
+    return _with_suite(comparator, design=DesignModel(energy_source=value))
+
+
+def distributions() -> list[ParameterDistribution]:
+    """Table 1-range distributions for the uncertainty study."""
+    return [
+        ParameterDistribution("use_intensity_g_per_kwh", 30.0, 700.0,
+                              _set_use_intensity, kind="loguniform"),
+        ParameterDistribution("duty_cycle", 0.05, 0.95, _set_duty),
+        ParameterDistribution("recycled_material_rho", 0.0, 1.0, _set_rho),
+        ParameterDistribution("eol_recycled_delta", 0.0, 1.0, _set_delta),
+        ParameterDistribution("design_intensity_g_per_kwh", 30.0, 700.0,
+                              _set_design_intensity, kind="loguniform"),
+    ]
+
+
+def run(suite: ModelSuite | None = None) -> ExperimentReport:
+    """Run the Monte-Carlo + tornado study for the DNN domain."""
+    comparator = PlatformComparator.for_domain("dnn", suite)
+    dists = distributions()
+
+    mc = monte_carlo(comparator, BASELINE, dists, n_samples=N_SAMPLES)
+    sens = tornado(comparator, BASELINE, dists)
+
+    report = ExperimentReport(
+        experiment_id="ext_uncertainty",
+        title="Extension: uncertainty over Table 1 parameter ranges",
+        description=(
+            f"{N_SAMPLES} Monte-Carlo draws and a one-at-a-time tornado "
+            "sweep over the published input ranges, DNN domain at the "
+            "paper baseline (N_app=5, T_i=2 y, N_vol=1e6)."
+        ),
+    )
+    report.add_table("monte_carlo_summary", [mc.summary()])
+    report.add_table(
+        "ratio_quantiles",
+        [{"quantile": q, "ratio": v} for q, v in mc.quantiles().items()],
+    )
+    report.add_table("tornado", sens.rows())
+    flippers = [e.name for e in sens.entries if e.flips_winner]
+    report.add_note(
+        f"P(FPGA greener) = {mc.fpga_win_probability:.1%} under Table 1 "
+        "uncertainty"
+    )
+    report.add_note(
+        "knobs that alone can flip the winner: " + (", ".join(flippers) or "none")
+    )
+    return report

@@ -1,0 +1,62 @@
+"""Fig. 11 — CFP components of the two industry ASICs (Table 3).
+
+Setup per the paper: six-year application span, 1 M units, no
+reprogramming (the ASIC serves only the application it was built for).
+Published observation: operational CFP dominates, then manufacturing and
+design.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdown import breakdown_table
+from repro.core.asic_model import AsicLifecycleModel
+from repro.core.lifecycle import CarbonFootprint
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.devices.catalog import INDUSTRY_ASICS
+from repro.experiments.base import ExperimentReport
+from repro.reporting.chart import bar_chart
+
+#: One six-year application, 1 M units (paper Section 4.3).
+SCENARIO = Scenario(num_apps=1, app_lifetime_years=6.0, volume=1_000_000)
+
+
+def assess_all(suite: ModelSuite | None = None) -> dict[str, CarbonFootprint]:
+    """Footprint of each industry ASIC under the Section 4.3 scenario."""
+    suite = suite if suite is not None else ModelSuite.default()
+    return {
+        key: AsicLifecycleModel(device, suite).assess(SCENARIO).footprint
+        for key, device in INDUSTRY_ASICS.items()
+    }
+
+
+def run(suite: ModelSuite | None = None) -> ExperimentReport:
+    """Reproduce Fig. 11."""
+    report = ExperimentReport(
+        experiment_id="fig11",
+        title="CFP components: IndustryASIC1 / IndustryASIC2",
+        description=(
+            "Each ASIC (Antoum-like at 12 nm, TPU-like at 7 nm) serves one "
+            "application for six years at 1 M units."
+        ),
+    )
+    for key, footprint in assess_all(suite).items():
+        rows = [
+            {"component": name, "kg": kg, "share": share}
+            for name, kg, share in breakdown_table(footprint)
+        ]
+        report.add_table(key, rows)
+        report.add_chart(
+            bar_chart(
+                [r["component"] for r in rows],
+                [r["kg"] for r in rows],
+                title=f"{key} CFP components (kg CO2e)",
+            )
+        )
+        report.add_note(
+            f"{key}: operational share {footprint.operational / footprint.total:.0%}; "
+            "manufacturing > design within embodied: "
+            f"{footprint.manufacturing > footprint.design} "
+            "(paper: op > mfg > design)"
+        )
+    return report

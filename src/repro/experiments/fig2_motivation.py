@@ -1,0 +1,80 @@
+"""Fig. 2 — motivation: ASIC vs FPGA CFP for one vs ten applications.
+
+The paper's Fig. 2 shows the DNN-domain FPGA starting ~2-3x worse than
+the ASIC for a single application, then ending ~25% better once reused
+across ten applications (embodied CFP amortised by reconfigurability).
+"""
+
+from __future__ import annotations
+
+from repro.core.comparison import PlatformComparator
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.experiments.base import ExperimentReport
+from repro.reporting.chart import bar_chart
+
+#: Domain and per-application parameters used by the figure.
+DOMAIN = "dnn"
+APP_LIFETIME_YEARS = 2.0
+VOLUME = 1_000_000
+
+
+def run(suite: ModelSuite | None = None) -> ExperimentReport:
+    """Reproduce Fig. 2 with the calibrated defaults."""
+    comparator = PlatformComparator.for_domain(DOMAIN, suite)
+    report = ExperimentReport(
+        experiment_id="fig2",
+        title="CFP of ASIC vs FPGA computing, 1 vs 10 applications (DNN)",
+        description=(
+            f"Domain={DOMAIN}, T_i={APP_LIFETIME_YEARS} y, N_vol={VOLUME:,} "
+            "units per application. The FPGA pays its embodied CFP once; "
+            "the ASIC re-pays it (and the design project) per application."
+        ),
+    )
+
+    rows = []
+    values = []
+    labels = []
+    for num_apps in (1, 10):
+        scenario = Scenario(
+            num_apps=num_apps,
+            app_lifetime_years=APP_LIFETIME_YEARS,
+            volume=VOLUME,
+        )
+        comparison = comparator.compare(scenario)
+        for platform in ("fpga", "asic"):
+            footprint = getattr(comparison, platform).footprint
+            rows.append(
+                {"num_apps": num_apps, "platform": platform.upper(),
+                 **footprint.as_dict()}
+            )
+            labels.append(f"{platform.upper()} ({num_apps} app)")
+            values.append(footprint.total)
+        if num_apps == 1:
+            single_ratio = comparison.ratio
+        else:
+            multi_ratio = comparison.ratio
+
+    report.add_table("totals", rows)
+    report.add_chart(bar_chart(labels, values, title="Total CFP (kg CO2e)"))
+    report.add_note(
+        f"single application: FPGA:ASIC ratio = {single_ratio:.2f} "
+        "(paper: FPGA initially higher)"
+    )
+    report.add_note(
+        f"ten applications: FPGA:ASIC ratio = {multi_ratio:.2f}, i.e. FPGA "
+        f"{100.0 * (1.0 - multi_ratio):.0f}% lower (paper: ~25% lower)"
+    )
+    return report
+
+
+def ratios(suite: ModelSuite | None = None) -> tuple[float, float]:
+    """(single-app ratio, ten-app ratio) — used by tests and benches."""
+    comparator = PlatformComparator.for_domain(DOMAIN, suite)
+    one = comparator.ratio(
+        Scenario(num_apps=1, app_lifetime_years=APP_LIFETIME_YEARS, volume=VOLUME)
+    )
+    ten = comparator.ratio(
+        Scenario(num_apps=10, app_lifetime_years=APP_LIFETIME_YEARS, volume=VOLUME)
+    )
+    return one, ten

@@ -1,0 +1,80 @@
+"""Fig. 5 — CFP vs application lifetime (F2A crossover for DNN).
+
+Setup per the paper: T_i varies 0.2-2.5 years, N_app = 5, N_vol = 1e6.
+
+Published behaviour: Crypto — FPGA always greener; ImgProc — ASIC always
+greener; DNN — FPGA greener for short lifetimes with an F2A point near
+1.6 years.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.crossover import Crossover, find_crossovers
+from repro.analysis.sweep import SweepResult, sweep
+from repro.core.comparison import PlatformComparator
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.devices.catalog import DOMAIN_NAMES
+from repro.experiments.base import ExperimentReport
+from repro.reporting.chart import line_chart
+
+NUM_APPS = 5
+VOLUME = 1_000_000
+LIFETIME_VALUES = tuple(float(t) for t in np.round(np.arange(0.2, 2.51, 0.1), 10))
+
+#: Published qualitative outcome per domain.
+PAPER_OUTCOME = {
+    "crypto": "FPGA always",
+    "imgproc": "ASIC always",
+    "dnn": "F2A near 1.6 y",
+}
+
+
+def domain_sweep(
+    domain: str, suite: ModelSuite | None = None
+) -> tuple[SweepResult, list[Crossover]]:
+    """Sweep T_i for one domain; return the sweep and its crossovers."""
+    comparator = PlatformComparator.for_domain(domain, suite)
+    base = Scenario(num_apps=NUM_APPS, app_lifetime_years=1.0, volume=VOLUME)
+    result = sweep(comparator, base, "lifetime", list(LIFETIME_VALUES))
+    crossings = find_crossovers(result.values, result.fpga_totals, result.asic_totals)
+    return result, crossings
+
+
+def run(suite: ModelSuite | None = None) -> ExperimentReport:
+    """Reproduce Fig. 5 for all three domains."""
+    report = ExperimentReport(
+        experiment_id="fig5",
+        title="CFP vs application lifetime (N_app = 5, N_vol = 1e6)",
+        description=(
+            "Longer application lifetimes let the FPGA's higher operational "
+            "power accumulate; short lifetimes favour the FPGA's embodied "
+            "reuse."
+        ),
+    )
+    rows = []
+    for domain in DOMAIN_NAMES:
+        result, crossings = domain_sweep(domain, suite)
+        report.add_table(f"{domain}_sweep", result.rows())
+        report.add_chart(
+            line_chart(
+                result.values,
+                {"FPGA": result.fpga_totals, "ASIC": result.asic_totals},
+                title=f"{domain}: total CFP (kg) vs T_i (years)",
+                y_label="T_i (y)",
+            )
+        )
+        f2a = next((c for c in crossings if c.kind == "F2A"), None)
+        if f2a is not None:
+            outcome = f"F2A at {f2a.x:.2f} y"
+        elif result.ratios[0] < 1.0:
+            outcome = "FPGA always"
+        else:
+            outcome = "ASIC always"
+        rows.append(
+            {"domain": domain, "paper": PAPER_OUTCOME[domain], "measured": outcome}
+        )
+    report.add_table("outcomes", rows)
+    return report

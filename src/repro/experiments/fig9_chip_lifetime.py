@@ -1,0 +1,95 @@
+"""Fig. 9 — evaluation horizon beyond the FPGA chip lifetime.
+
+Setup per the paper: application lifetime 1 year, FPGA chip lifetime 15
+years, study horizon swept past 15 and 30 years.  FPGA chips wear out and
+must be repurchased, producing step jumps in cumulative CFP at the
+15-year marks; ASICs are already repurchased per application, so their
+curve shows no extra jumps.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.crossover import find_crossovers
+from repro.core.comparison import PlatformComparator
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.devices.catalog import DOMAIN_NAMES
+from repro.experiments.base import ExperimentReport
+from repro.reporting.chart import line_chart
+
+APP_LIFETIME_YEARS = 1.0
+VOLUME = 1_000_000
+MAX_YEARS = 40
+
+
+def domain_series(
+    domain: str, suite: ModelSuite | None = None
+) -> list[dict[str, float]]:
+    """Cumulative CFP vs years of operation (1 app/year) for one domain."""
+    comparator = PlatformComparator.for_domain(domain, suite)
+    rows = []
+    for years in range(1, MAX_YEARS + 1):
+        scenario = Scenario(
+            num_apps=years,
+            app_lifetime_years=APP_LIFETIME_YEARS,
+            volume=VOLUME,
+            enforce_chip_lifetime=True,
+        )
+        comparison = comparator.compare(scenario)
+        rows.append(
+            {
+                "years": float(years),
+                "fpga_total_kg": comparison.fpga.footprint.total,
+                "asic_total_kg": comparison.asic.footprint.total,
+                "fpga_generations": float(comparison.fpga.generations),
+                "ratio": comparison.ratio,
+            }
+        )
+    return rows
+
+
+def jump_years(rows: list[dict[str, float]]) -> list[int]:
+    """Years where the FPGA repurchases a chip generation (CFP jumps)."""
+    jumps = []
+    for prev, curr in zip(rows, rows[1:]):
+        if curr["fpga_generations"] > prev["fpga_generations"]:
+            jumps.append(int(curr["years"]))
+    return jumps
+
+
+def run(suite: ModelSuite | None = None) -> ExperimentReport:
+    """Reproduce Fig. 9 for all three domains."""
+    report = ExperimentReport(
+        experiment_id="fig9",
+        title="CFP with 15-year FPGA chip lifetime, 1-year applications",
+        description=(
+            "The study horizon extends past the FPGA's 15-year silicon "
+            "lifetime; each repurchase adds a step of embodied CFP to the "
+            "FPGA curve only."
+        ),
+    )
+    for domain in DOMAIN_NAMES:
+        rows = domain_series(domain, suite)
+        report.add_table(f"{domain}_series", rows)
+        report.add_chart(
+            line_chart(
+                [r["years"] for r in rows],
+                {
+                    "FPGA": [r["fpga_total_kg"] for r in rows],
+                    "ASIC": [r["asic_total_kg"] for r in rows],
+                },
+                title=f"{domain}: cumulative CFP (kg) vs years",
+                y_label="years",
+            )
+        )
+        jumps = jump_years(rows)
+        crossings = find_crossovers(
+            [r["years"] for r in rows],
+            [r["fpga_total_kg"] for r in rows],
+            [r["asic_total_kg"] for r in rows],
+        )
+        report.add_note(
+            f"{domain}: FPGA repurchase jumps at years {jumps}; "
+            f"crossovers: {', '.join(f'{c.kind}@{c.x:.1f}' for c in crossings) or 'none'}"
+        )
+    return report

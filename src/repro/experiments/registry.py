@@ -1,0 +1,70 @@
+"""Experiment registry: id -> module, for the CLI and the bench harness."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.core.suite import ModelSuite
+from repro.errors import UnknownEntityError
+from repro.experiments import (
+    calibration,
+    ext_fleet,
+    ext_gpu,
+    ext_uncertainty,
+    fig2_motivation,
+    fig4_num_apps,
+    fig5_lifetime,
+    fig6_volume,
+    fig7_breakdown,
+    fig8_heatmaps,
+    fig9_chip_lifetime,
+    fig10_industry_fpga,
+    fig11_industry_asic,
+    tables,
+)
+from repro.experiments.base import ExperimentReport
+
+_Runner = Callable[..., ExperimentReport]
+
+_REGISTRY: dict[str, tuple[_Runner, str]] = {
+    "fig2": (fig2_motivation.run, "motivation: 1 vs 10 applications (DNN)"),
+    "fig4": (fig4_num_apps.run, "CFP vs number of applications"),
+    "fig5": (fig5_lifetime.run, "CFP vs application lifetime"),
+    "fig6": (fig6_volume.run, "CFP vs application volume"),
+    "fig7": (fig7_breakdown.run, "DNN component breakdowns"),
+    "fig8": (fig8_heatmaps.run, "pairwise-sweep ratio heatmaps (DNN)"),
+    "fig9": (fig9_chip_lifetime.run, "horizon beyond FPGA chip lifetime"),
+    "fig10": (fig10_industry_fpga.run, "industry FPGA component breakdown"),
+    "fig11": (fig11_industry_asic.run, "industry ASIC component breakdown"),
+    "tables": (tables.run, "Tables 1-3 inputs and testcases"),
+    "calibration": (calibration.run, "paper-vs-measured claim verification"),
+    # Extensions beyond the paper's evaluation.
+    "ext_gpu": (ext_gpu.run, "extension: GPU vs FPGA vs ASIC"),
+    "ext_fleet": (ext_fleet.run, "extension: carbon-optimal mixed fleet"),
+    "ext_uncertainty": (ext_uncertainty.run, "extension: Table 1 uncertainty study"),
+}
+
+#: All experiment ids, paper order.
+EXPERIMENT_IDS: tuple[str, ...] = tuple(_REGISTRY)
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """(id, description) pairs for every registered experiment."""
+    return [(exp_id, desc) for exp_id, (_, desc) in _REGISTRY.items()]
+
+
+def run_experiment(
+    experiment_id: str,
+    suite: ModelSuite | None = None,
+    csv_dir: "str | Path | None" = None,
+) -> ExperimentReport:
+    """Run one experiment by id, optionally exporting its tables as CSV."""
+    key = experiment_id.strip().lower()
+    if key not in _REGISTRY:
+        raise UnknownEntityError("experiment", experiment_id, list(_REGISTRY))
+    runner, _ = _REGISTRY[key]
+    report = runner(suite)
+    if csv_dir is not None:
+        report.export_csv(csv_dir)
+    return report

@@ -1,0 +1,5 @@
+"""Fleet planning (extension): per-application platform assignment."""
+
+from repro.fleet.planner import Application, FleetPlan, FleetPlanner
+
+__all__ = ["Application", "FleetPlan", "FleetPlanner"]

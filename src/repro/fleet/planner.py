@@ -1,0 +1,228 @@
+"""Carbon-optimal platform assignment for a portfolio of applications.
+
+The paper compares all-FPGA against all-ASIC deployments.  Real product
+portfolios are mixed: short-lived, low-volume applications suit the
+shared FPGA; long-lived, high-volume ones suit dedicated ASICs.  This
+planner chooses, per application, FPGA or ASIC so the portfolio's total
+CFP is minimal.
+
+The coupling that makes this non-trivial: every application routed to
+the FPGA shares **one** FPGA embodied cost (design + volume x chip
+embodied, sized by the *maximum* volume among FPGA-assigned apps, since
+reconfiguration reuses the same physical fleet), while each ASIC
+application pays its own full Eq. (1) cost.  Subset choice therefore
+interacts through the max-volume term.
+
+Exact optimisation enumerates subsets up to :data:`EXACT_LIMIT`
+applications (2^n states); larger portfolios use a greedy descent that
+starts all-ASIC and repeatedly moves the application with the best
+marginal saving, which is optimal in the common case where volumes are
+equal (the shared cost is then a pure step function of subset size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.core.asic_model import AsicLifecycleModel
+from repro.core.fpga_model import FpgaLifecycleModel
+from repro.core.lifecycle import CarbonFootprint
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.devices.asic import AsicDevice
+from repro.devices.catalog import DomainSpec, get_domain
+from repro.devices.fpga import FpgaDevice
+from repro.errors import ParameterError, require_positive
+
+#: Largest portfolio optimised exactly (2^n subset enumeration).
+EXACT_LIMIT = 14
+
+
+@dataclass(frozen=True)
+class Application:
+    """One application in the portfolio.
+
+    Attributes:
+        name: Label for reporting.
+        lifetime_years: Deployment lifetime ``T_i``.
+        volume: Deployed units ``N_vol``.
+    """
+
+    name: str
+    lifetime_years: float
+    volume: int
+
+    def __post_init__(self) -> None:
+        require_positive(self.lifetime_years, "lifetime_years")
+        if self.volume < 1:
+            raise ParameterError(f"volume must be >= 1, got {self.volume}")
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """Optimal assignment and its cost decomposition."""
+
+    fpga_apps: tuple[str, ...]
+    asic_apps: tuple[str, ...]
+    total_kg: float
+    all_fpga_kg: float
+    all_asic_kg: float
+    exact: bool
+
+    @property
+    def savings_vs_best_uniform_kg(self) -> float:
+        """CFP saved versus the better single-platform fleet."""
+        return min(self.all_fpga_kg, self.all_asic_kg) - self.total_kg
+
+    def assignment(self) -> dict[str, str]:
+        """Application name -> chosen platform."""
+        out = {name: "fpga" for name in self.fpga_apps}
+        out.update({name: "asic" for name in self.asic_apps})
+        return out
+
+
+@dataclass(frozen=True)
+class FleetPlanner:
+    """Choose FPGA/ASIC per application to minimise portfolio CFP.
+
+    Attributes:
+        fpga_device / asic_device: The iso-performance platform pair
+            every application can target.
+        suite: Shared sub-model bundle.
+    """
+
+    fpga_device: FpgaDevice
+    asic_device: AsicDevice
+    suite: ModelSuite = field(default_factory=ModelSuite)
+
+    @classmethod
+    def for_domain(
+        cls, domain: "DomainSpec | str", suite: ModelSuite | None = None
+    ) -> "FleetPlanner":
+        """Planner for a Table 2 domain."""
+        spec = domain if isinstance(domain, DomainSpec) else get_domain(domain)
+        return cls(
+            fpga_device=spec.fpga_device(),
+            asic_device=spec.asic_device(),
+            suite=suite if suite is not None else ModelSuite.default(),
+        )
+
+    # -- per-application building blocks ---------------------------------
+
+    def _asic_cost(self, app: Application) -> float:
+        model = AsicLifecycleModel(self.asic_device, self.suite)
+        scenario = Scenario(
+            num_apps=1, app_lifetime_years=app.lifetime_years, volume=app.volume
+        )
+        return model.total_kg(scenario)
+
+    def _fpga_shared_embodied(self, volume: int) -> float:
+        """One-time FPGA cost for a reconfigurable fleet of ``volume``."""
+        model = FpgaLifecycleModel(self.fpga_device, self.suite)
+        per_chip = model.per_chip_embodied().total
+        design = self.suite.design.project_kg(
+            self.fpga_device.area_mm2
+            * self.fpga_device.node.gate_density_mgates_per_mm2,
+            self.suite.fpga_team,
+        )
+        return design + per_chip * float(volume)
+
+    def _fpga_marginal(self, app: Application) -> float:
+        """Deployment-only cost of running ``app`` on the shared FPGA."""
+        op = self.suite.operation.per_chip_year_kg(self.fpga_device.peak_power_w)
+        operational = app.lifetime_years * float(app.volume) * op
+        appdev = self.suite.appdev.per_application_kg(
+            self.suite.fpga_effort, app.volume
+        )
+        return operational + appdev
+
+    def _subset_cost(
+        self, apps: list[Application], fpga_subset: frozenset[int]
+    ) -> float:
+        total = 0.0
+        if fpga_subset:
+            fleet_volume = max(apps[i].volume for i in fpga_subset)
+            total += self._fpga_shared_embodied(fleet_volume)
+            total += sum(self._fpga_marginal(apps[i]) for i in fpga_subset)
+        for i, app in enumerate(apps):
+            if i not in fpga_subset:
+                total += self._asic_cost(app)
+        return total
+
+    # -- optimisation -----------------------------------------------------
+
+    def plan(self, apps: list[Application]) -> FleetPlan:
+        """Optimal (or greedy, for large portfolios) assignment."""
+        if not apps:
+            raise ParameterError("apps must not be empty")
+        names = [app.name for app in apps]
+        if len(set(names)) != len(names):
+            raise ParameterError("application names must be unique")
+
+        all_indices = frozenset(range(len(apps)))
+        all_fpga = self._subset_cost(apps, all_indices)
+        all_asic = self._subset_cost(apps, frozenset())
+
+        if len(apps) <= EXACT_LIMIT:
+            best_subset, best_cost = self._plan_exact(apps)
+            exact = True
+        else:
+            best_subset, best_cost = self._plan_greedy(apps)
+            exact = False
+
+        fpga_names = tuple(apps[i].name for i in sorted(best_subset))
+        asic_names = tuple(
+            apps[i].name for i in range(len(apps)) if i not in best_subset
+        )
+        return FleetPlan(
+            fpga_apps=fpga_names,
+            asic_apps=asic_names,
+            total_kg=best_cost,
+            all_fpga_kg=all_fpga,
+            all_asic_kg=all_asic,
+            exact=exact,
+        )
+
+    def _plan_exact(
+        self, apps: list[Application]
+    ) -> tuple[frozenset[int], float]:
+        indices = range(len(apps))
+        best_subset: frozenset[int] = frozenset()
+        best_cost = self._subset_cost(apps, best_subset)
+        for size in range(1, len(apps) + 1):
+            for combo in combinations(indices, size):
+                subset = frozenset(combo)
+                cost = self._subset_cost(apps, subset)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_subset = subset
+        return best_subset, best_cost
+
+    def _plan_greedy(
+        self, apps: list[Application]
+    ) -> tuple[frozenset[int], float]:
+        """Best-prefix heuristic.
+
+        Single-move hill climbing stalls at all-ASIC because the first
+        application moved to the FPGA carries the whole shared embodied
+        cost.  Instead, sort applications by their per-app saving
+        (ASIC cost minus FPGA deployment cost) and evaluate every prefix
+        of that order; the shared cost is re-priced per prefix.  When all
+        volumes are equal the shared cost is constant in the subset, so
+        the optimal subset *is* a prefix and this is exact.
+        """
+        order = sorted(
+            range(len(apps)),
+            key=lambda i: self._asic_cost(apps[i]) - self._fpga_marginal(apps[i]),
+            reverse=True,
+        )
+        best_subset: frozenset[int] = frozenset()
+        best_cost = self._subset_cost(apps, best_subset)
+        for size in range(1, len(apps) + 1):
+            subset = frozenset(order[:size])
+            cost = self._subset_cost(apps, subset)
+            if cost < best_cost:
+                best_cost = cost
+                best_subset = subset
+        return best_subset, best_cost

@@ -1,0 +1,31 @@
+"""Manufacturing carbon models (paper Section 3.2(2), refs [4, 5, 22]).
+
+The public surface is :class:`repro.manufacturing.act.ManufacturingModel`,
+an ACT-style carbon-per-area model with die-yield correction, plus the
+yield/wafer/material helpers it composes.
+"""
+
+from repro.manufacturing.act import FabProfile, ManufacturingModel, ManufacturingResult
+from repro.manufacturing.materials import blended_mpa_kg_per_cm2
+from repro.manufacturing.wafer import dies_per_wafer, usable_wafer_area_cm2
+from repro.manufacturing.yield_model import (
+    YieldModel,
+    die_yield,
+    murphy_yield,
+    poisson_yield,
+    seeds_yield,
+)
+
+__all__ = [
+    "FabProfile",
+    "ManufacturingModel",
+    "ManufacturingResult",
+    "YieldModel",
+    "blended_mpa_kg_per_cm2",
+    "die_yield",
+    "dies_per_wafer",
+    "murphy_yield",
+    "poisson_yield",
+    "seeds_yield",
+    "usable_wafer_area_cm2",
+]

@@ -1,0 +1,141 @@
+"""ACT-style manufacturing carbon model (paper Section 3.2(2)).
+
+Per good die:
+
+``C_mfg = A_wafer_share * (EPA * CI_fab + GPA + MPA_blended) / Y(A_die)``
+
+* ``EPA * CI_fab`` — fab electricity footprint; the fab's energy mix is a
+  first-order knob (Taiwan grid vs. renewable-matched fabs).
+* ``GPA`` — direct process gases net of abatement.
+* ``MPA_blended`` — material sourcing, blended per Eq. (5).
+* ``Y`` — die yield (Murphy by default); bad dies are still processed, so
+  the per-good-die footprint divides by yield.
+* ``A_wafer_share`` — processed wafer area charged to the die, including
+  edge/scribe waste (slightly above the die's own area).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.grid import carbon_intensity_kg_per_kwh
+from repro.data.nodes import TechnologyNode
+from repro.errors import require_fraction, require_positive
+from repro.manufacturing.materials import blended_mpa_kg_per_cm2
+from repro.manufacturing.wafer import wafer_area_per_die_cm2
+from repro.manufacturing.yield_model import YieldModel, die_yield
+from repro.units import mm2_to_cm2
+
+
+@dataclass(frozen=True)
+class FabProfile:
+    """Operating profile of the fab manufacturing the die.
+
+    Attributes:
+        energy_source: Grid region name / :class:`GridRegion` / numeric
+            g CO2e/kWh for the fab's electricity.
+        gas_abatement: Additional abatement applied to the node's GPA
+            (0 = use node value as-is, 0.9 = 90% further abated).
+        edge_exclusion_mm: Wafer edge exclusion for area accounting.
+        scribe_mm: Scribe-lane width added around each die.
+    """
+
+    energy_source: object = "taiwan"
+    gas_abatement: float = 0.0
+    edge_exclusion_mm: float = 3.0
+    scribe_mm: float = 0.1
+
+    def __post_init__(self) -> None:
+        require_fraction(self.gas_abatement, "gas_abatement")
+
+    @property
+    def carbon_intensity_kg_per_kwh(self) -> float:
+        """Resolved fab electricity carbon intensity."""
+        return carbon_intensity_kg_per_kwh(self.energy_source)
+
+
+@dataclass(frozen=True)
+class ManufacturingResult:
+    """Per-good-die manufacturing footprint and its decomposition."""
+
+    total_kg: float
+    energy_kg: float
+    gas_kg: float
+    material_kg: float
+    die_yield: float
+    wafer_area_share_cm2: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for reporting."""
+        return {
+            "total_kg": self.total_kg,
+            "energy_kg": self.energy_kg,
+            "gas_kg": self.gas_kg,
+            "material_kg": self.material_kg,
+            "die_yield": self.die_yield,
+            "wafer_area_share_cm2": self.wafer_area_share_cm2,
+        }
+
+
+@dataclass(frozen=True)
+class ManufacturingModel:
+    """Carbon-per-area manufacturing model with yield correction.
+
+    Attributes:
+        fab: Fab operating profile.
+        yield_model: Statistical die-yield model.
+        recycled_fraction: Eq. (5) rho for material sourcing.
+        charge_wafer_waste: Charge dies for edge/scribe wafer waste; when
+            False the die is charged exactly its own area (the pure ACT
+            formulation).
+    """
+
+    fab: FabProfile = field(default_factory=FabProfile)
+    yield_model: YieldModel | str = YieldModel.MURPHY
+    recycled_fraction: float = 0.0
+    charge_wafer_waste: bool = True
+
+    def __post_init__(self) -> None:
+        require_fraction(self.recycled_fraction, "recycled_fraction")
+
+    def carbon_per_cm2(self, node: TechnologyNode) -> float:
+        """Raw carbon per processed cm^2 (before yield), kg CO2e."""
+        energy = node.epa_kwh_per_cm2 * self.fab.carbon_intensity_kg_per_kwh
+        gas = node.gpa_kg_per_cm2 * (1.0 - self.fab.gas_abatement)
+        material = blended_mpa_kg_per_cm2(node, self.recycled_fraction)
+        return energy + gas + material
+
+    def assess_die(self, die_area_mm2: float, node: TechnologyNode) -> ManufacturingResult:
+        """Footprint of one *good* die of ``die_area_mm2`` at ``node``."""
+        require_positive(die_area_mm2, "die_area_mm2")
+        if self.charge_wafer_waste:
+            area_cm2 = wafer_area_per_die_cm2(
+                die_area_mm2,
+                wafer_diameter_mm=node.wafer_diameter_mm,
+                edge_exclusion_mm=self.fab.edge_exclusion_mm,
+                scribe_mm=self.fab.scribe_mm,
+            )
+        else:
+            area_cm2 = mm2_to_cm2(die_area_mm2)
+        total_yield = die_yield(
+            mm2_to_cm2(die_area_mm2),
+            node.defect_density_per_cm2,
+            model=self.yield_model,
+            line_yield=node.line_yield,
+        )
+        scale = area_cm2 / total_yield
+        energy = node.epa_kwh_per_cm2 * self.fab.carbon_intensity_kg_per_kwh * scale
+        gas = node.gpa_kg_per_cm2 * (1.0 - self.fab.gas_abatement) * scale
+        material = blended_mpa_kg_per_cm2(node, self.recycled_fraction) * scale
+        return ManufacturingResult(
+            total_kg=energy + gas + material,
+            energy_kg=energy,
+            gas_kg=gas,
+            material_kg=material,
+            die_yield=total_yield,
+            wafer_area_share_cm2=area_cm2,
+        )
+
+    def per_die_kg(self, die_area_mm2: float, node: TechnologyNode) -> float:
+        """Convenience scalar: total kg CO2e per good die."""
+        return self.assess_die(die_area_mm2, node).total_kg

@@ -1,0 +1,35 @@
+"""Recycled-material blending — the paper's Eq. (5).
+
+``C_materials = rho * C_materials,recycled + (1 - rho) * C_materials,new``
+
+where ``rho`` is the fraction of fab material sourced from recycled
+feedstock (Table 1 range 0-1, default from Apple's recycled-content
+disclosures [27]).
+"""
+
+from __future__ import annotations
+
+from repro.data.nodes import TechnologyNode
+from repro.errors import require_fraction
+
+
+def blended_mpa_kg_per_cm2(node: TechnologyNode, recycled_fraction: float) -> float:
+    """Material-sourcing footprint per cm^2 with recycled content blended in.
+
+    Args:
+        node: Technology node supplying the new/recycled MPA endpoints.
+        recycled_fraction: Eq. (5) rho in [0, 1].
+
+    Returns:
+        Blended MPA in kg CO2e per cm^2; linear between the two endpoints,
+        so rho=0 reproduces all-new sourcing and rho=1 all-recycled.
+    """
+    rho = require_fraction(recycled_fraction, "recycled_fraction")
+    return (
+        rho * node.mpa_recycled_kg_per_cm2 + (1.0 - rho) * node.mpa_new_kg_per_cm2
+    )
+
+
+def recycled_material_savings_kg_per_cm2(node: TechnologyNode, recycled_fraction: float) -> float:
+    """Absolute MPA reduction achieved by the recycled fraction."""
+    return node.mpa_new_kg_per_cm2 - blended_mpa_kg_per_cm2(node, recycled_fraction)

@@ -1,0 +1,76 @@
+"""Wafer geometry helpers.
+
+Carbon-per-area models implicitly assume the whole wafer is usable; real
+wafers lose area to edge exclusion and die-grid quantisation.  These
+helpers compute gross dies per wafer and the effective area overhead so
+the manufacturing model can charge each die its true share of the
+processed wafer.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import CapacityError, require_positive
+from repro.units import RETICLE_LIMIT_MM2, mm2_to_cm2
+
+
+def usable_wafer_area_cm2(wafer_diameter_mm: float, edge_exclusion_mm: float = 3.0) -> float:
+    """Printable wafer area in cm^2 after edge exclusion."""
+    require_positive(wafer_diameter_mm, "wafer_diameter_mm")
+    radius_mm = wafer_diameter_mm / 2.0 - edge_exclusion_mm
+    if radius_mm <= 0.0:
+        raise CapacityError(
+            f"edge exclusion {edge_exclusion_mm} mm leaves no usable area on a "
+            f"{wafer_diameter_mm} mm wafer"
+        )
+    return mm2_to_cm2(math.pi * radius_mm**2)
+
+
+def dies_per_wafer(
+    die_area_mm2: float,
+    wafer_diameter_mm: float = 300.0,
+    edge_exclusion_mm: float = 3.0,
+    scribe_mm: float = 0.1,
+) -> int:
+    """Gross dies per wafer using the standard de-rating formula.
+
+    ``DPW = pi*(d/2)^2 / A  -  pi*d / sqrt(2*A)`` with a scribe-lane
+    overhead added to the die footprint.  The second term accounts for
+    partial dies at the wafer edge.
+
+    Raises:
+        CapacityError: if the die exceeds the reticle limit or no die fits.
+    """
+    require_positive(die_area_mm2, "die_area_mm2")
+    if die_area_mm2 > RETICLE_LIMIT_MM2:
+        raise CapacityError(
+            f"die area {die_area_mm2:.0f} mm^2 exceeds the reticle limit "
+            f"({RETICLE_LIMIT_MM2:.0f} mm^2); split the design across chips"
+        )
+    side_mm = math.sqrt(die_area_mm2) + scribe_mm
+    footprint_mm2 = side_mm**2
+    usable_diameter_mm = wafer_diameter_mm - 2.0 * edge_exclusion_mm
+    area_term = math.pi * (usable_diameter_mm / 2.0) ** 2 / footprint_mm2
+    edge_term = math.pi * usable_diameter_mm / math.sqrt(2.0 * footprint_mm2)
+    gross = int(area_term - edge_term)
+    if gross < 1:
+        raise CapacityError(
+            f"no {die_area_mm2:.0f} mm^2 die fits on a {wafer_diameter_mm} mm wafer"
+        )
+    return gross
+
+
+def wafer_area_per_die_cm2(
+    die_area_mm2: float,
+    wafer_diameter_mm: float = 300.0,
+    edge_exclusion_mm: float = 3.0,
+    scribe_mm: float = 0.1,
+) -> float:
+    """Processed wafer area attributable to one gross die, in cm^2.
+
+    Always at least the die's own area; the excess is edge/scribe waste.
+    """
+    gross = dies_per_wafer(die_area_mm2, wafer_diameter_mm, edge_exclusion_mm, scribe_mm)
+    total = usable_wafer_area_cm2(wafer_diameter_mm, edge_exclusion_mm)
+    return max(total / gross, mm2_to_cm2(die_area_mm2))

@@ -1,0 +1,105 @@
+"""Die yield models.
+
+Yield converts carbon-per-processed-area into carbon-per-*good*-die: a
+die that yields at 50% embodies the footprint of two processed dies.  The
+super-linear penalty this puts on large dies is load-bearing for the
+paper's results — it is why the 7.42x-area ImgProc FPGA stays expensive
+(Figs. 4-6) while the 1x-area Crypto FPGA is free of any penalty.
+
+Three classic models are provided; Murphy's is the default, matching the
+ECO-CHIP [5] manufacturing flow the paper inherits.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.errors import ParameterError, require_non_negative, require_positive
+
+
+class YieldModel(enum.Enum):
+    """Selectable die-yield statistical model."""
+
+    MURPHY = "murphy"
+    POISSON = "poisson"
+    SEEDS = "seeds"
+
+    @classmethod
+    def coerce(cls, value: "YieldModel | str") -> "YieldModel":
+        """Accept either an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).strip().lower())
+        except ValueError as exc:
+            names = [member.value for member in cls]
+            raise ParameterError(
+                f"unknown yield model {value!r}; expected one of {names}"
+            ) from exc
+
+
+def poisson_yield(area_cm2: float, defect_density_per_cm2: float) -> float:
+    """Poisson yield: ``Y = exp(-A * D0)``.
+
+    Pessimistic for large dies (assumes defects are uncorrelated).
+    """
+    require_non_negative(area_cm2, "area_cm2")
+    require_non_negative(defect_density_per_cm2, "defect_density_per_cm2")
+    return math.exp(-area_cm2 * defect_density_per_cm2)
+
+
+def murphy_yield(area_cm2: float, defect_density_per_cm2: float) -> float:
+    """Murphy yield: ``Y = ((1 - exp(-A*D0)) / (A*D0))^2``.
+
+    Industry-standard compromise between Poisson and Seeds; the limit at
+    ``A*D0 -> 0`` is 1 (handled explicitly for numerical stability).
+    """
+    require_non_negative(area_cm2, "area_cm2")
+    require_non_negative(defect_density_per_cm2, "defect_density_per_cm2")
+    faults = area_cm2 * defect_density_per_cm2
+    if faults < 1.0e-12:
+        return 1.0
+    # -expm1(-x) = 1 - e^-x without catastrophic cancellation at small x.
+    return (-math.expm1(-faults) / faults) ** 2
+
+
+def seeds_yield(area_cm2: float, defect_density_per_cm2: float) -> float:
+    """Seeds yield: ``Y = 1 / (1 + A*D0)``.
+
+    Optimistic for large dies (assumes strongly clustered defects).
+    """
+    require_non_negative(area_cm2, "area_cm2")
+    require_non_negative(defect_density_per_cm2, "defect_density_per_cm2")
+    return 1.0 / (1.0 + area_cm2 * defect_density_per_cm2)
+
+
+_DISPATCH = {
+    YieldModel.MURPHY: murphy_yield,
+    YieldModel.POISSON: poisson_yield,
+    YieldModel.SEEDS: seeds_yield,
+}
+
+
+def die_yield(
+    area_cm2: float,
+    defect_density_per_cm2: float,
+    model: "YieldModel | str" = YieldModel.MURPHY,
+    line_yield: float = 1.0,
+) -> float:
+    """Total die yield = statistical die yield x wafer line yield.
+
+    Args:
+        area_cm2: Die area in cm^2.
+        defect_density_per_cm2: Defect density D0.
+        model: Which statistical model to use.
+        line_yield: Wafer-level yield multiplier in (0, 1].
+
+    Returns:
+        Yield in (0, 1].
+    """
+    require_positive(line_yield, "line_yield")
+    if line_yield > 1.0:
+        raise ParameterError(f"line_yield must be <= 1, got {line_yield!r}")
+    statistical = _DISPATCH[YieldModel.coerce(model)](area_cm2, defect_density_per_cm2)
+    return statistical * line_yield

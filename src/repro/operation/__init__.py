@@ -1,0 +1,11 @@
+"""Operational (use-phase) carbon model (paper Section 3.3(1))."""
+
+from repro.operation.energy import OperatingProfile, annual_use_energy_kwh
+from repro.operation.model import OperationModel, OperationResult
+
+__all__ = [
+    "OperatingProfile",
+    "OperationModel",
+    "OperationResult",
+    "annual_use_energy_kwh",
+]

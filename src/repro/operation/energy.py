@@ -1,0 +1,53 @@
+"""Use-phase energy accounting.
+
+The paper models use-phase energy as "a function of peak power and duty
+cycles" [5].  We make the profile explicit: active power at a duty cycle
+plus idle power the rest of the time, multiplied by an infrastructure
+overhead (PUE) when the part is deployed in a datacenter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import require_fraction, require_non_negative, require_positive
+from repro.units import HOURS_PER_YEAR, watts_to_kw
+
+
+@dataclass(frozen=True)
+class OperatingProfile:
+    """How a deployed chip spends its hours.
+
+    Attributes:
+        duty_cycle: Fraction of time at active power.
+        idle_fraction_of_peak: Idle power as a fraction of active power
+            drawn during the remaining hours (0 = powered off when idle).
+        pue: Power usage effectiveness of the hosting facility (1.0 for
+            edge devices, ~1.1-1.6 for datacenters).
+    """
+
+    duty_cycle: float = 0.30
+    idle_fraction_of_peak: float = 0.10
+    pue: float = 1.2
+
+    def __post_init__(self) -> None:
+        require_fraction(self.duty_cycle, "duty_cycle")
+        require_fraction(self.idle_fraction_of_peak, "idle_fraction_of_peak")
+        require_positive(self.pue, "pue")
+
+    def effective_duty(self) -> float:
+        """Duty-equivalent fraction including idle draw and PUE."""
+        active = self.duty_cycle
+        idle = (1.0 - self.duty_cycle) * self.idle_fraction_of_peak
+        return (active + idle) * self.pue
+
+
+def annual_use_energy_kwh(power_w: float, profile: OperatingProfile) -> float:
+    """Energy one chip draws per deployed year, in kWh.
+
+    Args:
+        power_w: Active (peak/TDP) power in watts.
+        profile: Operating profile.
+    """
+    require_non_negative(power_w, "power_w")
+    return watts_to_kw(power_w) * profile.effective_duty() * HOURS_PER_YEAR

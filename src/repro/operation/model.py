@@ -1,0 +1,60 @@
+"""Operational CFP — ``C_op = C_src,use x E_use`` (paper Section 3.3(1))."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.grid import carbon_intensity_kg_per_kwh
+from repro.errors import require_non_negative
+from repro.operation.energy import OperatingProfile, annual_use_energy_kwh
+
+
+@dataclass(frozen=True)
+class OperationResult:
+    """Per-chip-year operational footprint."""
+
+    kg_per_year: float
+    energy_kwh_per_year: float
+    carbon_intensity_kg_per_kwh: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for reporting."""
+        return {
+            "kg_per_year": self.kg_per_year,
+            "energy_kwh_per_year": self.energy_kwh_per_year,
+            "carbon_intensity_kg_per_kwh": self.carbon_intensity_kg_per_kwh,
+        }
+
+
+@dataclass(frozen=True)
+class OperationModel:
+    """Use-phase carbon model.
+
+    Attributes:
+        energy_source: Grid region / :class:`GridRegion` / numeric
+            g CO2e/kWh of the deployment site (``C_src,use``).
+        profile: Operating profile (duty cycle, idle power, PUE).
+    """
+
+    energy_source: object = "green_datacenter"
+    profile: OperatingProfile = field(default_factory=OperatingProfile)
+
+    def per_chip_year_kg(self, power_w: float) -> float:
+        """Operational kg CO2e per chip per deployed year."""
+        return self.assess_chip_year(power_w).kg_per_year
+
+    def assess_chip_year(self, power_w: float) -> OperationResult:
+        """Operational footprint of one chip for one deployed year."""
+        require_non_negative(power_w, "power_w")
+        intensity = carbon_intensity_kg_per_kwh(self.energy_source)
+        energy = annual_use_energy_kwh(power_w, self.profile)
+        return OperationResult(
+            kg_per_year=intensity * energy,
+            energy_kwh_per_year=energy,
+            carbon_intensity_kg_per_kwh=intensity,
+        )
+
+    def over_lifetime_kg(self, power_w: float, years: float) -> float:
+        """Operational kg CO2e for one chip over ``years`` of deployment."""
+        require_non_negative(years, "years")
+        return self.per_chip_year_kg(power_w) * years

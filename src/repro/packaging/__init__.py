@@ -1,0 +1,17 @@
+"""Packaging carbon models (paper Section 3.2(3)).
+
+:mod:`repro.packaging.monolithic` implements the monolithic package model
+the paper uses (inherited from ECO-CHIP [5]); :mod:`repro.packaging.advanced`
+adds the 2.5D/3D heterogeneous-integration models from the same lineage as
+a documented extension (useful for multi-die FPGAs such as Stratix 10).
+"""
+
+from repro.packaging.advanced import AdvancedPackagingModel, PackageStyle
+from repro.packaging.monolithic import MonolithicPackagingModel, PackagingResult
+
+__all__ = [
+    "AdvancedPackagingModel",
+    "MonolithicPackagingModel",
+    "PackageStyle",
+    "PackagingResult",
+]

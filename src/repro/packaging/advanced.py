@@ -1,0 +1,140 @@
+"""2.5D/3D heterogeneous-integration packaging models (extension).
+
+The paper's comparison uses monolithic packages, but its manufacturing
+lineage (ECO-CHIP [5], 3D-Carbon [17]) models advanced packaging, and
+real large FPGAs (Stratix 10, Agilex with transceiver tiles) are 2.5D
+EMIB/interposer products.  This module provides those models so industry
+testcases can optionally be assessed with their true package style.
+
+Styles:
+
+* ``RDL`` fan-out: redistribution layers, cheapest advanced option.
+* ``EMIB``: silicon bridge dies embedded in the substrate.
+* ``INTERPOSER``: full passive silicon interposer carrying all chiplets.
+* ``TSV_3D``: 3D stacking with through-silicon vias.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.data.grid import carbon_intensity_kg_per_kwh
+from repro.data.nodes import get_node
+from repro.errors import ParameterError, require_non_negative, require_positive
+from repro.manufacturing.act import ManufacturingModel
+from repro.packaging.monolithic import MonolithicPackagingModel, PackagingResult
+from repro.units import mm2_to_cm2
+
+
+class PackageStyle(enum.Enum):
+    """Advanced package integration style."""
+
+    RDL = "rdl"
+    EMIB = "emib"
+    INTERPOSER = "interposer"
+    TSV_3D = "tsv_3d"
+
+    @classmethod
+    def coerce(cls, value: "PackageStyle | str") -> "PackageStyle":
+        """Accept either an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).strip().lower())
+        except ValueError as exc:
+            names = [member.value for member in cls]
+            raise ParameterError(
+                f"unknown package style {value!r}; expected one of {names}"
+            ) from exc
+
+
+#: Per-style bonding energy (kWh per chiplet) and silicon-carrier area
+#: ratio (carrier area as a fraction of total chiplet area).
+_STYLE_FACTORS: dict[PackageStyle, tuple[float, float]] = {
+    PackageStyle.RDL: (0.35, 0.00),
+    PackageStyle.EMIB: (0.60, 0.08),
+    PackageStyle.INTERPOSER: (0.90, 1.10),
+    PackageStyle.TSV_3D: (1.40, 0.25),
+}
+
+#: Node used to manufacture passive carriers (mature, cheap).
+_CARRIER_NODE = "28nm"
+
+
+@dataclass(frozen=True)
+class AdvancedPackagingModel:
+    """Advanced (multi-die) packaging model.
+
+    Composes the monolithic substrate model with a silicon-carrier
+    manufacturing term and per-chiplet bonding energy.
+
+    Attributes:
+        style: Integration style.
+        substrate: Underlying organic-substrate model.
+        carrier_manufacturing: Manufacturing model used for passive
+            silicon carriers (interposer/bridges).
+        bonding_energy_source: Energy source for bonding/assembly.
+        bonding_yield: Yield of each chiplet-attach step; compounding
+            per-chiplet, it charges failed assemblies to good ones.
+    """
+
+    style: PackageStyle | str = PackageStyle.INTERPOSER
+    substrate: MonolithicPackagingModel = field(default_factory=MonolithicPackagingModel)
+    carrier_manufacturing: ManufacturingModel = field(default_factory=ManufacturingModel)
+    bonding_energy_source: object = "taiwan"
+    bonding_yield: float = 0.99
+
+    def __post_init__(self) -> None:
+        require_positive(self.bonding_yield, "bonding_yield")
+        if self.bonding_yield > 1.0:
+            raise ParameterError(f"bonding_yield must be <= 1, got {self.bonding_yield}")
+
+    def assess_package(self, chiplet_areas_mm2: list[float]) -> PackagingResult:
+        """Footprint of one multi-die package.
+
+        Args:
+            chiplet_areas_mm2: Die area of every chiplet in the package.
+
+        Returns:
+            A :class:`PackagingResult`; the carrier + bonding footprint is
+            folded into ``assembly_kg``.
+        """
+        if not chiplet_areas_mm2:
+            raise ParameterError("chiplet_areas_mm2 must not be empty")
+        for area in chiplet_areas_mm2:
+            require_positive(area, "chiplet area")
+        style = PackageStyle.coerce(self.style)
+        bonding_kwh, carrier_ratio = _STYLE_FACTORS[style]
+        total_area = sum(chiplet_areas_mm2)
+
+        base = self.substrate.assess_package(total_area)
+
+        carrier_kg = 0.0
+        if carrier_ratio > 0.0:
+            carrier_area = total_area * carrier_ratio
+            carrier_kg = self.carrier_manufacturing.per_die_kg(
+                carrier_area, get_node(_CARRIER_NODE)
+            )
+
+        n_chiplets = len(chiplet_areas_mm2)
+        assembly_yield = self.bonding_yield**n_chiplets
+        bonding_kg = (
+            bonding_kwh
+            * n_chiplets
+            * carbon_intensity_kg_per_kwh(self.bonding_energy_source)
+        )
+        extra = (carrier_kg + bonding_kg) / assembly_yield
+
+        carrier_mass_g = 2.33 * mm2_to_cm2(total_area * carrier_ratio) * 0.0775 * 10.0
+        return PackagingResult(
+            total_kg=base.total_kg + extra,
+            substrate_kg=base.substrate_kg,
+            assembly_kg=base.assembly_kg + extra,
+            package_area_mm2=base.package_area_mm2,
+            package_mass_g=base.package_mass_g + carrier_mass_g,
+        )
+
+    def per_package_kg(self, chiplet_areas_mm2: list[float]) -> float:
+        """Convenience scalar: total kg CO2e per package."""
+        return self.assess_package(chiplet_areas_mm2).total_kg

@@ -1,0 +1,99 @@
+"""Monolithic package manufacture + assembly carbon model.
+
+The paper uses the ECO-CHIP [5] monolithic package model: an organic
+substrate whose footprint scales with package area, plus a per-package
+assembly/test energy term.  The package area is the die area times a
+fan-out factor (substrate routing, stiffener, lid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.grid import carbon_intensity_kg_per_kwh
+from repro.errors import require_non_negative, require_positive
+from repro.units import mm2_to_cm2
+
+
+@dataclass(frozen=True)
+class PackagingResult:
+    """Per-package footprint decomposition."""
+
+    total_kg: float
+    substrate_kg: float
+    assembly_kg: float
+    package_area_mm2: float
+    package_mass_g: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for reporting."""
+        return {
+            "total_kg": self.total_kg,
+            "substrate_kg": self.substrate_kg,
+            "assembly_kg": self.assembly_kg,
+            "package_area_mm2": self.package_area_mm2,
+            "package_mass_g": self.package_mass_g,
+        }
+
+
+@dataclass(frozen=True)
+class MonolithicPackagingModel:
+    """Monolithic (single-die) package model.
+
+    Attributes:
+        substrate_kg_per_cm2: Footprint of organic substrate manufacture
+            per cm^2 of package area (laminate, copper layers, solder).
+        assembly_kwh_per_package: Assembly + package-test energy.
+        assembly_energy_source: Energy source for assembly (OSAT house).
+        fanout_factor: Package area / die area ratio.
+        base_kg_per_package: Area-independent overhead (lid, balls,
+            shipping materials).
+        mass_g_per_cm2: Package mass per cm^2, feeding the EOL model.
+        base_mass_g: Area-independent package mass.
+    """
+
+    substrate_kg_per_cm2: float = 0.35
+    assembly_kwh_per_package: float = 1.2
+    assembly_energy_source: object = "taiwan"
+    fanout_factor: float = 1.8
+    base_kg_per_package: float = 0.15
+    mass_g_per_cm2: float = 3.2
+    base_mass_g: float = 4.0
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.substrate_kg_per_cm2, "substrate_kg_per_cm2")
+        require_non_negative(self.assembly_kwh_per_package, "assembly_kwh_per_package")
+        require_positive(self.fanout_factor, "fanout_factor")
+        require_non_negative(self.base_kg_per_package, "base_kg_per_package")
+        require_non_negative(self.mass_g_per_cm2, "mass_g_per_cm2")
+        require_non_negative(self.base_mass_g, "base_mass_g")
+
+    def package_area_mm2(self, die_area_mm2: float) -> float:
+        """Package footprint area for a die of ``die_area_mm2``."""
+        require_positive(die_area_mm2, "die_area_mm2")
+        return die_area_mm2 * self.fanout_factor
+
+    def package_mass_g(self, die_area_mm2: float) -> float:
+        """Package mass (grams), used by the EOL model."""
+        area_cm2 = mm2_to_cm2(self.package_area_mm2(die_area_mm2))
+        return self.base_mass_g + self.mass_g_per_cm2 * area_cm2
+
+    def assess_package(self, die_area_mm2: float) -> PackagingResult:
+        """Footprint of packaging one die."""
+        pkg_area_mm2 = self.package_area_mm2(die_area_mm2)
+        pkg_area_cm2 = mm2_to_cm2(pkg_area_mm2)
+        substrate = self.base_kg_per_package + self.substrate_kg_per_cm2 * pkg_area_cm2
+        assembly = self.assembly_kwh_per_package * carbon_intensity_kg_per_kwh(
+            self.assembly_energy_source
+        )
+        return PackagingResult(
+            total_kg=substrate + assembly,
+            substrate_kg=substrate,
+            assembly_kg=assembly,
+            package_area_mm2=pkg_area_mm2,
+            package_mass_g=self.package_mass_g(die_area_mm2),
+        )
+
+    def per_package_kg(self, die_area_mm2: float) -> float:
+        """Convenience scalar: total kg CO2e per package."""
+        return self.assess_package(die_area_mm2).total_kg

@@ -1,0 +1,8 @@
+"""Plain-text reporting: ASCII tables/charts, CSV and Markdown writers."""
+
+from repro.reporting.chart import bar_chart, line_chart
+from repro.reporting.csvout import write_csv
+from repro.reporting.markdown import markdown_table
+from repro.reporting.table import format_table
+
+__all__ = ["bar_chart", "format_table", "line_chart", "markdown_table", "write_csv"]

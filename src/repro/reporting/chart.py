@@ -1,0 +1,85 @@
+"""ASCII charts: good-enough line and bar plots for terminal experiments.
+
+The paper's figures are matplotlib plots; this repository ships
+terminal-renderable equivalents so every experiment is runnable without a
+display (data is also exported as CSV for external plotting).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+_SYMBOLS = "*o+x#@%&"
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Render one or more y-series against shared x-values.
+
+    Each series gets a symbol from a fixed palette; a legend line maps
+    symbols to names.  Values are min/max scaled into the plot box.
+    """
+    if not xs or not series:
+        return title or "(empty chart)"
+    all_values = [v for ys in series.values() for v in ys]
+    y_min = min(all_values)
+    y_max = max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_index, (name, ys) in enumerate(series.items()):
+        symbol = _SYMBOLS[s_index % len(_SYMBOLS)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_min) / x_span * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = symbol
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:12.4g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 13 + "|" + "".join(row) + "|")
+    lines.append(f"{y_min:12.4g} +" + "-" * width + "+")
+    lines.append(" " * 14 + f"{x_min:<12.4g}{y_label:^{max(width - 24, 0)}}{x_max:>12.4g}")
+    legend = "   ".join(
+        f"{_SYMBOLS[i % len(_SYMBOLS)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart (one bar per label).
+
+    Negative values (EOL credits) render with ``<`` bars.
+    """
+    if not labels:
+        return title or "(empty chart)"
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    peak = max(abs(v) for v in values) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        length = int(abs(value) / peak * width)
+        bar = ("<" if value < 0 else "#") * length
+        lines.append(f"{str(label).rjust(label_width)} | {bar} {value:,.3g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""CSV export of experiment rows."""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+
+def write_csv(
+    path: "str | Path",
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> Path:
+    """Write rows of dicts to ``path`` as CSV and return the path.
+
+    Args:
+        path: Destination file; parent directories are created.
+        rows: Row mappings; missing keys become empty cells.
+        columns: Column order; defaults to the union of keys in first-seen
+            order across all rows.
+    """
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    if columns is None:
+        seen: dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
+    with destination.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({col: row.get(col, "") for col in columns})
+    return destination

@@ -1,0 +1,59 @@
+"""Fixed-width ASCII table rendering for experiment output."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0.0 and (abs(value) >= 1.0e6 or abs(value) < 1.0e-3):
+            return f"{value:.{precision}e}"
+        return f"{value:,.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render rows of dicts as a fixed-width ASCII table.
+
+    Args:
+        rows: Sequence of mappings; missing keys render as blanks.
+        columns: Column order; defaults to first row's key order.
+        precision: Decimal places for floats.
+        title: Optional heading line.
+
+    Returns:
+        The rendered table as a single string (no trailing newline).
+    """
+    if not rows:
+        return title or "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        [_format_cell(row.get(col, ""), precision) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        for row in rendered
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(header))
+    lines.append(header)
+    lines.append(rule)
+    lines.extend(body)
+    return "\n".join(lines)

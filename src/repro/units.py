@@ -1,0 +1,108 @@
+"""Unit constants and conversion helpers used across GreenFPGA.
+
+The internal convention for every model in this package is:
+
+* carbon mass      -> kilograms of CO2-equivalent (kg CO2e)
+* energy           -> kilowatt hours (kWh)
+* carbon intensity -> kg CO2e per kWh
+* chip area        -> square millimetres at API boundaries, square
+                      centimetres inside manufacturing models
+* power            -> watts
+* time             -> years at API boundaries, hours inside energy math
+* physical mass    -> grams at API boundaries, metric tons inside EOL math
+
+Helpers below convert between the boundary units and the internal units so
+that individual models never hand-roll conversion factors.
+"""
+
+from __future__ import annotations
+
+#: Hours in a (non-leap) year; the paper's operational model uses calendar
+#: years of continuous deployment scaled by a duty cycle.
+HOURS_PER_YEAR = 8760.0
+
+#: Days in a month used when converting the paper's "months" app-dev times.
+HOURS_PER_MONTH = HOURS_PER_YEAR / 12.0
+
+#: Metric ton in grams.
+GRAMS_PER_TON = 1.0e6
+
+#: Metric ton in kilograms.
+KG_PER_TON = 1000.0
+
+#: Grams per kilogram.
+GRAMS_PER_KG = 1000.0
+
+#: Square millimetres in a square centimetre.
+MM2_PER_CM2 = 100.0
+
+#: kWh in a GWh (design-house annual energy is reported in GWh).
+KWH_PER_GWH = 1.0e6
+
+#: Watts in a kilowatt.
+W_PER_KW = 1000.0
+
+#: Conventional single-exposure reticle field limit in mm^2.  Dies larger
+#: than this cannot be manufactured monolithically; the paper's N_FPGA
+#: input exists for exactly this reason.
+RETICLE_LIMIT_MM2 = 858.0
+
+
+def mm2_to_cm2(area_mm2: float) -> float:
+    """Convert an area from mm^2 to cm^2."""
+    return area_mm2 / MM2_PER_CM2
+
+
+def cm2_to_mm2(area_cm2: float) -> float:
+    """Convert an area from cm^2 to mm^2."""
+    return area_cm2 * MM2_PER_CM2
+
+
+def grams_to_tons(mass_g: float) -> float:
+    """Convert a mass from grams to metric tons."""
+    return mass_g / GRAMS_PER_TON
+
+
+def tons_to_kg(mass_tons: float) -> float:
+    """Convert a mass from metric tons to kilograms."""
+    return mass_tons * KG_PER_TON
+
+
+def kg_to_tons(mass_kg: float) -> float:
+    """Convert a mass from kilograms to metric tons."""
+    return mass_kg / KG_PER_TON
+
+
+def gwh_to_kwh(energy_gwh: float) -> float:
+    """Convert energy from GWh to kWh."""
+    return energy_gwh * KWH_PER_GWH
+
+
+def g_per_kwh_to_kg_per_kwh(intensity_g: float) -> float:
+    """Convert a carbon intensity from g CO2e/kWh to kg CO2e/kWh."""
+    return intensity_g / GRAMS_PER_KG
+
+
+def years_to_hours(years: float) -> float:
+    """Convert a duration from years to hours."""
+    return years * HOURS_PER_YEAR
+
+
+def months_to_hours(months: float) -> float:
+    """Convert a duration from months to hours."""
+    return months * HOURS_PER_MONTH
+
+
+def watts_to_kw(power_w: float) -> float:
+    """Convert power from watts to kilowatts."""
+    return power_w / W_PER_KW
+
+
+def annual_energy_kwh(power_w: float, duty_cycle: float) -> float:
+    """Energy drawn in one year by a device at ``power_w`` and duty cycle.
+
+    The duty cycle is the fraction of wall-clock time the device runs at
+    its (average active) power; idle power is folded into the duty cycle
+    by callers that track it separately.
+    """
+    return watts_to_kw(power_w) * duty_cycle * HOURS_PER_YEAR

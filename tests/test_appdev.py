@@ -1,0 +1,76 @@
+"""Tests for the Eq. (7) application-development model."""
+
+import pytest
+
+from repro.appdev.model import AppDevModel, DevelopmentEffort
+from repro.errors import ParameterError
+from repro.units import months_to_hours
+
+
+class TestDevelopmentEffort:
+    def test_per_application_hours(self):
+        effort = DevelopmentEffort(frontend_months=2.0, backend_months=1.0)
+        assert effort.per_application_hours() == pytest.approx(months_to_hours(3.0))
+
+    def test_asic_effort_is_zero_by_default(self):
+        effort = DevelopmentEffort.for_asic()
+        assert effort.per_application_hours() == 0.0
+        assert effort.config_hours_per_unit == 0.0
+
+    def test_asic_software_flow_charged_to_frontend(self):
+        effort = DevelopmentEffort.for_asic(software_months=1.5)
+        assert effort.frontend_months == 1.5
+        assert effort.backend_months == 0.0
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ParameterError):
+            DevelopmentEffort(frontend_months=-1.0)
+
+
+class TestAppDevModel:
+    def test_zero_effort_zero_cfp(self):
+        model = AppDevModel()
+        result = model.assess_application(DevelopmentEffort.for_asic(), volume=1_000_000)
+        assert result.total_kg == 0.0
+
+    def test_components_sum(self):
+        model = AppDevModel()
+        result = model.assess_application(DevelopmentEffort(), volume=1000)
+        assert result.total_kg == pytest.approx(
+            result.development_kg + result.configuration_kg
+        )
+
+    def test_development_independent_of_volume(self):
+        model = AppDevModel()
+        small = model.assess_application(DevelopmentEffort(), volume=10)
+        large = model.assess_application(DevelopmentEffort(), volume=1_000_000)
+        assert small.development_kg == pytest.approx(large.development_kg)
+
+    def test_configuration_linear_in_volume(self):
+        model = AppDevModel()
+        effort = DevelopmentEffort(config_hours_per_unit=0.1)
+        one = model.assess_application(effort, volume=1).configuration_kg
+        many = model.assess_application(effort, volume=1000).configuration_kg
+        assert many == pytest.approx(one * 1000)
+
+    def test_known_development_value(self):
+        # 12 kW farm, 3 months, 0.4 kg/kWh -> 12 * 2190 * 0.4 kg.
+        model = AppDevModel(farm_power_w=12_000.0, energy_source=400.0)
+        effort = DevelopmentEffort(frontend_months=2.0, backend_months=1.0,
+                                   config_hours_per_unit=0.0)
+        result = model.assess_application(effort, volume=1)
+        assert result.development_kg == pytest.approx(12.0 * months_to_hours(3.0) * 0.4)
+
+    def test_appdev_small_vs_operational_scale(self):
+        """Paper Sec 4.3: app-dev is a minimal CFP contributor."""
+        model = AppDevModel()
+        kg = model.per_application_kg(DevelopmentEffort(), volume=1_000_000)
+        assert kg < 100_000.0  # well under operational megatons
+
+    def test_rejects_negative_volume(self):
+        with pytest.raises(ParameterError):
+            AppDevModel().assess_application(DevelopmentEffort(), volume=-1)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ParameterError):
+            AppDevModel(farm_power_w=-5.0)

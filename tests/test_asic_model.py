@@ -1,0 +1,72 @@
+"""Tests for the Eq. (1) ASIC lifecycle model."""
+
+import pytest
+
+from repro.core.asic_model import AsicLifecycleModel
+from repro.core.scenario import Scenario
+from repro.devices.asic import AsicDevice
+
+
+@pytest.fixture
+def model(simple_asic, suite):
+    return AsicLifecycleModel(device=simple_asic, suite=suite)
+
+
+def test_embodied_recurs_per_application(model):
+    one = model.assess(Scenario(num_apps=1, app_lifetime_years=1.0, volume=1000))
+    five = model.assess(Scenario(num_apps=5, app_lifetime_years=1.0, volume=1000))
+    assert five.footprint.manufacturing == pytest.approx(
+        5 * one.footprint.manufacturing
+    )
+    assert five.footprint.design == pytest.approx(5 * one.footprint.design)
+
+
+def test_per_application_decomposition(model):
+    scenario = Scenario(num_apps=3, app_lifetime_years=1.0, volume=1000)
+    assessment = model.assess(scenario)
+    assert len(assessment.per_application) == 3
+    total = sum((fp.total for fp in assessment.per_application))
+    assert assessment.footprint.total == pytest.approx(total)
+
+
+def test_asic_appdev_zero_by_default(model, baseline_scenario):
+    """The paper sets ASIC T_FE = T_BE = 0 (folded into Eq. 4)."""
+    assert model.assess(baseline_scenario).footprint.appdev == 0.0
+
+
+def test_long_application_repurchases_silicon(suite):
+    device = AsicDevice("a", area_mm2=100.0, node_name="10nm", peak_power_w=5.0,
+                        chip_lifetime_years=8.0)
+    model = AsicLifecycleModel(device=device, suite=suite)
+    short = model.assess(Scenario(num_apps=1, app_lifetime_years=8.0, volume=100))
+    long = model.assess(Scenario(num_apps=1, app_lifetime_years=9.0, volume=100))
+    assert long.footprint.manufacturing == pytest.approx(
+        2 * short.footprint.manufacturing
+    )
+
+
+def test_operational_linear_in_lifetime(model):
+    one = model.assess(Scenario(num_apps=1, app_lifetime_years=1.0, volume=1000))
+    three = model.assess(Scenario(num_apps=1, app_lifetime_years=3.0, volume=1000))
+    assert three.footprint.operational == pytest.approx(3 * one.footprint.operational)
+
+
+def test_volume_scales_chips_not_design(model):
+    small = model.assess(Scenario(num_apps=2, app_lifetime_years=1.0, volume=500))
+    large = model.assess(Scenario(num_apps=2, app_lifetime_years=1.0, volume=5000))
+    assert large.footprint.manufacturing == pytest.approx(
+        10 * small.footprint.manufacturing
+    )
+    assert large.footprint.design == pytest.approx(small.footprint.design)
+
+
+def test_eol_negative_is_credit(model, small_scenario):
+    footprint = model.assess(small_scenario).footprint
+    # Default EOL config yields a net credit at 30% recycling.
+    assert footprint.eol < 0.0
+    assert abs(footprint.eol) < footprint.manufacturing
+
+
+def test_total_consistency(model, baseline_scenario):
+    assessment = model.assess(baseline_scenario)
+    assert assessment.total_kg == pytest.approx(assessment.footprint.total)

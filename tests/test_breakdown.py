@@ -1,0 +1,61 @@
+"""Tests for component breakdowns."""
+
+import pytest
+
+from repro.analysis.breakdown import breakdown_from_sweep, breakdown_table
+from repro.analysis.sweep import sweep
+from repro.core.lifecycle import CarbonFootprint
+from repro.core.scenario import Scenario
+
+
+@pytest.fixture
+def num_apps_sweep(dnn_comparator):
+    base = Scenario(num_apps=1, app_lifetime_years=1.0, volume=10_000)
+    return sweep(dnn_comparator, base, "num_apps", [1, 2, 3])
+
+
+def test_breakdown_components_complete(num_apps_sweep):
+    breakdown = breakdown_from_sweep(num_apps_sweep, "fpga")
+    assert set(breakdown.components) == set(CarbonFootprint.COMPONENTS)
+    for series in breakdown.components.values():
+        assert len(series) == 3
+
+
+def test_breakdown_matches_footprints(num_apps_sweep):
+    breakdown = breakdown_from_sweep(num_apps_sweep, "asic")
+    direct = num_apps_sweep.comparisons[1].asic.footprint
+    assert breakdown.components["manufacturing"][1] == pytest.approx(
+        direct.manufacturing
+    )
+
+
+def test_stacked_rows_totals(num_apps_sweep):
+    rows = breakdown_from_sweep(num_apps_sweep, "fpga").stacked_rows()
+    direct = num_apps_sweep.comparisons[0].fpga.footprint
+    assert rows[0]["total"] == pytest.approx(direct.total)
+    assert rows[0]["embodied"] == pytest.approx(direct.embodied)
+    assert rows[0]["num_apps"] == 1.0
+
+
+def test_fpga_embodied_flat_asic_growing(num_apps_sweep):
+    """The paper's Fig. 7(a) structural claim."""
+    fpga = breakdown_from_sweep(num_apps_sweep, "fpga").stacked_rows()
+    asic = breakdown_from_sweep(num_apps_sweep, "asic").stacked_rows()
+    assert fpga[0]["embodied"] == pytest.approx(fpga[-1]["embodied"])
+    assert asic[-1]["embodied"] > asic[0]["embodied"]
+
+
+def test_unknown_platform(num_apps_sweep):
+    with pytest.raises(KeyError):
+        breakdown_from_sweep(num_apps_sweep, "gpu")
+
+
+def test_breakdown_table_rows():
+    fp = CarbonFootprint(design=1.0, manufacturing=2.0, operational=7.0)
+    rows = breakdown_table(fp)
+    assert len(rows) == len(CarbonFootprint.COMPONENTS)
+    names = [r[0] for r in rows]
+    assert names == list(CarbonFootprint.COMPONENTS)
+    design_row = rows[0]
+    assert design_row[1] == 1.0
+    assert design_row[2] == pytest.approx(0.1)

@@ -1,0 +1,86 @@
+"""Tests for the Table 2/3 testcase catalog."""
+
+import pytest
+
+from repro.devices.catalog import (
+    DOMAIN_NAMES,
+    INDUSTRY_ASICS,
+    INDUSTRY_FPGAS,
+    DomainSpec,
+    get_domain,
+    get_industry_device,
+    list_industry_devices,
+)
+from repro.errors import ParameterError, UnknownEntityError
+
+
+def test_three_domains_in_paper_order():
+    assert DOMAIN_NAMES == ("dnn", "imgproc", "crypto")
+
+
+def test_table2_ratios_verbatim():
+    assert get_domain("dnn").area_ratio == 4.0
+    assert get_domain("dnn").power_ratio == 3.0
+    assert get_domain("imgproc").area_ratio == 7.42
+    assert get_domain("imgproc").power_ratio == 1.25
+    assert get_domain("crypto").area_ratio == 1.0
+    assert get_domain("crypto").power_ratio == 1.0
+
+
+def test_domains_at_10nm():
+    for name in DOMAIN_NAMES:
+        assert get_domain(name).node_name == "10nm"
+
+
+def test_iso_performance_devices_apply_ratios():
+    domain = get_domain("dnn")
+    fpga = domain.fpga_device()
+    asic = domain.asic_device()
+    assert fpga.area_mm2 == pytest.approx(asic.area_mm2 * 4.0)
+    assert fpga.peak_power_w == pytest.approx(asic.peak_power_w * 3.0)
+
+
+def test_crypto_devices_identical_silicon():
+    domain = get_domain("crypto")
+    assert domain.fpga_device().area_mm2 == domain.asic_device().area_mm2
+    assert domain.fpga_device().peak_power_w == domain.asic_device().peak_power_w
+
+
+def test_unknown_domain():
+    with pytest.raises(UnknownEntityError):
+        get_domain("quantum")
+
+
+def test_table3_verbatim():
+    asic1 = get_industry_device("industry_asic1")
+    assert (asic1.area_mm2, asic1.peak_power_w, asic1.node_name) == (340.0, 70.0, "12nm")
+    asic2 = get_industry_device("industry_asic2")
+    assert (asic2.area_mm2, asic2.peak_power_w, asic2.node_name) == (600.0, 192.0, "7nm")
+    fpga1 = get_industry_device("industry_fpga1")
+    assert (fpga1.area_mm2, fpga1.peak_power_w, fpga1.node_name) == (380.0, 160.0, "14nm")
+    fpga2 = get_industry_device("industry_fpga2")
+    assert (fpga2.area_mm2, fpga2.peak_power_w, fpga2.node_name) == (550.0, 220.0, "10nm")
+
+
+def test_industry_listing_complete():
+    assert len(list_industry_devices()) == 4
+    assert set(INDUSTRY_ASICS) | set(INDUSTRY_FPGAS) == set(list_industry_devices())
+
+
+def test_unknown_industry_device():
+    with pytest.raises(UnknownEntityError):
+        get_industry_device("industry_gpu1")
+
+
+def test_domain_spec_validation():
+    with pytest.raises(ParameterError):
+        DomainSpec("bad", area_ratio=0.0, power_ratio=1.0, asic_area_mm2=10.0,
+                   asic_power_w=1.0)
+
+
+def test_fpga_areas_under_reticle_limit():
+    """All iso-performance FPGAs must be manufacturable monolithically."""
+    from repro.units import RETICLE_LIMIT_MM2
+
+    for name in DOMAIN_NAMES:
+        assert get_domain(name).fpga_device().area_mm2 <= RETICLE_LIMIT_MM2

@@ -1,0 +1,52 @@
+"""Tests for the greenfpga CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out
+    assert "dnn" in out
+    assert "industry_fpga1" in out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "--domain", "crypto", "--apps", "3",
+                 "--lifetime", "1.0", "--volume", "1e5"]) == 0
+    out = capsys.readouterr().out
+    assert "FPGA" in out and "ASIC" in out
+    assert "winner" in out.lower()
+
+
+def test_compare_default_arguments(capsys):
+    assert main(["compare"]) == 0
+    assert "ratio" in capsys.readouterr().out
+
+
+def test_run_command(capsys):
+    assert main(["run", "fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "fig2" in out
+
+
+def test_run_with_csv_export(tmp_path, capsys):
+    assert main(["run", "tables", "--csv-dir", str(tmp_path)]) == 0
+    assert list(tmp_path.glob("tables_*.csv"))
+
+
+def test_run_unknown_experiment():
+    with pytest.raises(KeyError):
+        main(["run", "fig99"])
+
+
+def test_bad_domain_rejected():
+    with pytest.raises(SystemExit):
+        main(["compare", "--domain", "gpu"])
+
+
+def test_no_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,72 @@
+"""Tests for the FPGA-vs-ASIC comparison layer."""
+
+import pytest
+
+from repro.core.comparison import PlatformComparator, compare_domain
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.devices.catalog import get_domain
+
+
+def test_for_domain_builds_iso_performance_pair(suite):
+    comparator = PlatformComparator.for_domain("dnn", suite)
+    domain = get_domain("dnn")
+    assert comparator.fpga_device.area_mm2 == pytest.approx(
+        domain.asic_area_mm2 * domain.area_ratio
+    )
+    assert comparator.asic_device.area_mm2 == domain.asic_area_mm2
+
+
+def test_ratio_definition(dnn_comparator, baseline_scenario):
+    result = dnn_comparator.compare(baseline_scenario)
+    assert result.ratio == pytest.approx(
+        result.fpga.footprint.total / result.asic.footprint.total
+    )
+
+
+def test_winner_consistent_with_ratio(dnn_comparator, baseline_scenario):
+    result = dnn_comparator.compare(baseline_scenario)
+    if result.ratio < 1.0:
+        assert result.winner == "fpga"
+        assert result.fpga_advantage_kg > 0.0
+    else:
+        assert result.winner == "asic"
+        assert result.fpga_advantage_kg <= 0.0
+
+
+def test_summary_keys(dnn_comparator, small_scenario):
+    summary = dnn_comparator.compare(small_scenario).summary()
+    assert set(summary) == {
+        "fpga_total_kg", "asic_total_kg", "ratio", "winner", "fpga_advantage_kg",
+    }
+
+
+def test_compare_domain_convenience(baseline_scenario):
+    result = compare_domain("crypto", baseline_scenario)
+    assert result.winner == "fpga"  # crypto FPGA always wins
+
+
+def test_domain_spec_instance_accepted(baseline_scenario, suite):
+    result = compare_domain(get_domain("dnn"), baseline_scenario, suite)
+    assert result.ratio > 0.0
+
+
+def test_custom_suite_changes_outcome(baseline_scenario):
+    from repro.operation.energy import OperatingProfile
+    from repro.operation.model import OperationModel
+
+    # A coal-powered deployment inflates FPGA operational penalty (3x power).
+    dirty = ModelSuite.default().with_overrides(
+        operation=OperationModel(energy_source="coal",
+                                 profile=OperatingProfile(duty_cycle=0.9))
+    )
+    base = compare_domain("dnn", baseline_scenario).ratio
+    coal = compare_domain("dnn", baseline_scenario, dirty).ratio
+    assert coal > base
+
+
+def test_crypto_single_app_near_parity(suite):
+    """Same silicon, same power: only design/app-dev differ at 1 app."""
+    scenario = Scenario(num_apps=1, app_lifetime_years=2.0, volume=1_000_000)
+    result = compare_domain("crypto", scenario, suite)
+    assert result.ratio == pytest.approx(1.0, abs=0.15)

@@ -1,0 +1,94 @@
+"""Tests for the Table 1 parameter set and suite building."""
+
+import pytest
+
+from repro.config import TABLE1_RANGES, Parameters, default_parameters
+from repro.core.suite import ModelSuite
+from repro.errors import ConfigError, ParameterError
+
+
+def test_defaults_validate():
+    default_parameters().validate()
+
+
+def test_table1_ranges_match_paper():
+    assert TABLE1_RANGES["recycle_credit_mtco2e_per_ton"].low == 7.65
+    assert TABLE1_RANGES["recycle_credit_mtco2e_per_ton"].high == 29.83
+    assert TABLE1_RANGES["discard_mtco2e_per_ton"].high == 2.08
+    assert TABLE1_RANGES["design_energy_gwh"].low == 2.0
+    assert TABLE1_RANGES["design_energy_gwh"].high == 7.3
+    assert TABLE1_RANGES["design_carbon_intensity_g_per_kwh"].high == 700.0
+    assert TABLE1_RANGES["frontend_months"].low == 1.5
+    assert TABLE1_RANGES["backend_months"].high == 1.5
+    assert TABLE1_RANGES["project_years"].high == 3.0
+
+
+def test_validate_rejects_out_of_range():
+    params = default_parameters().with_overrides(frontend_months=6.0)
+    with pytest.raises(ParameterError, match="frontend_months"):
+        params.validate()
+
+
+def test_build_suite_wires_parameters():
+    params = default_parameters().with_overrides(
+        recycled_material_fraction=0.5,
+        duty_cycle=0.7,
+        eol_recycled_fraction=0.9,
+    )
+    suite = params.build_suite()
+    assert isinstance(suite, ModelSuite)
+    assert suite.manufacturing.recycled_fraction == 0.5
+    assert suite.operation.profile.duty_cycle == 0.7
+    assert suite.eol.recycled_fraction == 0.9
+    assert suite.asic_effort.per_application_hours() == 0.0
+
+
+def test_build_suite_asic_software_flow():
+    suite = default_parameters().with_overrides(asic_software_months=1.0).build_suite()
+    assert suite.asic_effort.per_application_hours() > 0.0
+
+
+def test_json_round_trip(tmp_path):
+    params = default_parameters().with_overrides(duty_cycle=0.42, pue=1.5)
+    path = tmp_path / "params.json"
+    params.to_json(path)
+    loaded = Parameters.from_json(path)
+    assert loaded == params
+
+
+def test_json_string_round_trip():
+    params = default_parameters()
+    assert Parameters.from_json(params.to_json()) == params
+
+
+def test_from_json_rejects_malformed():
+    with pytest.raises(ConfigError):
+        Parameters.from_json("{not json")
+
+
+def test_from_json_rejects_unknown_fields():
+    with pytest.raises(ConfigError, match="unknown parameter"):
+        Parameters.from_json('{"warp_factor": 9}')
+
+
+def test_from_json_rejects_non_object():
+    with pytest.raises(ConfigError):
+        Parameters.from_json("[1, 2, 3]")
+
+
+def test_with_overrides_is_pure():
+    params = default_parameters()
+    changed = params.with_overrides(pue=2.0)
+    assert params.pue != 2.0
+    assert changed.pue == 2.0
+
+
+def test_suite_from_parameters_produces_same_results_as_default():
+    """Parameters() defaults must reproduce ModelSuite.default() behaviour."""
+    from repro.core.comparison import compare_domain
+    from repro.core.scenario import Scenario
+
+    scenario = Scenario(num_apps=2, app_lifetime_years=1.0, volume=1000)
+    via_params = compare_domain("dnn", scenario, default_parameters().build_suite())
+    via_default = compare_domain("dnn", scenario, ModelSuite.default())
+    assert via_params.ratio == pytest.approx(via_default.ratio)

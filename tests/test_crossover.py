@@ -1,0 +1,107 @@
+"""Tests for A2F/F2A crossover detection (with hypothesis properties)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.crossover import find_crossovers, first_crossover
+from repro.errors import ParameterError
+
+
+def test_simple_a2f():
+    # FPGA starts above, ends below.
+    crossings = find_crossovers([1, 2, 3], [10, 5, 1], [4, 4, 4])
+    assert len(crossings) == 1
+    assert crossings[0].kind == "A2F"
+    assert 1.0 < crossings[0].x < 3.0
+
+
+def test_simple_f2a():
+    crossings = find_crossovers([1, 2], [1, 10], [5, 5])
+    assert crossings[0].kind == "F2A"
+
+
+def test_interpolation_exact_midpoint():
+    # diff goes +2 -> -2: crossover exactly halfway.
+    crossings = find_crossovers([0, 1], [6, 2], [4, 4])
+    assert crossings[0].x == pytest.approx(0.5)
+
+
+def test_no_crossover():
+    assert find_crossovers([1, 2, 3], [1, 2, 3], [4, 5, 6]) == []
+
+
+def test_multiple_crossovers_ordered():
+    # FPGA oscillates around ASIC.
+    crossings = find_crossovers([0, 1, 2, 3], [2, -2, 2, -2], [0, 0, 0, 0])
+    kinds = [c.kind for c in crossings]
+    assert kinds == ["A2F", "F2A", "A2F"]
+    xs = [c.x for c in crossings]
+    assert xs == sorted(xs)
+
+
+def test_exact_zero_at_grid_point_between_signs():
+    # diff = +1, 0, -1: the zero grid point is the crossover itself.
+    crossings = find_crossovers([0, 1, 2], [5, 4, 3], [4, 4, 4])
+    assert len(crossings) == 1
+    assert crossings[0].kind == "A2F"
+    assert crossings[0].x == pytest.approx(1.0)
+
+
+def test_tangent_zero_is_not_a_crossover():
+    # diff = 0, +1, 0, +1: the curves touch but never cross.
+    assert find_crossovers([0, 1, 2, 3], [0, 1, 0, 1], [0, 0, 0, 0]) == []
+
+
+def test_first_crossover_filter():
+    xs, fpga, asic = [0, 1, 2, 3], [2, -2, 2, -2], [0, 0, 0, 0]
+    assert first_crossover(xs, fpga, asic).kind == "A2F"
+    assert first_crossover(xs, fpga, asic, kind="F2A").kind == "F2A"
+    assert first_crossover([0, 1], [1, 2], [0, 0], kind="A2F") is None
+
+
+def test_length_mismatch():
+    with pytest.raises(ParameterError):
+        find_crossovers([1, 2], [1], [1, 2])
+
+
+def test_non_increasing_xs():
+    with pytest.raises(ParameterError):
+        find_crossovers([1, 1], [1, 2], [2, 1])
+
+
+def test_short_input_no_crossovers():
+    assert find_crossovers([1], [1], [2]) == []
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        ),
+        min_size=2,
+        max_size=30,
+    )
+)
+def test_crossovers_lie_within_bracket(points):
+    xs = list(range(len(points)))
+    fpga = [p[0] for p in points]
+    asic = [p[1] for p in points]
+    for crossing in find_crossovers(xs, fpga, asic):
+        assert xs[0] <= crossing.x <= xs[-1]
+        assert 0 <= crossing.left_index < len(xs) - 1
+
+
+@given(
+    st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+             min_size=2, max_size=30)
+)
+def test_alternating_kinds(diffs):
+    """Consecutive crossovers must alternate A2F/F2A."""
+    xs = list(range(len(diffs)))
+    fpga = diffs
+    asic = [0.0] * len(diffs)
+    kinds = [c.kind for c in find_crossovers(xs, fpga, asic)]
+    for a, b in zip(kinds, kinds[1:]):
+        assert a != b

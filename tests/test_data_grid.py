@@ -1,0 +1,63 @@
+"""Tests for the grid carbon-intensity dataset."""
+
+import pytest
+
+from repro.data.grid import (
+    GridRegion,
+    carbon_intensity_kg_per_kwh,
+    get_region,
+    list_regions,
+)
+from repro.errors import ParameterError, UnknownEntityError
+
+
+def test_known_sources_present():
+    names = list_regions()
+    for expected in ("coal", "wind", "taiwan", "usa", "world", "green_datacenter"):
+        assert expected in names
+
+
+def test_coal_dirtier_than_wind():
+    assert get_region("coal").intensity_g_per_kwh > get_region("wind").intensity_g_per_kwh
+
+
+def test_intensity_kg_property():
+    region = get_region("world")
+    assert region.intensity_kg_per_kwh == pytest.approx(0.475)
+
+
+def test_resolver_accepts_name():
+    assert carbon_intensity_kg_per_kwh("taiwan") == pytest.approx(0.509)
+
+
+def test_resolver_accepts_region_instance():
+    region = get_region("usa")
+    assert carbon_intensity_kg_per_kwh(region) == region.intensity_kg_per_kwh
+
+
+def test_resolver_accepts_numeric_g_per_kwh():
+    # Numbers are interpreted as g CO2e/kWh, Table 1's unit.
+    assert carbon_intensity_kg_per_kwh(700.0) == pytest.approx(0.7)
+    assert carbon_intensity_kg_per_kwh(30) == pytest.approx(0.03)
+
+
+def test_resolver_rejects_negative_numeric():
+    with pytest.raises(ParameterError):
+        carbon_intensity_kg_per_kwh(-1.0)
+
+
+def test_resolver_unknown_name():
+    with pytest.raises(UnknownEntityError):
+        carbon_intensity_kg_per_kwh("atlantis")
+
+
+def test_region_validation():
+    with pytest.raises(ParameterError):
+        GridRegion("bad", -5.0, 0.0, "negative intensity")
+
+
+def test_paper_table1_design_intensity_range_covered():
+    # Table 1: C_src,des spans 30-700 g/kWh; our sources bracket it.
+    intensities = [get_region(n).intensity_g_per_kwh for n in list_regions()]
+    assert min(intensities) < 30.0
+    assert max(intensities) > 700.0

@@ -1,0 +1,85 @@
+"""Tests for the technology-node dataset."""
+
+import pytest
+
+from repro.data.nodes import TechnologyNode, get_node, list_nodes
+from repro.errors import ParameterError, UnknownEntityError
+
+
+def test_list_nodes_order_and_count():
+    names = list_nodes()
+    assert names[0] == "28nm"
+    assert names[-1] == "3nm"
+    assert len(names) == 11
+
+
+def test_get_node_by_name_and_number():
+    assert get_node("10nm").feature_nm == 10.0
+    assert get_node(10) is get_node("10nm")
+    assert get_node(7.0).name == "7nm"
+    assert get_node("  14NM ").name == "14nm"
+
+
+def test_get_node_unknown():
+    with pytest.raises(UnknownEntityError):
+        get_node("9nm")
+
+
+def test_epa_monotone_toward_advanced_nodes():
+    nodes = [get_node(name) for name in list_nodes()]
+    epas = [n.epa_kwh_per_cm2 for n in nodes]
+    assert epas == sorted(epas), "EPA must grow toward advanced nodes"
+
+
+def test_gate_density_monotone():
+    nodes = [get_node(name) for name in list_nodes()]
+    densities = [n.gate_density_mgates_per_mm2 for n in nodes]
+    assert densities == sorted(densities)
+
+
+def test_recycled_mpa_below_new():
+    for name in list_nodes():
+        node = get_node(name)
+        assert node.mpa_recycled_kg_per_cm2 < node.mpa_new_kg_per_cm2
+
+
+def test_defect_density_positive_everywhere():
+    assert all(get_node(n).defect_density_per_cm2 > 0 for n in list_nodes())
+
+
+def test_with_overrides_returns_copy():
+    node = get_node("10nm")
+    custom = node.with_overrides(defect_density_per_cm2=0.5)
+    assert custom.defect_density_per_cm2 == 0.5
+    assert node.defect_density_per_cm2 != 0.5
+    assert custom.name == node.name
+
+
+def test_invalid_node_construction():
+    with pytest.raises(ParameterError):
+        TechnologyNode(
+            name="bad",
+            feature_nm=-1.0,
+            epa_kwh_per_cm2=1.0,
+            gpa_kg_per_cm2=0.1,
+            mpa_new_kg_per_cm2=0.1,
+            mpa_recycled_kg_per_cm2=0.05,
+            defect_density_per_cm2=0.1,
+            line_yield=0.98,
+            gate_density_mgates_per_mm2=10.0,
+        )
+
+
+def test_line_yield_must_be_fraction():
+    with pytest.raises(ParameterError):
+        TechnologyNode(
+            name="bad",
+            feature_nm=10.0,
+            epa_kwh_per_cm2=1.0,
+            gpa_kg_per_cm2=0.1,
+            mpa_new_kg_per_cm2=0.1,
+            mpa_recycled_kg_per_cm2=0.05,
+            defect_density_per_cm2=0.1,
+            line_yield=1.2,
+            gate_density_mgates_per_mm2=10.0,
+        )

@@ -1,0 +1,38 @@
+"""Tests for the design-house report dataset."""
+
+import pytest
+
+from repro.config import TABLE1_RANGES
+from repro.data.reports import DEFAULT_REPORT, get_report, list_reports
+from repro.errors import UnknownEntityError
+
+
+def test_default_report_exists():
+    assert DEFAULT_REPORT in list_reports()
+
+
+def test_reports_within_table1_ranges():
+    energy_range = TABLE1_RANGES["design_energy_gwh"]
+    employee_range = TABLE1_RANGES["design_house_employees"]
+    project_range = TABLE1_RANGES["project_years"]
+    for name in list_reports():
+        report = get_report(name)
+        assert energy_range.contains(report.annual_energy_gwh), name
+        assert employee_range.contains(float(report.total_employees)), name
+        assert project_range.contains(report.typical_project_years), name
+
+
+def test_energy_per_employee_year():
+    report = get_report("design_house_b")
+    expected = 7.3e6 / 26_000
+    assert report.energy_kwh_per_employee_year() == pytest.approx(expected)
+
+
+def test_unknown_report():
+    with pytest.raises(UnknownEntityError):
+        get_report("design_house_z")
+
+
+def test_renewable_fraction_is_fraction():
+    for name in list_reports():
+        assert 0.0 <= get_report(name).renewable_fraction <= 1.0

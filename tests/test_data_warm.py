@@ -1,0 +1,42 @@
+"""Tests for the EPA WARM end-of-life dataset."""
+
+import pytest
+
+from repro.config import TABLE1_RANGES
+from repro.data.warm import get_material, list_materials
+from repro.errors import UnknownEntityError
+
+
+def test_default_material_exists():
+    entry = get_material("mixed_electronics")
+    assert entry.recycle_credit_mtco2e_per_ton > 0
+
+
+def test_all_materials_within_table1_ranges():
+    credit_range = TABLE1_RANGES["recycle_credit_mtco2e_per_ton"]
+    discard_range = TABLE1_RANGES["discard_mtco2e_per_ton"]
+    for name in list_materials():
+        entry = get_material(name)
+        assert credit_range.contains(entry.recycle_credit_mtco2e_per_ton), name
+        assert discard_range.contains(entry.discard_mtco2e_per_ton), name
+
+
+def test_mtco2e_per_ton_equals_kg_per_kg():
+    entry = get_material("copper")
+    assert entry.recycle_credit_kg_per_kg == entry.recycle_credit_mtco2e_per_ton
+    assert entry.discard_kg_per_kg == entry.discard_mtco2e_per_ton
+
+
+def test_unknown_material():
+    with pytest.raises(UnknownEntityError):
+        get_material("vibranium")
+
+
+def test_recycled_content_is_fraction():
+    for name in list_materials():
+        entry = get_material(name)
+        assert 0.0 <= entry.typical_recycled_content <= 1.0
+
+
+def test_lookup_is_case_insensitive():
+    assert get_material(" Copper ") is get_material("copper")

@@ -1,0 +1,98 @@
+"""Tests for the Eq. (4) design CFP model."""
+
+import pytest
+
+from repro.data.reports import get_report
+from repro.design.model import DesignModel, DesignTeam
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def model():
+    return DesignModel()
+
+
+def test_average_chip_has_unity_gate_scale(model):
+    report = get_report("design_house_b")
+    result = model.assess_project(report.avg_gates_per_chip_mgates)
+    assert result.gate_scale == pytest.approx(1.0)
+
+
+def test_reduced_equation_form():
+    """C_des = E_des * CI * T_proj * scale * overhead for the average chip."""
+    model = DesignModel(energy_source=400.0, overhead_factor=1.0)
+    report = get_report("design_house_b")
+    result = model.assess_project(report.avg_gates_per_chip_mgates)
+    expected = 7.3e6 * 0.4 * report.typical_project_years
+    assert result.total_kg == pytest.approx(expected)
+
+
+def test_sublinear_gate_scaling(model):
+    report = get_report("design_house_b")
+    avg = report.avg_gates_per_chip_mgates
+    double = model.project_kg(2 * avg) / model.project_kg(avg)
+    assert 1.0 < double < 2.0
+
+
+def test_beta_one_recovers_proportional_form():
+    model = DesignModel(gate_scaling_beta=1.0)
+    report = get_report("design_house_b")
+    avg = report.avg_gates_per_chip_mgates
+    assert model.project_kg(2 * avg) == pytest.approx(2 * model.project_kg(avg))
+
+
+def test_beta_zero_removes_size_dependence():
+    model = DesignModel(gate_scaling_beta=0.0)
+    assert model.project_kg(100.0) == pytest.approx(model.project_kg(10_000.0))
+
+
+def test_team_overrides_duration(model):
+    short = model.project_kg(1000.0, DesignTeam(project_years=1.0))
+    long = model.project_kg(1000.0, DesignTeam(project_years=3.0))
+    assert long == pytest.approx(3 * short)
+
+
+def test_cleaner_energy_source_lowers_cfp():
+    dirty = DesignModel(energy_source="coal")
+    clean = DesignModel(energy_source="wind")
+    assert clean.project_kg(1000.0) < dirty.project_kg(1000.0)
+
+
+def test_numeric_energy_source_in_table1_units():
+    # 700 g/kWh (Table 1 upper bound) -> 0.7 kg/kWh.
+    model = DesignModel(energy_source=700.0)
+    assert model.carbon_intensity() == pytest.approx(0.7)
+
+
+def test_default_blend_uses_renewable_fraction():
+    model = DesignModel(report="design_house_a")  # 10% renewable
+    blended = model.carbon_intensity()
+    assert 0.05 < blended <= 0.38
+
+
+def test_allocation_scales_linearly():
+    half = DesignModel(allocation=0.5)
+    full = DesignModel(allocation=1.0)
+    assert full.project_kg(1000.0) == pytest.approx(2 * half.project_kg(1000.0))
+
+
+def test_rejects_non_positive_gates(model):
+    with pytest.raises(ParameterError):
+        model.assess_project(0.0)
+
+
+def test_rejects_bad_team():
+    with pytest.raises(ParameterError):
+        DesignTeam(engineers=0.0)
+    with pytest.raises(ParameterError):
+        DesignTeam(project_years=-1.0)
+
+
+def test_per_employee_reporting_positive(model):
+    assert model.cfp_per_employee_year_kg() > 0.0
+
+
+def test_design_cfp_magnitude_kt_scale(model):
+    """Calibration: a flagship project lands in the ktCO2e range."""
+    total = model.project_kg(3000.0)
+    assert 1.0e6 < total < 2.0e7

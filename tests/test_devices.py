@@ -1,0 +1,78 @@
+"""Tests for FPGA/ASIC device specs and N_FPGA sizing."""
+
+import pytest
+
+from repro.devices.asic import AsicDevice
+from repro.devices.fpga import FpgaDevice
+from repro.errors import ParameterError
+
+
+class TestAsicDevice:
+    def test_gates_derived_from_area(self):
+        device = AsicDevice("a", area_mm2=100.0, node_name="10nm", peak_power_w=5.0)
+        assert device.logic_gates_mgates == pytest.approx(100.0 * 11.5)
+
+    def test_explicit_gates_override(self):
+        device = AsicDevice(
+            "a", area_mm2=100.0, node_name="10nm", peak_power_w=5.0, gates_mgates=42.0
+        )
+        assert device.logic_gates_mgates == 42.0
+
+    def test_node_resolution(self):
+        device = AsicDevice("a", area_mm2=100.0, node_name="7nm", peak_power_w=5.0)
+        assert device.node.feature_nm == 7.0
+
+    def test_default_lifetime_in_paper_range(self):
+        device = AsicDevice("a", area_mm2=100.0, node_name="10nm", peak_power_w=5.0)
+        assert 5.0 <= device.chip_lifetime_years <= 8.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            AsicDevice("a", area_mm2=-1.0, node_name="10nm", peak_power_w=5.0)
+        with pytest.raises(ParameterError):
+            AsicDevice("a", area_mm2=10.0, node_name="10nm", peak_power_w=0.0)
+
+
+class TestFpgaDevice:
+    def test_default_lifetime_matches_paper(self):
+        device = FpgaDevice("f", area_mm2=100.0, node_name="10nm", peak_power_w=5.0)
+        assert device.chip_lifetime_years == 15.0
+
+    def test_capacity_derived_with_fabric_overhead(self):
+        device = FpgaDevice("f", area_mm2=100.0, node_name="10nm", peak_power_w=5.0)
+        raw = 100.0 * 11.5
+        assert device.logic_capacity_mgates == pytest.approx(raw / device.fabric_overhead)
+
+    def test_explicit_capacity(self):
+        device = FpgaDevice(
+            "f", area_mm2=100.0, node_name="10nm", peak_power_w=5.0, capacity_mgates=50.0
+        )
+        assert device.logic_capacity_mgates == 50.0
+
+    def test_units_required_default_is_one(self):
+        device = FpgaDevice("f", area_mm2=100.0, node_name="10nm", peak_power_w=5.0)
+        assert device.units_required(None) == 1
+
+    def test_units_required_ceil(self):
+        device = FpgaDevice(
+            "f", area_mm2=100.0, node_name="10nm", peak_power_w=5.0, capacity_mgates=10.0
+        )
+        assert device.units_required(10.0) == 1
+        assert device.units_required(10.1) == 2
+        assert device.units_required(35.0) == 4
+
+    def test_units_required_small_app(self):
+        device = FpgaDevice(
+            "f", area_mm2=100.0, node_name="10nm", peak_power_w=5.0, capacity_mgates=10.0
+        )
+        assert device.units_required(0.001) == 1
+
+    def test_units_required_rejects_non_positive(self):
+        device = FpgaDevice("f", area_mm2=100.0, node_name="10nm", peak_power_w=5.0)
+        with pytest.raises(ParameterError):
+            device.units_required(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FpgaDevice("f", area_mm2=100.0, node_name="10nm", peak_power_w=5.0,
+                       fabric_overhead=0.0)

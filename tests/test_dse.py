@@ -1,0 +1,89 @@
+"""Tests for carbon-aware design-space exploration."""
+
+import pytest
+
+from repro.analysis.dse import explore
+from repro.config import Parameters
+from repro.core.scenario import Scenario
+from repro.errors import ParameterError
+
+SCENARIO = Scenario(num_apps=3, app_lifetime_years=1.0, volume=50_000)
+
+
+@pytest.fixture(scope="module")
+def result():
+    grid = {
+        "use_energy_source": ["wind", "coal"],
+        "recycled_material_fraction": [0.0, 1.0],
+    }
+    return explore("dnn", SCENARIO, grid)
+
+
+def test_grid_cartesian_product(result):
+    assert len(result.points) == 4
+
+
+def test_rows_carry_overrides(result):
+    row = result.points[0].as_row()
+    assert "use_energy_source" in row
+    assert "ratio" in row and "winner" in row
+
+
+def test_best_is_minimum(result):
+    best = result.best()
+    assert best.best_total_kg == min(p.best_total_kg for p in result.points)
+
+
+def test_ranked_order(result):
+    ranked = result.ranked()
+    values = [p.best_total_kg for p in ranked]
+    assert values == sorted(values)
+
+
+def test_wind_beats_coal(result):
+    by_source = {}
+    for point in result.points:
+        if point.overrides["recycled_material_fraction"] == 0.0:
+            by_source[point.overrides["use_energy_source"]] = point.best_total_kg
+    assert by_source["wind"] < by_source["coal"]
+
+
+def test_pareto_front_non_dominated(result):
+    front = result.pareto_front()
+    assert front
+    for candidate in front:
+        for other in result.points:
+            dominates = (
+                other.fpga_total_kg <= candidate.fpga_total_kg
+                and other.asic_total_kg <= candidate.asic_total_kg
+                and (
+                    other.fpga_total_kg < candidate.fpga_total_kg
+                    or other.asic_total_kg < candidate.asic_total_kg
+                )
+            )
+            assert not dominates
+
+
+def test_pareto_single_objective_is_best(result):
+    front = result.pareto_front(objectives=("best_total_kg",))
+    assert len({p.best_total_kg for p in front}) == 1
+    assert front[0].best_total_kg == result.best().best_total_kg
+
+
+def test_custom_base_parameters():
+    grid = {"duty_cycle": [0.1, 0.9]}
+    base = Parameters().with_overrides(use_energy_source="coal")
+    result = explore("crypto", SCENARIO, grid, base=base)
+    assert len(result.points) == 2
+    low, high = sorted(result.points, key=lambda p: p.overrides["duty_cycle"])
+    assert high.fpga_total_kg > low.fpga_total_kg
+
+
+def test_empty_grid_rejected():
+    with pytest.raises(ParameterError):
+        explore("dnn", SCENARIO, {})
+
+
+def test_empty_objectives_rejected(result):
+    with pytest.raises(ParameterError):
+        result.pareto_front(objectives=())

@@ -1,0 +1,79 @@
+"""Tests for the Eq. (6) end-of-life model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.warm import get_material
+from repro.eol.model import EolModel
+from repro.errors import ParameterError
+
+
+def test_zero_mass_zero_footprint():
+    assert EolModel().per_chip_kg(0.0) == 0.0
+
+
+def test_equation_six_literal():
+    """C_EOL = (1-d)*C_dis - d*C_recycle (+ transport), per kg."""
+    model = EolModel(recycled_fraction=0.4, material="copper", transport_kg_per_kg=0.0)
+    factors = get_material("copper")
+    mass_g = 500.0
+    expected = (
+        0.6 * factors.discard_kg_per_kg - 0.4 * factors.recycle_credit_kg_per_kg
+    ) * 0.5
+    assert model.per_chip_kg(mass_g) == pytest.approx(expected)
+
+
+def test_full_recycling_is_net_credit():
+    model = EolModel(recycled_fraction=1.0, transport_kg_per_kg=0.0)
+    assert model.per_chip_kg(100.0) < 0.0
+
+
+def test_no_recycling_is_pure_discard():
+    model = EolModel(recycled_fraction=0.0, transport_kg_per_kg=0.0)
+    result = model.assess_chip(100.0)
+    assert result.recycle_credit_kg == 0.0
+    assert result.total_kg == pytest.approx(result.discard_kg)
+    assert result.total_kg > 0.0
+
+
+@given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_more_recycling_never_increases_footprint(delta):
+    base = EolModel(recycled_fraction=0.0).per_chip_kg(100.0)
+    assert EolModel(recycled_fraction=delta).per_chip_kg(100.0) <= base
+
+
+@given(st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False))
+def test_footprint_linear_in_mass(mass_g):
+    model = EolModel()
+    one = model.per_chip_kg(1.0)
+    assert model.per_chip_kg(mass_g) == pytest.approx(one * mass_g, abs=1e-9)
+
+
+def test_transport_always_charged():
+    with_t = EolModel(recycled_fraction=1.0, transport_kg_per_kg=0.5)
+    without = EolModel(recycled_fraction=1.0, transport_kg_per_kg=0.0)
+    assert with_t.per_chip_kg(1000.0) == pytest.approx(
+        without.per_chip_kg(1000.0) + 0.5
+    )
+
+
+def test_chip_scale_eol_is_small():
+    """Per-chip EOL is grams-scale mass -> sub-kg CFP (paper Sec. 4.3)."""
+    assert abs(EolModel().per_chip_kg(30.0)) < 1.0
+
+
+def test_rejects_negative_mass():
+    with pytest.raises(ParameterError):
+        EolModel().assess_chip(-1.0)
+
+
+def test_rejects_bad_fraction():
+    with pytest.raises(ParameterError):
+        EolModel(recycled_fraction=1.2)
+
+
+def test_material_instance_accepted():
+    factors = get_material("aluminum")
+    model = EolModel(material=factors)
+    assert model.assess_chip(10.0).mass_g == 10.0

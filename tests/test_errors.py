@@ -1,0 +1,64 @@
+"""Tests for the error hierarchy and validators."""
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    ConfigError,
+    GreenFpgaError,
+    ParameterError,
+    UnknownEntityError,
+    require,
+    require_fraction,
+    require_non_negative,
+    require_positive,
+)
+
+
+def test_hierarchy():
+    assert issubclass(ParameterError, GreenFpgaError)
+    assert issubclass(ParameterError, ValueError)
+    assert issubclass(ConfigError, GreenFpgaError)
+    assert issubclass(UnknownEntityError, KeyError)
+    assert issubclass(CapacityError, GreenFpgaError)
+
+
+def test_unknown_entity_message_lists_known():
+    err = UnknownEntityError("node", "9nm", ["10nm", "7nm"])
+    assert "9nm" in str(err)
+    assert "10nm" in str(err)
+    assert err.known == ["10nm", "7nm"]
+
+
+def test_require_passes_and_fails():
+    require(True, "fine")
+    with pytest.raises(ParameterError, match="broken"):
+        require(False, "broken")
+
+
+def test_require_positive():
+    assert require_positive(1.5, "x") == 1.5
+    with pytest.raises(ParameterError):
+        require_positive(0.0, "x")
+    with pytest.raises(ParameterError):
+        require_positive(-1.0, "x")
+
+
+def test_require_non_negative():
+    assert require_non_negative(0.0, "x") == 0.0
+    with pytest.raises(ParameterError):
+        require_non_negative(-0.1, "x")
+
+
+def test_require_fraction():
+    assert require_fraction(0.0, "x") == 0.0
+    assert require_fraction(1.0, "x") == 1.0
+    with pytest.raises(ParameterError):
+        require_fraction(1.1, "x")
+    with pytest.raises(ParameterError):
+        require_fraction(-0.1, "x")
+
+
+def test_error_message_includes_name_and_value():
+    with pytest.raises(ParameterError, match="duty.*-3"):
+        require_non_negative(-3.0, "duty")

@@ -1,0 +1,88 @@
+"""Tests for the experiment modules and registry."""
+
+import pytest
+
+from repro.errors import UnknownEntityError
+from repro.experiments import fig2_motivation, fig4_num_apps, fig9_chip_lifetime
+from repro.experiments.base import ExperimentReport
+from repro.experiments.registry import EXPERIMENT_IDS, list_experiments, run_experiment
+
+
+def test_registry_covers_every_paper_artifact():
+    paper = {"fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+             "fig10", "fig11", "tables", "calibration"}
+    extensions = {"ext_gpu", "ext_fleet", "ext_uncertainty"}
+    assert set(EXPERIMENT_IDS) == paper | extensions
+
+
+def test_list_experiments_descriptions():
+    listing = dict(list_experiments())
+    assert set(listing) == set(EXPERIMENT_IDS)
+    assert all(listing.values())
+
+
+def test_unknown_experiment():
+    with pytest.raises(UnknownEntityError):
+        run_experiment("fig99")
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+def test_every_experiment_runs_and_renders(experiment_id):
+    report = run_experiment(experiment_id)
+    assert isinstance(report, ExperimentReport)
+    assert report.experiment_id == experiment_id
+    assert report.tables
+    text = report.render()
+    assert experiment_id in text
+    assert len(text) > 100
+
+
+def test_csv_export(tmp_path):
+    run_experiment("fig2", csv_dir=tmp_path)
+    files = list(tmp_path.glob("fig2_*.csv"))
+    assert files
+    assert all(f.stat().st_size > 0 for f in files)
+
+
+def test_fig2_ratio_shape():
+    one, ten = fig2_motivation.ratios()
+    assert one > 1.0, "single-app FPGA must be worse"
+    assert ten < 1.0, "ten-app FPGA must be better"
+
+
+def test_fig4_crypto_crosses_immediately():
+    _, crossings = fig4_num_apps.domain_sweep("crypto")
+    a2f = next(c for c in crossings if c.kind == "A2F")
+    assert a2f.x <= 2.0
+
+
+def test_fig9_jumps_at_chip_lifetime_multiples():
+    rows = fig9_chip_lifetime.domain_series("dnn")
+    jumps = fig9_chip_lifetime.jump_years(rows)
+    assert 16 in jumps and 31 in jumps
+    assert len(jumps) == 2  # 40-year horizon, 15-year lifetime
+
+
+def test_fig9_asic_has_no_generation_jumps():
+    rows = fig9_chip_lifetime.domain_series("dnn")
+    # ASIC totals grow smoothly: every yearly increment within 3x of median.
+    increments = [
+        b["asic_total_kg"] - a["asic_total_kg"] for a, b in zip(rows, rows[1:])
+    ]
+    median = sorted(increments)[len(increments) // 2]
+    assert all(inc < 3.0 * median for inc in increments)
+
+
+def test_tables_experiment_defaults_in_range():
+    report = run_experiment("tables")
+    rows = report.tables["table1_parameters"]
+    assert all(row["in_range"] for row in rows)
+
+
+def test_report_add_helpers():
+    report = ExperimentReport("x", "T", "D")
+    report.add_table("t", [{"a": 1}])
+    report.add_chart("chart")
+    report.add_note("note")
+    text = report.render()
+    assert "chart" in text and "note" in text and "T" in text

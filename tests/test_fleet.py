@@ -1,0 +1,105 @@
+"""Tests for the fleet-assignment planner."""
+
+import pytest
+
+from repro.core.suite import ModelSuite
+from repro.errors import ParameterError
+from repro.fleet.planner import Application, FleetPlan, FleetPlanner
+
+SUITE = ModelSuite.default()
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return FleetPlanner.for_domain("dnn", SUITE)
+
+
+def _apps(*specs):
+    return [Application(f"app{i}", t, v) for i, (t, v) in enumerate(specs)]
+
+
+class TestApplication:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Application("a", lifetime_years=0.0, volume=10)
+        with pytest.raises(ParameterError):
+            Application("a", lifetime_years=1.0, volume=0)
+
+
+class TestPlanner:
+    def test_rejects_empty_portfolio(self, planner):
+        with pytest.raises(ParameterError):
+            planner.plan([])
+
+    def test_rejects_duplicate_names(self, planner):
+        apps = [Application("x", 1.0, 10), Application("x", 2.0, 20)]
+        with pytest.raises(ParameterError):
+            planner.plan(apps)
+
+    def test_plan_partitions_portfolio(self, planner):
+        apps = _apps((1.0, 100_000), (6.0, 2_000_000), (0.5, 50_000))
+        plan = planner.plan(apps)
+        assert sorted(plan.fpga_apps + plan.asic_apps) == sorted(a.name for a in apps)
+        assert plan.exact
+
+    def test_mixed_never_worse_than_uniform(self, planner):
+        apps = _apps((1.0, 100_000), (6.0, 2_000_000), (0.5, 50_000),
+                     (2.0, 500_000), (1.5, 250_000))
+        plan = planner.plan(apps)
+        assert plan.total_kg <= plan.all_fpga_kg + 1e-6
+        assert plan.total_kg <= plan.all_asic_kg + 1e-6
+        assert plan.savings_vs_best_uniform_kg >= -1e-6
+
+    def test_short_lived_small_apps_go_fpga(self, planner):
+        """Churning small apps amortise the shared FPGA; the long-lived,
+        huge-volume flagship prefers its dedicated ASIC."""
+        apps = [
+            Application("flagship", 6.0, 2_000_000),
+            Application("pilot-a", 0.5, 50_000),
+            Application("pilot-b", 0.5, 50_000),
+            Application("pilot-c", 0.5, 50_000),
+        ]
+        assignment = planner.plan(apps).assignment()
+        assert assignment["pilot-a"] == "fpga"
+        assert assignment["pilot-b"] == "fpga"
+        assert assignment["pilot-c"] == "fpga"
+
+    def test_single_app_matches_direct_comparison(self, planner):
+        """One-app planning reduces to the paper's two-way comparison."""
+        from repro.core.comparison import PlatformComparator
+        from repro.core.scenario import Scenario
+
+        app = Application("only", 2.0, 1_000_000)
+        plan = planner.plan([app])
+        comparator = PlatformComparator.for_domain("dnn", SUITE)
+        ratio = comparator.ratio(
+            Scenario(num_apps=1, app_lifetime_years=2.0, volume=1_000_000)
+        )
+        expected = "fpga" if ratio < 1.0 else "asic"
+        assert plan.assignment()["only"] == expected
+
+    def test_exact_matches_greedy_on_equal_volumes(self, planner):
+        """With uniform volumes the greedy descent is provably optimal;
+        it must agree with subset enumeration."""
+        apps = _apps(*[(1.0, 100_000)] * 6)
+        exact_subset, exact_cost = planner._plan_exact(apps)
+        greedy_subset, greedy_cost = planner._plan_greedy(apps)
+        assert greedy_cost == pytest.approx(exact_cost)
+        assert greedy_subset == exact_subset
+
+    def test_large_portfolio_uses_greedy(self, planner):
+        apps = _apps(*[(1.0, 10_000)] * 16)
+        plan = planner.plan(apps)
+        assert not plan.exact
+        assert plan.total_kg <= min(plan.all_fpga_kg, plan.all_asic_kg) + 1e-6
+
+    def test_fleet_plan_assignment_roundtrip(self):
+        plan = FleetPlan(("a",), ("b",), 1.0, 2.0, 3.0, True)
+        assert plan.assignment() == {"a": "fpga", "b": "asic"}
+        assert plan.savings_vs_best_uniform_kg == pytest.approx(1.0)
+
+    def test_shared_embodied_sized_by_max_volume(self, planner):
+        """The shared FPGA fleet must cover the largest FPGA-assigned app."""
+        small = planner._fpga_shared_embodied(10_000)
+        large = planner._fpga_shared_embodied(1_000_000)
+        assert large > small

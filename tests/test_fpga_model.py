@@ -1,0 +1,100 @@
+"""Tests for the Eq. (2) FPGA lifecycle model."""
+
+import pytest
+
+from repro.core.fpga_model import FpgaLifecycleModel
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.devices.fpga import FpgaDevice
+
+
+@pytest.fixture
+def model(simple_fpga, suite):
+    return FpgaLifecycleModel(device=simple_fpga, suite=suite)
+
+
+def test_embodied_paid_once_across_apps(model):
+    one = model.assess(Scenario(num_apps=1, app_lifetime_years=1.0, volume=1000))
+    five = model.assess(Scenario(num_apps=5, app_lifetime_years=1.0, volume=1000))
+    assert five.footprint.manufacturing == pytest.approx(one.footprint.manufacturing)
+    assert five.footprint.design == pytest.approx(one.footprint.design)
+    assert five.footprint.packaging == pytest.approx(one.footprint.packaging)
+
+
+def test_operational_scales_with_apps(model):
+    one = model.assess(Scenario(num_apps=1, app_lifetime_years=1.0, volume=1000))
+    five = model.assess(Scenario(num_apps=5, app_lifetime_years=1.0, volume=1000))
+    assert five.footprint.operational == pytest.approx(5 * one.footprint.operational)
+
+
+def test_appdev_recurs_per_application(model):
+    one = model.assess(Scenario(num_apps=1, app_lifetime_years=1.0, volume=1000))
+    five = model.assess(Scenario(num_apps=5, app_lifetime_years=1.0, volume=1000))
+    assert five.footprint.appdev == pytest.approx(5 * one.footprint.appdev)
+    assert one.footprint.appdev > 0.0
+
+
+def test_heterogeneous_lifetimes_sum(model):
+    hetero = model.assess(Scenario(num_apps=2, app_lifetime_years=[1.0, 3.0], volume=1000))
+    uniform = model.assess(Scenario(num_apps=2, app_lifetime_years=2.0, volume=1000))
+    assert hetero.footprint.operational == pytest.approx(uniform.footprint.operational)
+
+
+def test_manufacturing_scales_with_volume(model):
+    small = model.assess(Scenario(num_apps=1, app_lifetime_years=1.0, volume=1000))
+    large = model.assess(Scenario(num_apps=1, app_lifetime_years=1.0, volume=2000))
+    assert large.footprint.manufacturing == pytest.approx(
+        2 * small.footprint.manufacturing
+    )
+    # Design does not scale with volume.
+    assert large.footprint.design == pytest.approx(small.footprint.design)
+
+
+def test_generations_only_with_enforcement(model):
+    long_run = Scenario(num_apps=20, app_lifetime_years=1.0, volume=10)
+    assert model.chip_generations(long_run) == 1
+    enforced = Scenario(
+        num_apps=20, app_lifetime_years=1.0, volume=10, enforce_chip_lifetime=True
+    )
+    assert model.chip_generations(enforced) == 2  # 20 y / 15 y lifetime
+
+
+def test_generation_boundary_exact(model):
+    at_limit = Scenario(
+        num_apps=15, app_lifetime_years=1.0, volume=10, enforce_chip_lifetime=True
+    )
+    assert model.chip_generations(at_limit) == 1
+    past = Scenario(
+        num_apps=16, app_lifetime_years=1.0, volume=10, enforce_chip_lifetime=True
+    )
+    assert model.chip_generations(past) == 2
+
+
+def test_generations_multiply_embodied_not_design(model):
+    base = Scenario(num_apps=15, app_lifetime_years=1.0, volume=100,
+                    enforce_chip_lifetime=True)
+    doubled = Scenario(num_apps=30, app_lifetime_years=1.0, volume=100,
+                       enforce_chip_lifetime=True)
+    a = model.assess(base)
+    b = model.assess(doubled)
+    assert b.generations == 2
+    assert b.footprint.manufacturing == pytest.approx(2 * a.footprint.manufacturing)
+    assert b.footprint.design == pytest.approx(a.footprint.design)
+
+
+def test_n_fpga_multiplies_fleet(suite):
+    device = FpgaDevice("f", area_mm2=100.0, node_name="10nm", peak_power_w=5.0,
+                        capacity_mgates=10.0)
+    model = FpgaLifecycleModel(device=device, suite=suite)
+    one = model.assess(Scenario(num_apps=1, app_lifetime_years=1.0, volume=100))
+    two = model.assess(Scenario(num_apps=1, app_lifetime_years=1.0, volume=100,
+                                app_size_mgates=15.0))
+    assert two.n_fpga_per_unit == 2
+    assert two.footprint.manufacturing == pytest.approx(2 * one.footprint.manufacturing)
+    assert two.footprint.operational == pytest.approx(2 * one.footprint.operational)
+
+
+def test_assessment_total_consistency(model, baseline_scenario):
+    assessment = model.assess(baseline_scenario)
+    assert assessment.total_kg == pytest.approx(assessment.footprint.total)
+    assert assessment.per_chip_embodied_kg > 0.0

@@ -1,0 +1,99 @@
+"""Tests for the GPU extension (device, lifecycle, three-way comparison)."""
+
+import pytest
+
+from repro.core.gpu_model import GpuLifecycleModel
+from repro.core.scenario import Scenario
+from repro.devices.catalog import DOMAIN_NAMES, GPU_RATIOS, get_domain, gpu_device_for
+from repro.devices.gpu import GpuDevice
+from repro.errors import ParameterError
+from repro.experiments.ext_gpu import three_way_totals
+
+
+@pytest.fixture
+def gpu():
+    return GpuDevice("g", area_mm2=600.0, node_name="7nm", peak_power_w=300.0)
+
+
+class TestGpuDevice:
+    def test_gates_from_area(self, gpu):
+        assert gpu.logic_gates_mgates == pytest.approx(600.0 * 17.0)
+
+    def test_defaults(self, gpu):
+        assert gpu.chip_lifetime_years == 6.0
+        assert gpu.market_amortisation == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            GpuDevice("g", area_mm2=0.0, node_name="7nm", peak_power_w=1.0)
+        with pytest.raises(ParameterError):
+            GpuDevice("g", area_mm2=1.0, node_name="7nm", peak_power_w=1.0,
+                      market_amortisation=0.0)
+
+    def test_catalog_ratios_cover_all_domains(self):
+        assert set(GPU_RATIOS) == set(DOMAIN_NAMES)
+
+    def test_gpu_device_for_applies_ratios(self):
+        domain = get_domain("dnn")
+        gpu = gpu_device_for("dnn")
+        area_ratio, power_ratio = GPU_RATIOS["dnn"]
+        assert gpu.area_mm2 == pytest.approx(domain.asic_area_mm2 * area_ratio)
+        assert gpu.peak_power_w == pytest.approx(domain.asic_power_w * power_ratio)
+
+
+class TestGpuLifecycle:
+    def test_embodied_paid_once(self, gpu, suite):
+        model = GpuLifecycleModel(gpu, suite)
+        one = model.assess(Scenario(num_apps=1, app_lifetime_years=1.0, volume=1000))
+        five = model.assess(Scenario(num_apps=5, app_lifetime_years=1.0, volume=1000))
+        assert five.footprint.manufacturing == pytest.approx(
+            one.footprint.manufacturing
+        )
+        assert five.footprint.operational == pytest.approx(
+            5 * one.footprint.operational
+        )
+
+    def test_design_amortised_by_market(self, suite):
+        captive = GpuDevice("g", area_mm2=600.0, node_name="7nm",
+                            peak_power_w=300.0, market_amortisation=1.0)
+        merchant = GpuDevice("g", area_mm2=600.0, node_name="7nm",
+                             peak_power_w=300.0, market_amortisation=10.0)
+        scenario = Scenario(num_apps=1, app_lifetime_years=1.0, volume=1000)
+        full = GpuLifecycleModel(captive, suite).assess(scenario).footprint.design
+        shared = GpuLifecycleModel(merchant, suite).assess(scenario).footprint.design
+        assert shared == pytest.approx(full / 10.0)
+
+    def test_software_appdev_cheaper_than_fpga(self, gpu, suite):
+        model = GpuLifecycleModel(gpu, suite)
+        scenario = Scenario(num_apps=1, app_lifetime_years=1.0, volume=1000)
+        gpu_appdev = model.assess(scenario).footprint.appdev
+        fpga_appdev = suite.appdev.per_application_kg(suite.fpga_effort, 1000)
+        assert 0.0 < gpu_appdev < fpga_appdev
+
+    def test_generations_shorter_lifetime(self, gpu, suite):
+        model = GpuLifecycleModel(gpu, suite)
+        scenario = Scenario(num_apps=13, app_lifetime_years=1.0, volume=10,
+                            enforce_chip_lifetime=True)
+        assert model.chip_generations(scenario) == 3  # 13 y / 6 y life
+
+
+class TestThreeWay:
+    def test_totals_for_all_domains(self):
+        for domain in DOMAIN_NAMES:
+            totals = three_way_totals(domain)
+            assert set(totals) == {"gpu", "fpga", "asic"}
+            assert all(v > 0 for v in totals.values())
+
+    def test_gpu_least_sustainable_at_volume(self):
+        """The paper's qualitative exclusion, quantified: at 1M units the
+        GPU's power penalty makes it the worst of the three."""
+        totals = three_way_totals("dnn")
+        assert totals["gpu"] > totals["fpga"]
+        assert totals["gpu"] > totals["asic"]
+
+    def test_gpu_beats_asic_at_tiny_volume(self):
+        """At very low volume the GPU's amortised design CFP wins over
+        per-application ASIC projects."""
+        scenario = Scenario(num_apps=5, app_lifetime_years=1.0, volume=100)
+        totals = three_way_totals("dnn", scenario)
+        assert totals["gpu"] < totals["asic"]

@@ -1,0 +1,83 @@
+"""Tests for pairwise-sweep heatmaps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import pairwise_heatmap
+from repro.core.scenario import Scenario
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def base():
+    return Scenario(num_apps=2, app_lifetime_years=1.0, volume=10_000)
+
+
+def test_grid_shape(dnn_comparator, base):
+    result = pairwise_heatmap(
+        dnn_comparator, base, "num_apps", [1, 2, 3], "lifetime", [0.5, 1.0]
+    )
+    assert result.ratios.shape == (2, 3)
+    assert result.x_values == (1.0, 2.0, 3.0)
+    assert result.y_values == (0.5, 1.0)
+
+
+def test_cell_matches_direct_ratio(dnn_comparator, base):
+    result = pairwise_heatmap(
+        dnn_comparator, base, "num_apps", [1, 4], "volume", [1000, 100_000]
+    )
+    direct = dnn_comparator.ratio(base.with_num_apps(4).with_volume(1000))
+    assert result.ratios[0, 1] == pytest.approx(direct)
+
+
+def test_ratio_decreases_with_apps(dnn_comparator, base):
+    result = pairwise_heatmap(
+        dnn_comparator, base, "num_apps", list(range(1, 8)), "lifetime", [1.0]
+    )
+    row = result.ratios[0, :]
+    assert all(b < a for a, b in zip(row, row[1:]))
+
+
+def test_sustainable_mask(dnn_comparator, base):
+    result = pairwise_heatmap(
+        dnn_comparator, base, "num_apps", [1, 8], "lifetime", [0.5]
+    )
+    mask = result.fpga_sustainable_mask()
+    assert mask.dtype == bool
+    assert mask.shape == result.ratios.shape
+    np.testing.assert_array_equal(mask, result.ratios < 1.0)
+
+
+def test_boundary_cells_flag_contour(dnn_comparator, base):
+    result = pairwise_heatmap(
+        dnn_comparator, base, "num_apps", list(range(1, 10)), "lifetime", [1.0, 2.0]
+    )
+    mask = result.fpga_sustainable_mask()
+    if mask.any() and not mask.all():
+        assert result.boundary_cells()
+    else:
+        assert result.boundary_cells() == []
+
+
+def test_rows_export(dnn_comparator, base):
+    result = pairwise_heatmap(
+        dnn_comparator, base, "num_apps", [1, 2], "lifetime", [1.0]
+    )
+    rows = result.rows()
+    assert len(rows) == 2
+    assert set(rows[0]) == {"num_apps", "lifetime", "ratio"}
+
+
+def test_same_axis_rejected(dnn_comparator, base):
+    with pytest.raises(ParameterError):
+        pairwise_heatmap(dnn_comparator, base, "volume", [1], "volume", [2])
+
+
+def test_unknown_axis_rejected(dnn_comparator, base):
+    with pytest.raises(ParameterError):
+        pairwise_heatmap(dnn_comparator, base, "frequency", [1], "volume", [2])
+
+
+def test_empty_values_rejected(dnn_comparator, base):
+    with pytest.raises(ParameterError):
+        pairwise_heatmap(dnn_comparator, base, "num_apps", [], "volume", [2])

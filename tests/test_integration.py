@@ -1,0 +1,90 @@
+"""End-to-end integration tests across the public API."""
+
+import pytest
+
+from repro import (
+    AsicLifecycleModel,
+    CarbonFootprint,
+    FpgaLifecycleModel,
+    ModelSuite,
+    PlatformComparator,
+    Scenario,
+    compare_domain,
+    get_domain,
+    get_industry_device,
+)
+from repro.analysis.crossover import find_crossovers
+from repro.analysis.sweep import sweep
+from repro.config import default_parameters
+
+
+def test_public_api_quickstart():
+    """The README quickstart must work verbatim."""
+    result = compare_domain(
+        "dnn", Scenario(num_apps=6, app_lifetime_years=2.0, volume=1_000_000)
+    )
+    assert result.winner in ("fpga", "asic")
+    assert result.ratio > 0.0
+
+
+def test_footprints_internally_consistent(baseline_scenario):
+    comparison = compare_domain("imgproc", baseline_scenario)
+    for assessment in (comparison.fpga, comparison.asic):
+        fp = assessment.footprint
+        assert isinstance(fp, CarbonFootprint)
+        assert fp.total == pytest.approx(fp.embodied + fp.deployment)
+
+
+def test_parameters_to_crossover_pipeline():
+    """Config -> suite -> comparator -> sweep -> crossover, end to end."""
+    suite = default_parameters().with_overrides(duty_cycle=0.2).build_suite()
+    comparator = PlatformComparator.for_domain("dnn", suite)
+    base = Scenario(num_apps=1, app_lifetime_years=2.0, volume=1_000_000)
+    result = sweep(comparator, base, "num_apps", list(range(1, 13)))
+    crossings = find_crossovers(result.values, result.fpga_totals, result.asic_totals)
+    assert any(c.kind == "A2F" for c in crossings)
+
+
+def test_industry_device_assessment_magnitudes():
+    """TPU-like ASIC at 1M units: operational CFP must reach megatons."""
+    device = get_industry_device("industry_asic2")
+    model = AsicLifecycleModel(device, ModelSuite.default())
+    fp = model.assess(Scenario(num_apps=1, app_lifetime_years=6.0, volume=1_000_000)).footprint
+    assert fp.operational > 1.0e8  # > 100 kt CO2e
+    assert fp.manufacturing > 1.0e6
+
+
+def test_fpga_vs_asic_equation_structure(baseline_scenario, suite):
+    """Eq. (1) vs Eq. (2): the ASIC total equals a per-app sum; the FPGA
+    total equals one embodied cost plus per-app deployment."""
+    domain = get_domain("dnn")
+    fpga_model = FpgaLifecycleModel(domain.fpga_device(), suite)
+    asic_model = AsicLifecycleModel(domain.asic_device(), suite)
+
+    asic = asic_model.assess(baseline_scenario)
+    per_app_sum = sum(fp.total for fp in asic.per_application)
+    assert asic.footprint.total == pytest.approx(per_app_sum)
+
+    fpga = fpga_model.assess(baseline_scenario)
+    single = fpga_model.assess(baseline_scenario.with_num_apps(1))
+    deploy_per_app = single.footprint.deployment
+    expected = single.footprint.embodied + 5 * deploy_per_app
+    assert fpga.footprint.total == pytest.approx(expected, rel=1e-9)
+
+
+def test_suite_override_threading(baseline_scenario):
+    """Overridden sub-models must actually reach the assessment."""
+    from repro.eol.model import EolModel
+
+    aggressive = ModelSuite.default().with_overrides(
+        eol=EolModel(recycled_fraction=1.0)
+    )
+    base = compare_domain("dnn", baseline_scenario).fpga.footprint.eol
+    recycled = compare_domain("dnn", baseline_scenario, aggressive).fpga.footprint.eol
+    assert recycled < base
+
+
+def test_version_exposed():
+    import repro
+
+    assert repro.__version__

@@ -1,0 +1,90 @@
+"""Tests for the CarbonFootprint vector (with hypothesis properties)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lifecycle import CarbonFootprint
+
+components = st.floats(min_value=-1e6, max_value=1e9, allow_nan=False)
+footprints = st.builds(
+    CarbonFootprint,
+    design=components,
+    manufacturing=components,
+    packaging=components,
+    eol=components,
+    appdev=components,
+    operational=components,
+)
+
+
+def test_zero_identity():
+    zero = CarbonFootprint.zero()
+    assert zero.total == 0.0
+    fp = CarbonFootprint(design=1.0, operational=2.0)
+    assert (fp + zero).as_dict() == fp.as_dict()
+
+
+def test_embodied_definition():
+    fp = CarbonFootprint(design=1, manufacturing=2, packaging=3, eol=-0.5,
+                         appdev=10, operational=20)
+    assert fp.embodied == pytest.approx(5.5)
+    assert fp.deployment == pytest.approx(30.0)
+    assert fp.total == pytest.approx(35.5)
+
+
+@given(footprints, footprints)
+def test_addition_componentwise(a, b):
+    s = a + b
+    for name in CarbonFootprint.COMPONENTS:
+        assert getattr(s, name) == pytest.approx(getattr(a, name) + getattr(b, name))
+
+
+@given(footprints)
+def test_total_is_sum_of_components(fp):
+    assert fp.total == pytest.approx(sum(getattr(fp, n) for n in fp.COMPONENTS))
+
+
+@given(footprints, st.floats(min_value=-100, max_value=100, allow_nan=False))
+def test_scaling_distributes(fp, k):
+    scaled = fp.scaled(k)
+    assert scaled.total == pytest.approx(fp.total * k, rel=1e-9, abs=1e-6)
+
+
+@given(footprints)
+def test_subtraction_inverts_addition(fp):
+    diff = fp - fp
+    assert diff.total == pytest.approx(0.0, abs=1e-6)
+
+
+def test_mul_operator_both_sides():
+    fp = CarbonFootprint(manufacturing=3.0)
+    assert (fp * 2.0).manufacturing == 6.0
+    assert (2.0 * fp).manufacturing == 6.0
+
+
+def test_mul_rejects_non_numbers():
+    fp = CarbonFootprint()
+    with pytest.raises(TypeError):
+        fp * "two"
+
+
+def test_as_dict_includes_aggregates():
+    d = CarbonFootprint(design=1.0).as_dict()
+    assert d["design"] == 1.0
+    assert d["embodied"] == 1.0
+    assert d["total"] == 1.0
+    assert set(d) == set(CarbonFootprint.COMPONENTS) | {"embodied", "deployment", "total"}
+
+
+def test_fraction_of_total():
+    fp = CarbonFootprint(design=1.0, operational=3.0)
+    assert fp.fraction_of_total("design") == pytest.approx(0.25)
+    assert CarbonFootprint.zero().fraction_of_total("design") == 0.0
+    with pytest.raises(KeyError):
+        fp.fraction_of_total("embodied")
+
+
+def test_str_contains_total():
+    text = str(CarbonFootprint(design=1234.5))
+    assert "1,234.5" in text

@@ -1,0 +1,91 @@
+"""Tests for the ACT-style manufacturing model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.nodes import get_node
+from repro.manufacturing.act import FabProfile, ManufacturingModel
+
+
+@pytest.fixture
+def model():
+    return ManufacturingModel()
+
+
+def test_carbon_per_cm2_composition(model, node10):
+    expected = (
+        node10.epa_kwh_per_cm2 * model.fab.carbon_intensity_kg_per_kwh
+        + node10.gpa_kg_per_cm2
+        + node10.mpa_new_kg_per_cm2
+    )
+    assert model.carbon_per_cm2(node10) == pytest.approx(expected)
+
+
+def test_assess_die_components_sum(model, node10):
+    result = model.assess_die(100.0, node10)
+    assert result.total_kg == pytest.approx(
+        result.energy_kg + result.gas_kg + result.material_kg
+    )
+    assert 0.0 < result.die_yield <= 1.0
+
+
+def test_per_die_increases_with_area(model, node10):
+    small = model.per_die_kg(50.0, node10)
+    large = model.per_die_kg(400.0, node10)
+    assert large > small
+
+
+def test_yield_superlinearity(model, node10):
+    """Per-mm2 footprint grows with die size because yield drops."""
+    small = model.per_die_kg(50.0, node10) / 50.0
+    large = model.per_die_kg(500.0, node10) / 500.0
+    assert large > small
+
+
+def test_cleaner_fab_lowers_footprint(node10):
+    dirty = ManufacturingModel(fab=FabProfile(energy_source="coal"))
+    clean = ManufacturingModel(fab=FabProfile(energy_source="wind"))
+    assert clean.per_die_kg(100.0, node10) < dirty.per_die_kg(100.0, node10)
+
+
+def test_gas_abatement_lowers_gas_component(node10):
+    base = ManufacturingModel().assess_die(100.0, node10)
+    abated = ManufacturingModel(fab=FabProfile(gas_abatement=0.9)).assess_die(100.0, node10)
+    assert abated.gas_kg == pytest.approx(base.gas_kg * 0.1)
+    assert abated.energy_kg == pytest.approx(base.energy_kg)
+
+
+def test_recycled_fraction_lowers_material_component(node10):
+    base = ManufacturingModel().assess_die(100.0, node10)
+    recycled = ManufacturingModel(recycled_fraction=1.0).assess_die(100.0, node10)
+    assert recycled.material_kg < base.material_kg
+    assert recycled.total_kg < base.total_kg
+
+
+def test_charge_wafer_waste_flag(node10):
+    with_waste = ManufacturingModel(charge_wafer_waste=True).assess_die(100.0, node10)
+    without = ManufacturingModel(charge_wafer_waste=False).assess_die(100.0, node10)
+    assert with_waste.wafer_area_share_cm2 > without.wafer_area_share_cm2
+    assert with_waste.total_kg > without.total_kg
+
+
+def test_advanced_node_dirtier_per_area(model):
+    old = model.per_die_kg(100.0, get_node("28nm"))
+    new = model.per_die_kg(100.0, get_node("5nm"))
+    assert new > old
+
+
+@settings(max_examples=25)
+@given(st.floats(min_value=10.0, max_value=800.0))
+def test_per_die_positive_for_any_die(area):
+    model = ManufacturingModel()
+    assert model.per_die_kg(area, get_node("10nm")) > 0.0
+
+
+def test_result_as_dict_keys(model, node10):
+    result = model.assess_die(100.0, node10)
+    assert set(result.as_dict()) == {
+        "total_kg", "energy_kg", "gas_kg", "material_kg",
+        "die_yield", "wafer_area_share_cm2",
+    }

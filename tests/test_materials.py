@@ -1,0 +1,61 @@
+"""Tests for Eq. (5) recycled-material blending."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.nodes import get_node
+from repro.errors import ParameterError
+from repro.manufacturing.materials import (
+    blended_mpa_kg_per_cm2,
+    recycled_material_savings_kg_per_cm2,
+)
+
+
+def test_rho_zero_gives_new_material():
+    node = get_node("10nm")
+    assert blended_mpa_kg_per_cm2(node, 0.0) == node.mpa_new_kg_per_cm2
+
+
+def test_rho_one_gives_recycled_material():
+    node = get_node("10nm")
+    assert blended_mpa_kg_per_cm2(node, 1.0) == node.mpa_recycled_kg_per_cm2
+
+
+def test_midpoint_is_average():
+    node = get_node("10nm")
+    expected = 0.5 * (node.mpa_new_kg_per_cm2 + node.mpa_recycled_kg_per_cm2)
+    assert blended_mpa_kg_per_cm2(node, 0.5) == pytest.approx(expected)
+
+
+@given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_blend_bounded_by_endpoints(rho):
+    node = get_node("7nm")
+    blended = blended_mpa_kg_per_cm2(node, rho)
+    assert node.mpa_recycled_kg_per_cm2 <= blended <= node.mpa_new_kg_per_cm2
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_blend_monotone_decreasing_in_rho(rho_a, rho_b):
+    node = get_node("7nm")
+    lo, hi = sorted((rho_a, rho_b))
+    assert blended_mpa_kg_per_cm2(node, hi) <= blended_mpa_kg_per_cm2(node, lo)
+
+
+def test_savings_positive_and_linear():
+    node = get_node("10nm")
+    assert recycled_material_savings_kg_per_cm2(node, 0.0) == 0.0
+    full = recycled_material_savings_kg_per_cm2(node, 1.0)
+    half = recycled_material_savings_kg_per_cm2(node, 0.5)
+    assert half == pytest.approx(full / 2.0)
+
+
+def test_rho_out_of_range_rejected():
+    node = get_node("10nm")
+    with pytest.raises(ParameterError):
+        blended_mpa_kg_per_cm2(node, 1.5)
+    with pytest.raises(ParameterError):
+        blended_mpa_kg_per_cm2(node, -0.1)

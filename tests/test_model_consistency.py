@@ -1,0 +1,83 @@
+"""Cross-model consistency checks tying the subsystems together."""
+
+import pytest
+
+from repro.core.asic_model import AsicLifecycleModel
+from repro.core.comparison import PlatformComparator
+from repro.core.fpga_model import FpgaLifecycleModel
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.devices.catalog import get_domain
+
+SUITE = ModelSuite.default()
+BASE = Scenario(num_apps=5, app_lifetime_years=2.0, volume=1_000_000)
+
+
+def test_crypto_identical_silicon_identical_per_chip_costs():
+    """The crypto domain's FPGA and ASIC are the same die: every per-chip
+    embodied component must agree between the two lifecycle models."""
+    domain = get_domain("crypto")
+    fpga = FpgaLifecycleModel(domain.fpga_device(), SUITE).per_chip_embodied()
+    asic = AsicLifecycleModel(domain.asic_device(), SUITE).per_chip_embodied()
+    assert fpga.manufacturing == pytest.approx(asic.manufacturing)
+    assert fpga.packaging == pytest.approx(asic.packaging)
+    assert fpga.eol == pytest.approx(asic.eol)
+
+
+def test_fpga_advantage_equals_component_differences():
+    """ComparisonResult's advantage must equal the sum of per-component
+    differences — no CFP appears or disappears in the comparison layer."""
+    comparator = PlatformComparator.for_domain("dnn", SUITE)
+    result = comparator.compare(BASE)
+    diff = result.asic.footprint - result.fpga.footprint
+    assert result.fpga_advantage_kg == pytest.approx(diff.total)
+
+
+def test_asic_n_apps_equals_repeated_single_app():
+    """Eq. (1): N identical applications cost exactly N times one."""
+    domain = get_domain("imgproc")
+    model = AsicLifecycleModel(domain.asic_device(), SUITE)
+    one = model.total_kg(BASE.with_num_apps(1))
+    five = model.total_kg(BASE)
+    assert five == pytest.approx(5 * one)
+
+
+def test_fpga_incremental_app_cost_is_deployment_only():
+    """Eq. (2): adding one application to an FPGA adds exactly one
+    deployment term (operation + app-dev), no embodied carbon."""
+    domain = get_domain("dnn")
+    model = FpgaLifecycleModel(domain.fpga_device(), SUITE)
+    five = model.assess(BASE).footprint
+    six = model.assess(BASE.with_num_apps(6)).footprint
+    increment = six - five
+    assert increment.embodied == pytest.approx(0.0, abs=1e-6)
+    assert increment.operational > 0.0
+    assert increment.appdev > 0.0
+
+
+def test_manufacturing_component_traces_to_act_model():
+    """The lifecycle model's manufacturing component must equal the ACT
+    model's per-die figure times the fleet size."""
+    domain = get_domain("dnn")
+    device = domain.fpga_device()
+    per_die = SUITE.manufacturing.per_die_kg(device.area_mm2, device.node)
+    fp = FpgaLifecycleModel(device, SUITE).assess(BASE).footprint
+    assert fp.manufacturing == pytest.approx(per_die * BASE.volume)
+
+
+def test_operational_component_traces_to_operation_model():
+    domain = get_domain("dnn")
+    device = domain.asic_device()
+    per_chip_year = SUITE.operation.per_chip_year_kg(device.peak_power_w)
+    fp = AsicLifecycleModel(device, SUITE).assess(BASE).footprint
+    expected = per_chip_year * BASE.volume * BASE.total_application_years
+    assert fp.operational == pytest.approx(expected)
+
+
+def test_eol_component_traces_to_package_mass():
+    domain = get_domain("dnn")
+    device = domain.asic_device()
+    mass = SUITE.packaging.package_mass_g(device.area_mm2)
+    per_chip = SUITE.eol.per_chip_kg(mass)
+    fp = AsicLifecycleModel(device, SUITE).assess(BASE.with_num_apps(1)).footprint
+    assert fp.eol == pytest.approx(per_chip * BASE.volume)

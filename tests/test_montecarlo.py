@@ -1,0 +1,100 @@
+"""Tests for Monte-Carlo uncertainty propagation."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import MonteCarloResult, ParameterDistribution, monte_carlo
+from repro.core.scenario import Scenario
+from repro.errors import ParameterError
+from repro.operation.model import OperationModel
+
+
+def _set_use_intensity(comparator, value):
+    """Knob: operational carbon intensity in g/kWh."""
+    suite = comparator.suite.with_overrides(
+        operation=OperationModel(
+            energy_source=value, profile=comparator.suite.operation.profile
+        )
+    )
+    return dataclasses.replace(comparator, suite=suite)
+
+
+@pytest.fixture
+def intensity_dist():
+    return ParameterDistribution(
+        name="use_intensity_g_per_kwh", low=30.0, high=700.0, apply=_set_use_intensity
+    )
+
+
+@pytest.fixture
+def scenario():
+    return Scenario(num_apps=3, app_lifetime_years=1.0, volume=10_000)
+
+
+def test_reproducible_with_seed(dnn_comparator, scenario, intensity_dist):
+    a = monte_carlo(dnn_comparator, scenario, [intensity_dist], n_samples=20, seed=7)
+    b = monte_carlo(dnn_comparator, scenario, [intensity_dist], n_samples=20, seed=7)
+    np.testing.assert_array_equal(a.ratios, b.ratios)
+
+
+def test_different_seeds_differ(dnn_comparator, scenario, intensity_dist):
+    a = monte_carlo(dnn_comparator, scenario, [intensity_dist], n_samples=20, seed=1)
+    b = monte_carlo(dnn_comparator, scenario, [intensity_dist], n_samples=20, seed=2)
+    assert not np.array_equal(a.ratios, b.ratios)
+
+
+def test_samples_recorded(dnn_comparator, scenario, intensity_dist):
+    result = monte_carlo(dnn_comparator, scenario, [intensity_dist], n_samples=5)
+    assert len(result.samples) == 5
+    for sample in result.samples:
+        assert 30.0 <= sample["use_intensity_g_per_kwh"] <= 700.0
+
+
+def test_win_probability_in_unit_interval(dnn_comparator, scenario, intensity_dist):
+    result = monte_carlo(dnn_comparator, scenario, [intensity_dist], n_samples=30)
+    assert 0.0 <= result.fpga_win_probability <= 1.0
+
+
+def test_quantiles_ordered(dnn_comparator, scenario, intensity_dist):
+    result = monte_carlo(dnn_comparator, scenario, [intensity_dist], n_samples=50)
+    quantiles = result.quantiles((0.1, 0.5, 0.9))
+    assert quantiles[0.1] <= quantiles[0.5] <= quantiles[0.9]
+
+
+def test_summary_keys(dnn_comparator, scenario, intensity_dist):
+    summary = monte_carlo(dnn_comparator, scenario, [intensity_dist], n_samples=10).summary()
+    assert set(summary) == {
+        "n_samples", "fpga_win_probability", "ratio_mean",
+        "ratio_p05", "ratio_p50", "ratio_p95",
+    }
+
+
+def test_loguniform_sampling_stays_in_range():
+    dist = ParameterDistribution("x", 1.0, 1000.0, lambda c, v: c, kind="loguniform")
+    rng = np.random.default_rng(0)
+    values = [dist.sample(rng) for _ in range(200)]
+    assert all(1.0 <= v <= 1000.0 for v in values)
+
+
+def test_distribution_validation():
+    with pytest.raises(ParameterError):
+        ParameterDistribution("x", 2.0, 1.0, lambda c, v: c)
+    with pytest.raises(ParameterError):
+        ParameterDistribution("x", 1.0, 2.0, lambda c, v: c, kind="gaussian")
+    with pytest.raises(ParameterError):
+        ParameterDistribution("x", 0.0, 2.0, lambda c, v: c, kind="loguniform")
+
+
+def test_monte_carlo_argument_validation(dnn_comparator, scenario, intensity_dist):
+    with pytest.raises(ParameterError):
+        monte_carlo(dnn_comparator, scenario, [], n_samples=5)
+    with pytest.raises(ParameterError):
+        monte_carlo(dnn_comparator, scenario, [intensity_dist], n_samples=0)
+
+
+def test_result_type(dnn_comparator, scenario, intensity_dist):
+    result = monte_carlo(dnn_comparator, scenario, [intensity_dist], n_samples=3)
+    assert isinstance(result, MonteCarloResult)
+    assert result.n_samples == 3

@@ -1,0 +1,85 @@
+"""Tests for the operational (use-phase) model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.operation.energy import OperatingProfile, annual_use_energy_kwh
+from repro.operation.model import OperationModel
+
+
+class TestOperatingProfile:
+    def test_effective_duty_composition(self):
+        profile = OperatingProfile(duty_cycle=0.5, idle_fraction_of_peak=0.2, pue=1.5)
+        # (0.5 + 0.5*0.2) * 1.5 = 0.9
+        assert profile.effective_duty() == pytest.approx(0.9)
+
+    def test_always_on_no_idle_no_pue(self):
+        profile = OperatingProfile(duty_cycle=1.0, idle_fraction_of_peak=0.0, pue=1.0)
+        assert profile.effective_duty() == pytest.approx(1.0)
+
+    def test_rejects_bad_duty(self):
+        with pytest.raises(ParameterError):
+            OperatingProfile(duty_cycle=1.5)
+
+    def test_rejects_bad_pue(self):
+        with pytest.raises(ParameterError):
+            OperatingProfile(pue=0.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_idle_power_only_adds(self, duty, idle):
+        with_idle = OperatingProfile(duty, idle, 1.0).effective_duty()
+        without = OperatingProfile(duty, 0.0, 1.0).effective_duty()
+        assert with_idle >= without
+
+
+class TestEnergy:
+    def test_known_value(self):
+        profile = OperatingProfile(duty_cycle=1.0, idle_fraction_of_peak=0.0, pue=1.0)
+        assert annual_use_energy_kwh(1000.0, profile) == pytest.approx(8760.0)
+
+    def test_zero_power(self):
+        assert annual_use_energy_kwh(0.0, OperatingProfile()) == 0.0
+
+    @given(st.floats(min_value=0.0, max_value=1000.0))
+    def test_linear_in_power(self, power):
+        profile = OperatingProfile()
+        one = annual_use_energy_kwh(1.0, profile)
+        assert annual_use_energy_kwh(power, profile) == pytest.approx(one * power)
+
+
+class TestOperationModel:
+    def test_op_equals_intensity_times_energy(self):
+        model = OperationModel(energy_source="world")
+        result = model.assess_chip_year(100.0)
+        assert result.kg_per_year == pytest.approx(
+            result.energy_kwh_per_year * 0.475
+        )
+
+    def test_cleaner_grid_lower_op(self):
+        dirty = OperationModel(energy_source="coal")
+        clean = OperationModel(energy_source="hydro")
+        assert clean.per_chip_year_kg(100.0) < dirty.per_chip_year_kg(100.0)
+
+    def test_lifetime_scaling(self):
+        model = OperationModel()
+        assert model.over_lifetime_kg(50.0, 6.0) == pytest.approx(
+            6.0 * model.per_chip_year_kg(50.0)
+        )
+
+    def test_numeric_intensity_accepted(self):
+        model = OperationModel(energy_source=100.0)  # 100 g/kWh
+        result = model.assess_chip_year(10.0)
+        assert result.carbon_intensity_kg_per_kwh == pytest.approx(0.1)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ParameterError):
+            OperationModel().assess_chip_year(-1.0)
+
+    def test_rejects_negative_years(self):
+        with pytest.raises(ParameterError):
+            OperationModel().over_lifetime_kg(10.0, -1.0)

@@ -1,0 +1,91 @@
+"""Tests for monolithic and advanced packaging models."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.packaging.advanced import AdvancedPackagingModel, PackageStyle
+from repro.packaging.monolithic import MonolithicPackagingModel
+
+
+@pytest.fixture
+def mono():
+    return MonolithicPackagingModel()
+
+
+class TestMonolithic:
+    def test_package_area_uses_fanout(self, mono):
+        assert mono.package_area_mm2(100.0) == pytest.approx(100.0 * mono.fanout_factor)
+
+    def test_components_sum(self, mono):
+        result = mono.assess_package(100.0)
+        assert result.total_kg == pytest.approx(result.substrate_kg + result.assembly_kg)
+
+    def test_larger_die_larger_footprint(self, mono):
+        assert mono.per_package_kg(400.0) > mono.per_package_kg(100.0)
+
+    def test_mass_grows_with_area(self, mono):
+        assert mono.package_mass_g(400.0) > mono.package_mass_g(100.0) > mono.base_mass_g
+
+    def test_assembly_component_independent_of_area(self, mono):
+        small = mono.assess_package(50.0)
+        large = mono.assess_package(500.0)
+        assert small.assembly_kg == pytest.approx(large.assembly_kg)
+
+    def test_rejects_non_positive_die(self, mono):
+        with pytest.raises(ParameterError):
+            mono.assess_package(0.0)
+
+    def test_rejects_bad_fanout(self):
+        with pytest.raises(ParameterError):
+            MonolithicPackagingModel(fanout_factor=0.0)
+
+
+class TestAdvanced:
+    def test_interposer_more_expensive_than_monolithic_substrate(self):
+        adv = AdvancedPackagingModel(style=PackageStyle.INTERPOSER)
+        mono = adv.substrate
+        total_area = 300.0
+        assert adv.per_package_kg([total_area]) > mono.per_package_kg(total_area)
+
+    def test_style_ordering_rdl_cheapest(self):
+        areas = [200.0, 100.0]
+        rdl = AdvancedPackagingModel(style="rdl").per_package_kg(areas)
+        emib = AdvancedPackagingModel(style="emib").per_package_kg(areas)
+        interposer = AdvancedPackagingModel(style="interposer").per_package_kg(areas)
+        assert rdl < emib < interposer
+
+    def test_more_chiplets_more_bonding(self):
+        adv = AdvancedPackagingModel(style="emib")
+        one = adv.per_package_kg([300.0])
+        three = adv.per_package_kg([100.0, 100.0, 100.0])
+        assert three > one
+
+    def test_empty_chiplet_list_rejected(self):
+        with pytest.raises(ParameterError):
+            AdvancedPackagingModel().assess_package([])
+
+    def test_negative_chiplet_rejected(self):
+        with pytest.raises(ParameterError):
+            AdvancedPackagingModel().assess_package([100.0, -5.0])
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ParameterError, match="unknown package style"):
+            AdvancedPackagingModel(style="origami").assess_package([100.0])
+
+    def test_bonding_yield_bounds(self):
+        with pytest.raises(ParameterError):
+            AdvancedPackagingModel(bonding_yield=1.5)
+        with pytest.raises(ParameterError):
+            AdvancedPackagingModel(bonding_yield=0.0)
+
+    def test_lower_bonding_yield_costs_more(self):
+        good = AdvancedPackagingModel(style="tsv_3d", bonding_yield=0.999)
+        bad = AdvancedPackagingModel(style="tsv_3d", bonding_yield=0.90)
+        areas = [100.0] * 4
+        assert bad.per_package_kg(areas) > good.per_package_kg(areas)
+
+    def test_interposer_adds_carrier_mass(self):
+        adv = AdvancedPackagingModel(style="interposer")
+        mono_mass = adv.substrate.assess_package(300.0).package_mass_g
+        adv_mass = adv.assess_package([300.0]).package_mass_g
+        assert adv_mass > mono_mass

@@ -1,0 +1,120 @@
+"""Cross-module hypothesis property tests on model invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.asic_model import AsicLifecycleModel
+from repro.core.comparison import PlatformComparator
+from repro.core.fpga_model import FpgaLifecycleModel
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.devices.asic import AsicDevice
+from repro.devices.catalog import DomainSpec
+from repro.devices.fpga import FpgaDevice
+
+SUITE = ModelSuite.default()
+
+scenarios = st.builds(
+    Scenario,
+    num_apps=st.integers(min_value=1, max_value=10),
+    app_lifetime_years=st.floats(min_value=0.25, max_value=10.0),
+    volume=st.integers(min_value=1, max_value=10_000_000),
+)
+
+areas = st.floats(min_value=10.0, max_value=800.0)
+powers = st.floats(min_value=0.1, max_value=300.0)
+
+
+@settings(max_examples=30)
+@given(scenarios, areas, powers)
+def test_fpga_footprint_components_finite_and_positive(scenario, area, power):
+    device = FpgaDevice("f", area_mm2=area, node_name="10nm", peak_power_w=power)
+    fp = FpgaLifecycleModel(device, SUITE).assess(scenario).footprint
+    assert fp.design > 0.0
+    assert fp.manufacturing > 0.0
+    assert fp.packaging > 0.0
+    assert fp.operational > 0.0
+    assert fp.total > 0.0
+
+
+@settings(max_examples=30)
+@given(scenarios, areas, powers)
+def test_asic_embodied_proportional_to_num_apps(scenario, area, power):
+    device = AsicDevice("a", area_mm2=area, node_name="10nm", peak_power_w=power)
+    model = AsicLifecycleModel(device, SUITE)
+    base = model.assess(scenario.with_num_apps(1)).footprint
+    multi = model.assess(scenario).footprint
+    assert multi.manufacturing == pytest.approx(
+        scenario.num_apps * base.manufacturing, rel=1e-9
+    )
+
+
+@settings(max_examples=30)
+@given(scenarios)
+def test_fpga_embodied_independent_of_num_apps(scenario):
+    device = FpgaDevice("f", area_mm2=200.0, node_name="10nm", peak_power_w=10.0)
+    model = FpgaLifecycleModel(device, SUITE)
+    base = model.assess(scenario.with_num_apps(1)).footprint
+    multi = model.assess(scenario).footprint
+    assert multi.embodied - multi.design == pytest.approx(
+        base.embodied - base.design, rel=1e-9
+    )
+
+
+@settings(max_examples=20)
+@given(
+    scenarios,
+    st.floats(min_value=1.05, max_value=8.0),
+    st.floats(min_value=1.0, max_value=4.0),
+)
+def test_bigger_hungrier_fpga_never_cheaper(scenario, area_ratio, power_ratio):
+    """Ratio is monotone in the iso-performance penalty factors."""
+    lean = DomainSpec("lean", 1.0, 1.0, 100.0, 5.0)
+    heavy = DomainSpec("heavy", area_ratio, power_ratio, 100.0, 5.0)
+    lean_ratio = PlatformComparator.for_domain(lean, SUITE).ratio(scenario)
+    heavy_ratio = PlatformComparator.for_domain(heavy, SUITE).ratio(scenario)
+    assert heavy_ratio >= lean_ratio - 1e-9
+
+
+@settings(max_examples=20)
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.floats(min_value=0.25, max_value=5.0),
+    st.integers(min_value=100, max_value=1_000_000),
+)
+def test_totals_monotone_in_each_axis(num_apps, lifetime, volume):
+    comparator = PlatformComparator.for_domain("dnn", SUITE)
+    scenario = Scenario(num_apps=num_apps, app_lifetime_years=lifetime, volume=volume)
+    base_fpga = comparator.fpga_model.total_kg(scenario)
+    base_asic = comparator.asic_model.total_kg(scenario)
+    grown = Scenario(
+        num_apps=num_apps + 1, app_lifetime_years=lifetime + 0.5, volume=volume * 2
+    )
+    assert comparator.fpga_model.total_kg(grown) > base_fpga
+    assert comparator.asic_model.total_kg(grown) > base_asic
+
+
+@settings(max_examples=20)
+@given(scenarios)
+def test_more_applications_always_help_fpga_ratio(scenario):
+    """FPGA:ASIC ratio is non-increasing in N_app (reuse only helps)."""
+    comparator = PlatformComparator.for_domain("dnn", SUITE)
+    r1 = comparator.ratio(scenario)
+    r2 = comparator.ratio(scenario.with_num_apps(scenario.num_apps + 1))
+    assert r2 <= r1 + 1e-9
+
+
+@settings(max_examples=15)
+@given(scenarios, st.floats(min_value=0.0, max_value=1.0))
+def test_recycling_never_increases_total(scenario, rho):
+    from repro.manufacturing.act import ManufacturingModel
+
+    base_suite = ModelSuite.default()
+    recycled = base_suite.with_overrides(
+        manufacturing=ManufacturingModel(recycled_fraction=rho)
+    )
+    device = FpgaDevice("f", area_mm2=200.0, node_name="10nm", peak_power_w=10.0)
+    base = FpgaLifecycleModel(device, base_suite).total_kg(scenario)
+    better = FpgaLifecycleModel(device, recycled).total_kg(scenario)
+    assert better <= base + 1e-6

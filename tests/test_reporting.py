@@ -1,0 +1,120 @@
+"""Tests for ASCII tables, charts, CSV and Markdown reporting."""
+
+import csv
+
+import pytest
+
+from repro.reporting.chart import bar_chart, line_chart
+from repro.reporting.csvout import write_csv
+from repro.reporting.markdown import markdown_table
+from repro.reporting.table import format_table
+
+
+class TestTable:
+    def test_basic_render(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_title_rendered(self):
+        text = format_table([{"a": 1}], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_column_selection_and_order(self):
+        text = format_table([{"a": 1, "b": 2, "c": 3}], columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert "c" in header and "a" in header and "b" not in header
+        assert header.index("c") < header.index("a")
+
+    def test_missing_keys_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert text  # renders without KeyError
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 1234.5678}], precision=2)
+        assert "1,234.57" in text
+
+    def test_scientific_for_extremes(self):
+        text = format_table([{"v": 1.0e9}], precision=2)
+        assert "e+" in text
+
+    def test_bool_rendering(self):
+        text = format_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(empty table)"
+        assert format_table([], title="T") == "T"
+
+
+class TestLineChart:
+    def test_contains_series_symbols_and_legend(self):
+        text = line_chart([0, 1, 2], {"FPGA": [1, 2, 3], "ASIC": [3, 2, 1]})
+        assert "*" in text and "o" in text
+        assert "FPGA" in text and "ASIC" in text
+
+    def test_constant_series_no_crash(self):
+        assert line_chart([0, 1], {"flat": [5, 5]})
+
+    def test_title(self):
+        assert line_chart([0, 1], {"s": [0, 1]}, title="T").startswith("T")
+
+    def test_empty_chart(self):
+        assert line_chart([], {}) == "(empty chart)"
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = bar_chart(["a", "b"], [10.0, 5.0])
+        lines = text.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_negative_bars_marked(self):
+        text = bar_chart(["credit"], [-3.0])
+        assert "<" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_all_zero_values(self):
+        assert bar_chart(["a"], [0.0])
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+        path = write_csv(tmp_path / "out.csv", rows)
+        with path.open() as handle:
+            read = list(csv.DictReader(handle))
+        assert read == [{"x": "1", "y": "a"}, {"x": "2", "y": "b"}]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "nested" / "out.csv", [{"a": 1}])
+        assert path.exists()
+
+    def test_union_of_columns(self, tmp_path):
+        rows = [{"a": 1}, {"b": 2}]
+        path = write_csv(tmp_path / "u.csv", rows)
+        header = path.read_text().splitlines()[0]
+        assert header == "a,b"
+
+    def test_explicit_columns(self, tmp_path):
+        path = write_csv(tmp_path / "c.csv", [{"a": 1, "b": 2}], columns=["b"])
+        assert path.read_text().splitlines()[0] == "b"
+
+
+class TestMarkdown:
+    def test_structure(self):
+        text = markdown_table([{"a": 1, "b": 2.5}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "2.500" in lines[2]
+
+    def test_empty(self):
+        assert markdown_table([]) == "(empty table)"
+
+    def test_bool_cells(self):
+        assert "yes" in markdown_table([{"ok": True}])

@@ -1,0 +1,89 @@
+"""Tests for tornado sensitivity analysis."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.montecarlo import ParameterDistribution
+from repro.analysis.sensitivity import tornado
+from repro.core.scenario import Scenario
+from repro.operation.energy import OperatingProfile
+from repro.operation.model import OperationModel
+
+
+def _set_use_intensity(comparator, value):
+    suite = comparator.suite.with_overrides(
+        operation=OperationModel(
+            energy_source=value, profile=comparator.suite.operation.profile
+        )
+    )
+    return dataclasses.replace(comparator, suite=suite)
+
+
+def _set_duty(comparator, value):
+    operation = comparator.suite.operation
+    suite = comparator.suite.with_overrides(
+        operation=OperationModel(
+            energy_source=operation.energy_source,
+            profile=OperatingProfile(duty_cycle=value),
+        )
+    )
+    return dataclasses.replace(comparator, suite=suite)
+
+
+@pytest.fixture
+def distributions():
+    return [
+        ParameterDistribution("use_intensity", 30.0, 700.0, _set_use_intensity),
+        ParameterDistribution("duty_cycle", 0.05, 0.95, _set_duty),
+    ]
+
+
+@pytest.fixture
+def scenario():
+    return Scenario(num_apps=3, app_lifetime_years=1.0, volume=10_000)
+
+
+def test_entries_one_per_knob(dnn_comparator, scenario, distributions):
+    result = tornado(dnn_comparator, scenario, distributions)
+    assert len(result.entries) == 2
+    assert {e.name for e in result.entries} == {"use_intensity", "duty_cycle"}
+
+
+def test_baseline_matches_direct(dnn_comparator, scenario, distributions):
+    result = tornado(dnn_comparator, scenario, distributions)
+    assert result.baseline_ratio == pytest.approx(dnn_comparator.ratio(scenario))
+
+
+def test_sorted_by_span(dnn_comparator, scenario, distributions):
+    entries = tornado(dnn_comparator, scenario, distributions).sorted_by_span()
+    spans = [e.span for e in entries]
+    assert spans == sorted(spans, reverse=True)
+
+
+def test_span_definition(dnn_comparator, scenario, distributions):
+    entry = tornado(dnn_comparator, scenario, distributions).entries[0]
+    assert entry.span == pytest.approx(abs(entry.ratio_at_high - entry.ratio_at_low))
+
+
+def test_higher_intensity_raises_ratio(dnn_comparator, scenario, distributions):
+    """FPGA uses 3x power, so dirtier use-phase energy hurts it more."""
+    result = tornado(dnn_comparator, scenario, distributions)
+    intensity = next(e for e in result.entries if e.name == "use_intensity")
+    assert intensity.ratio_at_high > intensity.ratio_at_low
+
+
+def test_rows_export(dnn_comparator, scenario, distributions):
+    rows = tornado(dnn_comparator, scenario, distributions).rows()
+    assert len(rows) == 2
+    assert set(rows[0]) == {
+        "parameter", "low", "high", "ratio_at_low", "ratio_at_high",
+        "span", "flips_winner",
+    }
+
+
+def test_flips_winner_flag(dnn_comparator, scenario, distributions):
+    result = tornado(dnn_comparator, scenario, distributions)
+    for entry in result.entries:
+        crosses = (entry.ratio_at_low - 1.0) * (entry.ratio_at_high - 1.0) < 0.0
+        assert entry.flips_winner == crosses

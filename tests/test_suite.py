@@ -1,0 +1,51 @@
+"""Tests for the ModelSuite bundle."""
+
+import pytest
+
+from repro.appdev.model import DevelopmentEffort
+from repro.core.suite import ModelSuite
+from repro.eol.model import EolModel
+from repro.manufacturing.act import ManufacturingModel
+
+
+def test_default_constructs_all_submodels():
+    suite = ModelSuite.default()
+    assert suite.manufacturing is not None
+    assert suite.packaging is not None
+    assert suite.design is not None
+    assert suite.eol is not None
+    assert suite.operation is not None
+    assert suite.appdev is not None
+
+
+def test_default_asic_effort_is_zero():
+    """Paper: ASIC T_FE = T_BE = 0 (folded into the chip project)."""
+    suite = ModelSuite.default()
+    assert suite.asic_effort.per_application_hours() == 0.0
+    assert suite.fpga_effort.per_application_hours() > 0.0
+
+
+def test_with_overrides_replaces_only_named():
+    suite = ModelSuite.default()
+    custom = suite.with_overrides(eol=EolModel(recycled_fraction=0.9))
+    assert custom.eol.recycled_fraction == 0.9
+    assert custom.manufacturing is suite.manufacturing
+    assert suite.eol.recycled_fraction != 0.9
+
+
+def test_with_overrides_rejects_unknown_field():
+    with pytest.raises(TypeError):
+        ModelSuite.default().with_overrides(refrigeration="freon")
+
+
+def test_suite_is_immutable():
+    suite = ModelSuite.default()
+    with pytest.raises(AttributeError):
+        suite.manufacturing = ManufacturingModel()
+
+
+def test_efforts_configurable():
+    suite = ModelSuite.default().with_overrides(
+        fpga_effort=DevelopmentEffort(frontend_months=2.5, backend_months=1.5)
+    )
+    assert suite.fpga_effort.frontend_months == 2.5

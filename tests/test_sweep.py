@@ -1,0 +1,67 @@
+"""Tests for one-dimensional sweeps."""
+
+import pytest
+
+from repro.analysis.sweep import SWEEP_AXES, sweep
+from repro.core.scenario import Scenario
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def base():
+    return Scenario(num_apps=2, app_lifetime_years=1.0, volume=10_000)
+
+
+def test_axes_exposed():
+    assert set(SWEEP_AXES) == {"num_apps", "lifetime", "volume"}
+
+
+def test_num_apps_sweep_shape(dnn_comparator, base):
+    result = sweep(dnn_comparator, base, "num_apps", [1, 2, 4])
+    assert result.values == (1.0, 2.0, 4.0)
+    assert len(result.comparisons) == 3
+    assert len(result.fpga_totals) == 3
+
+
+def test_asic_totals_monotone_in_apps(dnn_comparator, base):
+    result = sweep(dnn_comparator, base, "num_apps", [1, 2, 3, 4])
+    totals = result.asic_totals
+    assert all(b > a for a, b in zip(totals, totals[1:]))
+
+
+def test_totals_monotone_in_volume(dnn_comparator, base):
+    result = sweep(dnn_comparator, base, "volume", [100, 1000, 10_000])
+    assert all(b > a for a, b in zip(result.fpga_totals, result.fpga_totals[1:]))
+    assert all(b > a for a, b in zip(result.asic_totals, result.asic_totals[1:]))
+
+
+def test_totals_monotone_in_lifetime(dnn_comparator, base):
+    result = sweep(dnn_comparator, base, "lifetime", [0.5, 1.0, 2.0])
+    assert all(b > a for a, b in zip(result.fpga_totals, result.fpga_totals[1:]))
+
+
+def test_rows_flat_export(dnn_comparator, base):
+    rows = sweep(dnn_comparator, base, "num_apps", [1, 2]).rows()
+    assert rows[0]["num_apps"] == 1.0
+    assert "ratio" in rows[0] and "winner" in rows[0]
+
+
+def test_sweep_point_matches_direct_compare(dnn_comparator, base):
+    result = sweep(dnn_comparator, base, "lifetime", [1.5])
+    direct = dnn_comparator.compare(base.with_lifetime(1.5))
+    assert result.ratios[0] == pytest.approx(direct.ratio)
+
+
+def test_unknown_axis(dnn_comparator, base):
+    with pytest.raises(ParameterError, match="unknown sweep axis"):
+        sweep(dnn_comparator, base, "temperature", [1.0])
+
+
+def test_empty_values(dnn_comparator, base):
+    with pytest.raises(ParameterError):
+        sweep(dnn_comparator, base, "volume", [])
+
+
+def test_winner_at(dnn_comparator, base):
+    result = sweep(dnn_comparator, base, "num_apps", [1])
+    assert result.winner_at(0) in ("fpga", "asic")

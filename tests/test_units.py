@@ -1,0 +1,66 @@
+"""Tests for unit conversions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_hours_per_year():
+    assert units.HOURS_PER_YEAR == 365 * 24
+
+
+def test_mm2_cm2_round_trip():
+    assert units.mm2_to_cm2(100.0) == 1.0
+    assert units.cm2_to_mm2(1.0) == 100.0
+
+
+@given(st.floats(min_value=1e-6, max_value=1e9, allow_nan=False))
+def test_area_round_trip_property(area):
+    assert math.isclose(units.cm2_to_mm2(units.mm2_to_cm2(area)), area, rel_tol=1e-12)
+
+
+def test_grams_tons():
+    assert units.grams_to_tons(1_000_000.0) == 1.0
+    assert units.tons_to_kg(1.0) == 1000.0
+    assert units.kg_to_tons(1000.0) == 1.0
+
+
+def test_gwh_to_kwh():
+    assert units.gwh_to_kwh(7.3) == pytest.approx(7.3e6)
+
+
+def test_g_per_kwh_to_kg_per_kwh():
+    assert units.g_per_kwh_to_kg_per_kwh(475.0) == pytest.approx(0.475)
+
+
+def test_months_to_hours_is_year_fraction():
+    assert units.months_to_hours(12.0) == pytest.approx(units.HOURS_PER_YEAR)
+
+
+def test_years_to_hours():
+    assert units.years_to_hours(2.0) == pytest.approx(2 * 8760.0)
+
+
+def test_annual_energy_kwh_full_duty():
+    # 1 kW at 100% duty = 8760 kWh/year.
+    assert units.annual_energy_kwh(1000.0, 1.0) == pytest.approx(8760.0)
+
+
+def test_annual_energy_kwh_zero_duty():
+    assert units.annual_energy_kwh(1000.0, 0.0) == 0.0
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_annual_energy_monotone_in_duty(power, duty):
+    assert units.annual_energy_kwh(power, duty) <= units.annual_energy_kwh(power, 1.0)
+
+
+def test_reticle_limit_value():
+    assert units.RETICLE_LIMIT_MM2 == pytest.approx(858.0)

@@ -1,0 +1,61 @@
+"""Tests for wafer geometry helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError
+from repro.manufacturing.wafer import (
+    dies_per_wafer,
+    usable_wafer_area_cm2,
+    wafer_area_per_die_cm2,
+)
+from repro.units import RETICLE_LIMIT_MM2
+
+
+def test_usable_area_300mm():
+    # pi * (150-3)^2 mm^2 = 678.9 cm^2.
+    assert usable_wafer_area_cm2(300.0) == pytest.approx(678.9, rel=1e-3)
+
+
+def test_usable_area_rejects_total_edge_exclusion():
+    with pytest.raises(CapacityError):
+        usable_wafer_area_cm2(10.0, edge_exclusion_mm=6.0)
+
+
+def test_dies_per_wafer_typical():
+    # ~100 mm^2 dies on 300 mm wafer: roughly 600 gross dies.
+    gross = dies_per_wafer(100.0)
+    assert 500 < gross < 700
+
+
+def test_dies_per_wafer_monotone_in_area():
+    assert dies_per_wafer(50.0) > dies_per_wafer(100.0) > dies_per_wafer(400.0)
+
+
+def test_reticle_limit_enforced():
+    with pytest.raises(CapacityError, match="reticle"):
+        dies_per_wafer(RETICLE_LIMIT_MM2 + 1.0)
+
+
+def test_die_at_reticle_limit_allowed():
+    assert dies_per_wafer(RETICLE_LIMIT_MM2) >= 1
+
+
+@given(st.floats(min_value=1.0, max_value=800.0))
+def test_wafer_area_share_at_least_die_area(die_area_mm2):
+    share_cm2 = wafer_area_per_die_cm2(die_area_mm2)
+    assert share_cm2 >= die_area_mm2 / 100.0
+
+
+@given(st.floats(min_value=1.0, max_value=800.0))
+def test_share_times_gross_dies_covers_wafer(die_area_mm2):
+    gross = dies_per_wafer(die_area_mm2)
+    share = wafer_area_per_die_cm2(die_area_mm2)
+    total = usable_wafer_area_cm2(300.0)
+    # Shares tile the wafer (within the max() floor applied per-die).
+    assert share * gross >= total * 0.999 or share == pytest.approx(die_area_mm2 / 100.0)
+
+
+def test_smaller_wafer_fewer_dies():
+    assert dies_per_wafer(100.0, wafer_diameter_mm=200.0) < dies_per_wafer(100.0)

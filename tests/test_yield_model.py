@@ -1,0 +1,95 @@
+"""Tests for the die-yield models (with hypothesis properties)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.manufacturing.yield_model import (
+    YieldModel,
+    die_yield,
+    murphy_yield,
+    poisson_yield,
+    seeds_yield,
+)
+
+areas = st.floats(min_value=1e-4, max_value=50.0, allow_nan=False)
+defects = st.floats(min_value=1e-4, max_value=2.0, allow_nan=False)
+
+
+def test_zero_area_yields_one():
+    for model in (murphy_yield, poisson_yield, seeds_yield):
+        assert model(0.0, 0.1) == pytest.approx(1.0)
+
+
+def test_zero_defect_density_yields_one():
+    for model in (murphy_yield, poisson_yield, seeds_yield):
+        assert model(5.0, 0.0) == pytest.approx(1.0)
+
+
+def test_known_murphy_value():
+    # A*D0 = 1: ((1 - e^-1)/1)^2 = 0.3996.
+    assert murphy_yield(10.0, 0.1) == pytest.approx(((1 - math.exp(-1)) / 1) ** 2)
+
+
+def test_known_poisson_value():
+    assert poisson_yield(10.0, 0.1) == pytest.approx(math.exp(-1.0))
+
+
+def test_known_seeds_value():
+    assert seeds_yield(10.0, 0.1) == pytest.approx(0.5)
+
+
+@given(areas, defects)
+def test_yields_in_unit_interval(area, d0):
+    for model in (murphy_yield, poisson_yield, seeds_yield):
+        y = model(area, d0)
+        assert 0.0 < y <= 1.0
+
+
+@given(areas, defects)
+def test_model_ordering_poisson_pessimistic_seeds_optimistic(area, d0):
+    """Poisson <= Murphy <= Seeds for any die (classic ordering)."""
+    p = poisson_yield(area, d0)
+    m = murphy_yield(area, d0)
+    s = seeds_yield(area, d0)
+    assert p <= m + 1e-12
+    assert m <= s + 1e-12
+
+
+@given(defects, st.floats(min_value=0.1, max_value=10.0), st.floats(min_value=1.01, max_value=4.0))
+def test_yield_decreases_with_area(d0, area, factor):
+    assert murphy_yield(area * factor, d0) < murphy_yield(area, d0)
+
+
+def test_murphy_small_faults_numerically_stable():
+    assert murphy_yield(1e-12, 1e-9) == 1.0
+
+
+def test_die_yield_applies_line_yield():
+    base = murphy_yield(1.0, 0.1)
+    assert die_yield(1.0, 0.1, line_yield=0.9) == pytest.approx(base * 0.9)
+
+
+def test_die_yield_model_selection():
+    assert die_yield(1.0, 0.1, model="poisson") == pytest.approx(poisson_yield(1.0, 0.1))
+    assert die_yield(1.0, 0.1, model=YieldModel.SEEDS) == pytest.approx(seeds_yield(1.0, 0.1))
+
+
+def test_die_yield_rejects_bad_line_yield():
+    with pytest.raises(ParameterError):
+        die_yield(1.0, 0.1, line_yield=1.5)
+    with pytest.raises(ParameterError):
+        die_yield(1.0, 0.1, line_yield=0.0)
+
+
+def test_yield_model_coerce_rejects_unknown():
+    with pytest.raises(ParameterError, match="unknown yield model"):
+        YieldModel.coerce("gaussian")
+
+
+def test_yield_model_coerce_accepts_member_and_string():
+    assert YieldModel.coerce(YieldModel.MURPHY) is YieldModel.MURPHY
+    assert YieldModel.coerce("murphy") is YieldModel.MURPHY
