@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Local CI gate: tier-1 tests + evaluation-engine benchmark in smoke mode.
+#
+# Usage: scripts/check.sh [--full-bench]
+#   --full-bench  additionally run the engine benchmark with timing
+#                 statistics (slower; default is one smoke iteration).
+#
+# The smoke run executes every engine bench once (--benchmark-disable),
+# including the warm-vs-cold speedup assertion, so a perf regression in
+# the hot evaluation path fails here before it ships.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: unit + integration tests =="
+python -m pytest tests -x -q
+
+echo
+echo "== engine benchmark (smoke) =="
+python -m pytest benchmarks/test_bench_engine.py -x -q --benchmark-disable
+
+if [[ "${1:-}" == "--full-bench" ]]; then
+    echo
+    echo "== engine benchmark (full statistics) =="
+    python -m pytest benchmarks/test_bench_engine.py -x -q
+fi
+
+echo
+echo "check.sh: all gates passed"

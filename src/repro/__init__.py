@@ -26,6 +26,7 @@ from repro.devices.asic import AsicDevice
 from repro.devices.catalog import DOMAIN_NAMES, DomainSpec, get_domain, get_industry_device
 from repro.devices.fpga import FpgaDevice
 from repro.devices.gpu import GpuDevice
+from repro.engine import EvaluationEngine, default_engine
 from repro.errors import GreenFpgaError
 from repro.fleet.planner import Application, FleetPlanner
 
@@ -40,6 +41,7 @@ __all__ = [
     "ComparisonResult",
     "DOMAIN_NAMES",
     "DomainSpec",
+    "EvaluationEngine",
     "FleetPlanner",
     "FpgaAssessment",
     "FpgaDevice",
@@ -52,6 +54,7 @@ __all__ = [
     "Scenario",
     "__version__",
     "compare_domain",
+    "default_engine",
     "get_domain",
     "get_industry_device",
 ]

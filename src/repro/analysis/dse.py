@@ -11,24 +11,79 @@ the Pareto front over user-chosen objectives.
 from __future__ import annotations
 
 import itertools
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.config import Parameters
 from repro.core.comparison import PlatformComparator
 from repro.core.scenario import Scenario
 from repro.devices.catalog import DomainSpec, get_domain
+from repro.engine import EvaluationEngine, resolve_engine
 from repro.errors import ParameterError
+
+
+class FrozenOverrides(Mapping):
+    """Immutable, hashable mapping of grid overrides.
+
+    Preserves insertion order (the grid's axis order) and supports every
+    read-only ``dict`` operation, so existing callers doing
+    ``point.overrides["duty_cycle"]`` or ``dict(point.overrides)`` keep
+    working — while :class:`DesignPoint` becomes properly hashable.
+    """
+
+    __slots__ = ("_items", "_lookup")
+
+    def __init__(self, overrides: "Mapping | Sequence[tuple[str, object]]") -> None:
+        items = overrides.items() if isinstance(overrides, Mapping) else overrides
+        object.__setattr__(self, "_items", tuple((str(k), v) for k, v in items))
+        object.__setattr__(self, "_lookup", dict(self._items))
+        if len(self._lookup) != len(self._items):
+            raise ParameterError("duplicate override keys in FrozenOverrides")
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("FrozenOverrides is immutable")
+
+    def __getitem__(self, key: str) -> object:
+        return self._lookup[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._lookup)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        # Order-insensitive, matching __eq__: the same configuration
+        # reached through grids with different axis order must collide.
+        return hash(frozenset(self._items))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Mapping):
+            return self._lookup == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v!r}" for k, v in self._items)
+        return f"FrozenOverrides({body})"
 
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One evaluated configuration of the design space."""
+    """One evaluated configuration of the design space.
 
-    overrides: dict[str, object]
+    ``overrides`` is normalised to :class:`FrozenOverrides` on
+    construction, so points are hashable (usable in sets/dicts) even
+    when built from a plain ``dict``.
+    """
+
+    overrides: Mapping
     fpga_total_kg: float
     asic_total_kg: float
     ratio: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.overrides, FrozenOverrides):
+            object.__setattr__(self, "overrides", FrozenOverrides(self.overrides))
 
     @property
     def best_total_kg(self) -> float:
@@ -54,6 +109,11 @@ class DesignPoint:
         return row
 
 
+def _dominates(a: tuple[float, ...], b: tuple[float, ...]) -> bool:
+    """Whether objective vector ``a`` Pareto-dominates ``b`` (minimising)."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
 @dataclass(frozen=True)
 class DseResult:
     """All evaluated design points, ranked by greenest outcome."""
@@ -73,7 +133,11 @@ class DseResult:
     ) -> list[DesignPoint]:
         """Non-dominated points, minimising every named objective.
 
-        Objectives are attribute names of :class:`DesignPoint`.
+        Objectives are attribute names of :class:`DesignPoint`.  Runs a
+        sort-based pass: after sorting lexicographically by the objective
+        vector, any dominator of a point precedes it, so each point only
+        needs checking against the front accumulated so far (near-linear
+        for typical fronts, versus the quadratic all-pairs scan).
         """
         if not objectives:
             raise ParameterError("objectives must not be empty")
@@ -81,22 +145,17 @@ class DseResult:
         def values(point: DesignPoint) -> tuple[float, ...]:
             return tuple(float(getattr(point, obj)) for obj in objectives)
 
+        decorated = sorted(
+            ((values(p), i, p) for i, p in enumerate(self.points)),
+            key=lambda item: (item[0], item[1]),
+        )
         front: list[DesignPoint] = []
-        for candidate in self.points:
-            c_vals = values(candidate)
-            dominated = False
-            for other in self.points:
-                if other is candidate:
-                    continue
-                o_vals = values(other)
-                if all(o <= c for o, c in zip(o_vals, c_vals)) and any(
-                    o < c for o, c in zip(o_vals, c_vals)
-                ):
-                    dominated = True
-                    break
-            if not dominated:
-                front.append(candidate)
-        return sorted(front, key=values)
+        front_values: list[tuple[float, ...]] = []
+        for vals, _, point in decorated:
+            if not any(_dominates(f, vals) for f in front_values):
+                front.append(point)
+                front_values.append(vals)
+        return front
 
 
 def explore(
@@ -104,6 +163,7 @@ def explore(
     scenario: Scenario,
     grid: Mapping[str, Sequence[object]],
     base: Parameters | None = None,
+    engine: EvaluationEngine | None = None,
 ) -> DseResult:
     """Evaluate every combination of ``grid`` overrides.
 
@@ -113,6 +173,9 @@ def explore(
         grid: Parameter-name -> candidate values.  Names must be
             :class:`~repro.config.Parameters` fields.
         base: Baseline parameters for everything not in the grid.
+        engine: Batch evaluator; the shared default when not given.
+            Suite construction per grid point is memoised through the
+            engine, and the whole grid is assessed as one cached batch.
 
     Returns:
         A :class:`DseResult` with one point per grid combination.
@@ -121,25 +184,32 @@ def explore(
         raise ParameterError("grid must not be empty")
     spec = domain if isinstance(domain, DomainSpec) else get_domain(domain)
     base = base if base is not None else Parameters()
+    eng = resolve_engine(engine)
 
     names = list(grid)
-    points = []
+    fpga_device = spec.fpga_device()
+    asic_device = spec.asic_device()
+    all_overrides: list[FrozenOverrides] = []
+    pairs: list[tuple[PlatformComparator, Scenario]] = []
     for combo in itertools.product(*(grid[name] for name in names)):
         overrides = dict(zip(names, combo))
-        params = base.with_overrides(**overrides)
-        suite = params.build_suite()
+        suite = eng.suite_for(base.with_overrides(**overrides))
         comparator = PlatformComparator(
-            fpga_device=spec.fpga_device(),
-            asic_device=spec.asic_device(),
+            fpga_device=fpga_device,
+            asic_device=asic_device,
             suite=suite,
         )
-        comparison = comparator.compare(scenario)
-        points.append(
-            DesignPoint(
-                overrides=overrides,
-                fpga_total_kg=comparison.fpga.footprint.total,
-                asic_total_kg=comparison.asic.footprint.total,
-                ratio=comparison.ratio,
-            )
+        all_overrides.append(FrozenOverrides(overrides))
+        pairs.append((comparator, scenario))
+
+    comparisons = eng.evaluate_pairs(pairs)
+    points = tuple(
+        DesignPoint(
+            overrides=overrides,
+            fpga_total_kg=comparison.fpga.footprint.total,
+            asic_total_kg=comparison.asic.footprint.total,
+            ratio=comparison.ratio,
         )
-    return DseResult(points=tuple(points))
+        for overrides, comparison in zip(all_overrides, comparisons)
+    )
+    return DseResult(points=points)

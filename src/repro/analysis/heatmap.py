@@ -15,6 +15,7 @@ import numpy as np
 from repro.analysis.sweep import SWEEP_AXES, _AXIS_APPLIERS
 from repro.core.comparison import PlatformComparator
 from repro.core.scenario import Scenario
+from repro.engine import EvaluationEngine, resolve_engine
 from repro.errors import ParameterError
 
 
@@ -80,8 +81,15 @@ def pairwise_heatmap(
     x_values: Sequence[float],
     y_axis: str,
     y_values: Sequence[float],
+    engine: EvaluationEngine | None = None,
 ) -> HeatmapResult:
-    """Compute the FPGA:ASIC ratio over a 2-D grid of scenario axes."""
+    """Compute the FPGA:ASIC ratio over a 2-D grid of scenario axes.
+
+    The grid is evaluated as one batch through ``engine`` (the shared
+    default when not given), so overlapping panels — e.g. the Fig. 8
+    triple, whose baselines share a whole row/column of cells — reuse
+    cached assessments instead of recomputing them.
+    """
     for axis in (x_axis, y_axis):
         if axis not in _AXIS_APPLIERS:
             raise ParameterError(
@@ -94,11 +102,13 @@ def pairwise_heatmap(
 
     apply_x = _AXIS_APPLIERS[x_axis]
     apply_y = _AXIS_APPLIERS[y_axis]
-    ratios = np.empty((len(y_values), len(x_values)), dtype=float)
-    for i, y in enumerate(y_values):
-        row_scenario = apply_y(base_scenario, y)
-        for j, x in enumerate(x_values):
-            ratios[i, j] = comparator.ratio(apply_x(row_scenario, x))
+    scenarios = [
+        apply_x(apply_y(base_scenario, y), x) for y in y_values for x in x_values
+    ]
+    comparisons = resolve_engine(engine).evaluate_many(comparator, scenarios)
+    ratios = np.array([c.ratio for c in comparisons], dtype=float).reshape(
+        (len(y_values), len(x_values))
+    )
     return HeatmapResult(
         x_axis=x_axis,
         y_axis=y_axis,

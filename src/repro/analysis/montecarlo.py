@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.comparison import PlatformComparator
 from repro.core.scenario import Scenario
+from repro.engine import EvaluationEngine, resolve_engine
 from repro.errors import ParameterError
 
 
@@ -65,22 +66,53 @@ class MonteCarloResult:
         return int(self.ratios.size)
 
     @property
+    def finite_ratios(self) -> np.ndarray:
+        """Draws with a finite ratio (degenerate zero-ASIC totals excluded)."""
+        return self.ratios[np.isfinite(self.ratios)]
+
+    @property
+    def n_non_finite(self) -> int:
+        """Draws whose ratio is ``+/-inf``/``nan`` (zero ASIC totals).
+
+        Excluded from :meth:`quantiles` and :meth:`summary` moments; they
+        still count toward :attr:`fpga_win_probability`.
+        """
+        return int(self.ratios.size - self.finite_ratios.size)
+
+    @property
     def fpga_win_probability(self) -> float:
-        """Fraction of draws where the FPGA is greener (ratio < 1)."""
-        return float(np.mean(self.ratios < 1.0))
+        """Fraction of draws where the FPGA is greener (ratio < 1).
+
+        Robust to non-finite ratios, following
+        :attr:`ComparisonResult.ratio`'s edge semantics: ``-inf``
+        (negative FPGA total against a zero ASIC total) is a decisive
+        FPGA win, while ``+inf`` and ``nan`` count as draws the FPGA did
+        *not* win — the probability stays well-defined either way.
+        """
+        wins = int(np.count_nonzero(self.ratios < 1.0))
+        return wins / self.ratios.size
 
     def quantiles(self, qs: Sequence[float] = (0.05, 0.25, 0.5, 0.75, 0.95)) -> dict[float, float]:
-        """Requested quantiles of the ratio distribution."""
-        values = np.quantile(self.ratios, list(qs))
+        """Requested quantiles over the finite ratio draws.
+
+        All-non-finite distributions return ``nan`` for every quantile
+        rather than raising.
+        """
+        finite = self.finite_ratios
+        if finite.size == 0:
+            return {float(q): float("nan") for q in qs}
+        values = np.quantile(finite, list(qs))
         return {float(q): float(v) for q, v in zip(qs, values)}
 
     def summary(self) -> dict[str, float]:
-        """Flat summary for reporting."""
+        """Flat summary for reporting (moments over finite draws)."""
         quantiles = self.quantiles()
+        finite = self.finite_ratios
+        mean = float(np.mean(finite)) if finite.size else float("nan")
         return {
             "n_samples": float(self.n_samples),
             "fpga_win_probability": self.fpga_win_probability,
-            "ratio_mean": float(np.mean(self.ratios)),
+            "ratio_mean": mean,
             "ratio_p05": quantiles[0.05],
             "ratio_p50": quantiles[0.5],
             "ratio_p95": quantiles[0.95],
@@ -93,8 +125,16 @@ def monte_carlo(
     distributions: Sequence[ParameterDistribution],
     n_samples: int = 500,
     seed: int = 2024,
+    engine: EvaluationEngine | None = None,
 ) -> MonteCarloResult:
     """Propagate parameter uncertainty into the FPGA:ASIC ratio.
+
+    All draws are sampled up-front (the RNG consumption order is
+    identical to the historical per-draw loop, so seeded results are
+    bit-for-bit reproducible across versions) and then assessed as one
+    batch through ``engine`` — duplicate perturbations and draws shared
+    with other analyses hit the cache, and ``workers`` parallelise the
+    rest.
 
     Args:
         comparator: Baseline device pair + suite.
@@ -102,21 +142,24 @@ def monte_carlo(
         distributions: Knobs to perturb each draw.
         n_samples: Number of draws.
         seed: RNG seed (results are reproducible by construction).
+        engine: Batch evaluator; the shared default when not given.
     """
     if n_samples < 1:
         raise ParameterError("n_samples must be >= 1")
     if not distributions:
         raise ParameterError("at least one ParameterDistribution is required")
     rng = np.random.default_rng(seed)
-    ratios = np.empty(n_samples, dtype=float)
     samples: list[dict[str, float]] = []
-    for i in range(n_samples):
+    pairs: list[tuple[PlatformComparator, Scenario]] = []
+    for _ in range(n_samples):
         drawn: dict[str, float] = {}
         perturbed = comparator
         for dist in distributions:
             value = dist.sample(rng)
             drawn[dist.name] = value
             perturbed = dist.apply(perturbed, value)
-        ratios[i] = perturbed.ratio(scenario)
         samples.append(drawn)
+        pairs.append((perturbed, scenario))
+    comparisons = resolve_engine(engine).evaluate_pairs(pairs)
+    ratios = np.array([c.ratio for c in comparisons], dtype=float)
     return MonteCarloResult(ratios=ratios, samples=tuple(samples))

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.analysis.montecarlo import ParameterDistribution
 from repro.core.comparison import PlatformComparator
 from repro.core.scenario import Scenario
+from repro.engine import EvaluationEngine, resolve_engine
 
 
 @dataclass(frozen=True)
@@ -68,20 +69,30 @@ def tornado(
     comparator: PlatformComparator,
     scenario: Scenario,
     distributions: Sequence[ParameterDistribution],
+    engine: EvaluationEngine | None = None,
 ) -> SensitivityResult:
-    """One-at-a-time sensitivity of the ratio to each knob's range."""
-    baseline = comparator.ratio(scenario)
-    entries = []
+    """One-at-a-time sensitivity of the ratio to each knob's range.
+
+    The baseline and every knob's low/high endpoint are assessed as one
+    batch through ``engine`` (shared default when not given), so the
+    baseline — and any endpoints coinciding with Monte-Carlo draws or
+    other analyses — come from the cache.
+    """
+    pairs: list[tuple[PlatformComparator, Scenario]] = [(comparator, scenario)]
     for dist in distributions:
-        ratio_low = dist.apply(comparator, dist.low).ratio(scenario)
-        ratio_high = dist.apply(comparator, dist.high).ratio(scenario)
+        pairs.append((dist.apply(comparator, dist.low), scenario))
+        pairs.append((dist.apply(comparator, dist.high), scenario))
+    comparisons = resolve_engine(engine).evaluate_pairs(pairs)
+    baseline = comparisons[0].ratio
+    entries = []
+    for index, dist in enumerate(distributions):
         entries.append(
             SensitivityEntry(
                 name=dist.name,
                 low_value=dist.low,
                 high_value=dist.high,
-                ratio_at_low=ratio_low,
-                ratio_at_high=ratio_high,
+                ratio_at_low=comparisons[1 + 2 * index].ratio,
+                ratio_at_high=comparisons[2 + 2 * index].ratio,
             )
         )
     return SensitivityResult(baseline_ratio=baseline, entries=tuple(entries))

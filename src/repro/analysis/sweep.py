@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.core.comparison import ComparisonResult, PlatformComparator
 from repro.core.scenario import Scenario
+from repro.engine import EvaluationEngine, resolve_engine
 from repro.errors import ParameterError
 
 #: Axes a sweep can vary and how each value is applied to the scenario.
@@ -72,6 +73,7 @@ def sweep(
     base_scenario: Scenario,
     axis: str,
     values: Sequence[float],
+    engine: EvaluationEngine | None = None,
 ) -> SweepResult:
     """Assess both platforms across ``values`` of one scenario axis.
 
@@ -80,6 +82,8 @@ def sweep(
         base_scenario: Scenario whose other axes stay fixed.
         axis: One of :data:`SWEEP_AXES`.
         values: Axis values to visit (any order; preserved).
+        engine: Batch evaluator; the shared default (with its cache)
+            when not given.
 
     Raises:
         ParameterError: for an unknown axis or empty values.
@@ -89,8 +93,8 @@ def sweep(
     if not values:
         raise ParameterError("sweep values must not be empty")
     apply_axis = _AXIS_APPLIERS[axis]
-    comparisons = tuple(
-        comparator.compare(apply_axis(base_scenario, value)) for value in values
+    comparisons = resolve_engine(engine).evaluate_many(
+        comparator, (apply_axis(base_scenario, value) for value in values)
     )
     return SweepResult(
         axis=axis,

@@ -44,7 +44,7 @@ class AsicLifecycleModel:
     """
 
     device: AsicDevice
-    suite: ModelSuite = field(default_factory=ModelSuite)
+    suite: ModelSuite = field(default_factory=ModelSuite.default)
 
     def per_chip_embodied(self) -> CarbonFootprint:
         """Manufacturing + packaging + EOL of one ASIC chip."""

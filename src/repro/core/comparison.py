@@ -7,6 +7,7 @@ paper's heatmaps plot, plus the winner.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.core.asic_model import AsicAssessment, AsicLifecycleModel
@@ -31,13 +32,43 @@ class ComparisonResult:
         """FPGA:ASIC total-CFP ratio (the paper's heatmap quantity).
 
         < 1 means the FPGA is the more sustainable platform.
+
+        Degenerate totals (possible under aggressive recycling credits or
+        synthetic suites) are given explicit semantics instead of raising
+        ``ZeroDivisionError``: with a zero ASIC total the ratio is signed
+        infinity — ``math.inf`` when the FPGA total is positive (the ASIC
+        wins outright) and ``-math.inf`` when net recycling credits push
+        the FPGA total negative (the FPGA is strictly greener) — and two
+        zero totals yield ``1.0`` (a perfect tie, which :attr:`winner`
+        awards to the ASIC like any other tie).
+
+        With a *negative* ASIC total the raw quotient's sign inverts and
+        stops tracking which platform is greener — :attr:`winner` and
+        :attr:`fpga_advantage_kg` therefore compare totals directly and
+        stay correct even there.
         """
-        return self.fpga.footprint.total / self.asic.footprint.total
+        fpga_total = self.fpga.footprint.total
+        asic_total = self.asic.footprint.total
+        if asic_total == 0.0:
+            if fpga_total == 0.0:
+                return 1.0
+            return math.copysign(math.inf, fpga_total)
+        return fpga_total / asic_total
 
     @property
     def winner(self) -> str:
-        """``"fpga"`` or ``"asic"`` (ties go to the ASIC, ratio == 1)."""
-        return "fpga" if self.ratio < 1.0 else "asic"
+        """``"fpga"`` or ``"asic"`` (ties go to the ASIC).
+
+        Decided on the totals themselves, which agrees with
+        ``ratio < 1`` whenever the ASIC total is positive and stays
+        correct for the degenerate cases (zero or credit-negative
+        totals) where the quotient's sign is unreliable.
+        """
+        return (
+            "fpga"
+            if self.fpga.footprint.total < self.asic.footprint.total
+            else "asic"
+        )
 
     @property
     def fpga_advantage_kg(self) -> float:
@@ -62,12 +93,15 @@ class PlatformComparator:
     Attributes:
         fpga_device: Reconfigurable platform.
         asic_device: Fixed-function platform (remade per application).
-        suite: Shared sub-model bundle.
+        suite: Shared sub-model bundle.  Defaults to the canonical
+            :meth:`ModelSuite.default`, the same default
+            :meth:`for_domain` applies, so direct construction and the
+            domain constructor always agree.
     """
 
     fpga_device: FpgaDevice
     asic_device: AsicDevice
-    suite: ModelSuite = field(default_factory=ModelSuite)
+    suite: ModelSuite = field(default_factory=ModelSuite.default)
 
     @classmethod
     def for_domain(

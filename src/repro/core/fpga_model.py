@@ -46,7 +46,7 @@ class FpgaLifecycleModel:
     """
 
     device: FpgaDevice
-    suite: ModelSuite = field(default_factory=ModelSuite)
+    suite: ModelSuite = field(default_factory=ModelSuite.default)
 
     def chip_generations(self, scenario: Scenario) -> int:
         """Chip purchases needed to cover the scenario horizon.

@@ -56,7 +56,7 @@ class GpuLifecycleModel:
     """
 
     device: GpuDevice
-    suite: ModelSuite = field(default_factory=ModelSuite)
+    suite: ModelSuite = field(default_factory=ModelSuite.default)
     effort: DevelopmentEffort = DEFAULT_GPU_EFFORT
 
     def chip_generations(self, scenario: Scenario) -> int:

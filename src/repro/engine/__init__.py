@@ -1,0 +1,27 @@
+"""Shared batch evaluation engine (caching + parallel assessment).
+
+See :mod:`repro.engine.engine` for the design rationale.
+"""
+
+from repro.engine.cache import CacheStats, LruCache
+from repro.engine.engine import (
+    EvaluationEngine,
+    build_suite_cached,
+    comparator_key,
+    default_engine,
+    evaluation_key,
+    resolve_engine,
+    scenario_key,
+)
+
+__all__ = [
+    "CacheStats",
+    "EvaluationEngine",
+    "LruCache",
+    "build_suite_cached",
+    "comparator_key",
+    "default_engine",
+    "evaluation_key",
+    "resolve_engine",
+    "scenario_key",
+]

@@ -1,0 +1,258 @@
+"""Shared batch evaluation engine for FPGA-vs-ASIC comparisons.
+
+Every analysis layer that reproduces the paper's figures — sweeps,
+heatmaps, design-space exploration, Monte-Carlo and tornado sensitivity —
+reduces to the same primitive: assess a (comparator, scenario) pair and
+read the FPGA:ASIC ratio.  Historically each module looped
+``PlatformComparator.compare()`` privately, rebuilding identical
+assessments point by point.  :class:`EvaluationEngine` centralises that
+loop behind one batch API with
+
+* an LRU result cache keyed on ``(device pair, suite, scenario)``, so
+  overlapping grids (e.g. the three Fig. 8 panels, which share a whole
+  edge of cells) and repeated Monte-Carlo draws are computed once;
+* memoised :meth:`repro.config.Parameters.build_suite` construction, so
+  DSE grids revisiting a configuration reuse the same suite; and
+* opt-in process parallelism (``workers=N``) with chunked dispatch to
+  amortise pickling, for dense grids and large Monte-Carlo runs.
+
+Evaluation is pure — ``compare()`` depends only on the frozen comparator
+and scenario — so cached and parallel execution return results
+bit-identical to the sequential per-point loops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import pickle
+from collections.abc import Iterable, Sequence
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Hashable
+
+from repro.config import Parameters
+from repro.core.comparison import ComparisonResult, PlatformComparator
+from repro.core.scenario import Scenario
+from repro.core.suite import ModelSuite
+from repro.engine.cache import CacheStats, LruCache
+from repro.errors import ParameterError
+
+#: Default chunk size for parallel dispatch — large enough that pickling
+#: a chunk's comparators is amortised over many assessments.
+DEFAULT_CHUNK_SIZE = 32
+
+
+def scenario_key(scenario: Scenario) -> Hashable:
+    """Canonical hashable identity of a scenario.
+
+    Uses the normalised ``lifetimes`` tuple rather than the raw
+    ``app_lifetime_years`` field so that scalar and per-application
+    spellings of the same deployment hash identically (and so that
+    list-valued lifetimes do not break hashing).
+    """
+    return (
+        scenario.num_apps,
+        scenario.lifetimes,
+        scenario.volume,
+        scenario.evaluation_years,
+        scenario.app_size_mgates,
+        scenario.enforce_chip_lifetime,
+    )
+
+
+def comparator_key(comparator: PlatformComparator) -> Hashable:
+    """Canonical hashable identity of a device pair + suite."""
+    return (comparator.fpga_device, comparator.asic_device, comparator.suite)
+
+
+def evaluation_key(comparator: PlatformComparator, scenario: Scenario) -> Hashable:
+    """Cache key of one assessment: ``(device pair, suite, scenario)``."""
+    return (comparator_key(comparator), scenario_key(scenario))
+
+
+@functools.lru_cache(maxsize=256)
+def _suite_from_parameters(params: Parameters) -> ModelSuite:
+    return params.build_suite()
+
+
+def build_suite_cached(params: Parameters) -> ModelSuite:
+    """Memoised :meth:`Parameters.build_suite`.
+
+    :class:`Parameters` is frozen and hashable, and ``build_suite`` is a
+    pure constructor, so identical parameter sets share one suite object.
+    DSE grids that revisit a configuration (or differ only in scenario)
+    skip the rebuild entirely.
+    """
+    return _suite_from_parameters(params)
+
+
+def _compare_chunk(
+    chunk: Sequence[tuple[PlatformComparator, Scenario]],
+) -> list[ComparisonResult]:
+    """Worker-side body: sequentially assess one chunk of pairs."""
+    return [comparator.compare(scenario) for comparator, scenario in chunk]
+
+
+class EvaluationEngine:
+    """Batch evaluator with caching and opt-in parallelism.
+
+    One engine instance is meant to be shared across analyses: the cache
+    then spans sweeps, heatmap panels, DSE grids and Monte-Carlo draws
+    alike.  A module-level default (:func:`default_engine`) backs every
+    analysis entry point unless the caller injects their own.
+
+    Args:
+        cache_size: LRU bound on stored :class:`ComparisonResult` objects
+            (``0`` disables caching).
+        workers: ``None`` or ``1`` evaluates in-process; ``N > 1`` farms
+            cache misses out to a :class:`ProcessPoolExecutor` of ``N``
+            processes.  Results are identical either way.
+        chunk_size: Pairs per parallel task; tune upward for very cheap
+            models to keep pickling overhead negligible.
+    """
+
+    def __init__(
+        self,
+        cache_size: int = 4096,
+        workers: int | None = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        if chunk_size < 1:
+            raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._cache = LruCache(maxsize=cache_size)
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/size counters of the result cache."""
+        return self._cache.stats()
+
+    def clear_cache(self) -> None:
+        """Drop cached results and reset counters."""
+        self._cache.clear()
+
+    def close(self) -> None:
+        """Shut down the worker pool (if one was started)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Suite construction
+    # ------------------------------------------------------------------
+
+    def suite_for(self, params: Parameters) -> ModelSuite:
+        """Memoised suite construction (see :func:`build_suite_cached`)."""
+        return build_suite_cached(params)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self, comparator: PlatformComparator, scenario: Scenario
+    ) -> ComparisonResult:
+        """Assess one pair through the cache."""
+        return self.evaluate_pairs(((comparator, scenario),))[0]
+
+    def evaluate_many(
+        self, comparator: PlatformComparator, scenarios: Iterable[Scenario]
+    ) -> tuple[ComparisonResult, ...]:
+        """Assess one comparator across many scenarios, in order."""
+        return self.evaluate_pairs([(comparator, s) for s in scenarios])
+
+    def evaluate_pairs(
+        self, pairs: Iterable[tuple[PlatformComparator, Scenario]]
+    ) -> tuple[ComparisonResult, ...]:
+        """Assess many (comparator, scenario) pairs, preserving order.
+
+        Duplicate pairs within the batch are assessed once; pairs seen by
+        earlier calls are served from the LRU cache.  Misses run either
+        in-process or on the worker pool, then populate the cache.
+        """
+        pair_list = list(pairs)
+        keys = [evaluation_key(c, s) for c, s in pair_list]
+
+        results: dict[Hashable, ComparisonResult] = {}
+        misses: list[tuple[Hashable, PlatformComparator, Scenario]] = []
+        for key, (comparator, scenario) in zip(keys, pair_list):
+            if key in results:
+                continue
+            cached = self._cache.get(key, None)
+            if cached is not None:
+                results[key] = cached
+            else:
+                results[key] = None  # placeholder keeps dedup within batch
+                misses.append((key, comparator, scenario))
+
+        if misses:
+            computed = self._compute([(c, s) for _, c, s in misses])
+            for (key, _, _), result in zip(misses, computed):
+                results[key] = result
+                self._cache.put(key, result)
+
+        ordered: list[ComparisonResult] = []
+        for key, (_, scenario) in zip(keys, pair_list):
+            result = results[key]
+            if result.scenario != scenario:
+                # The key normalises equivalent scenario spellings (scalar
+                # vs per-application lifetimes), but callers must get back
+                # the exact scenario they passed in.
+                result = dataclasses.replace(result, scenario=scenario)
+            ordered.append(result)
+        return tuple(ordered)
+
+    def _pool_get(self) -> ProcessPoolExecutor:
+        """The engine's worker pool, started lazily and reused per batch."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _compute(
+        self, pairs: Sequence[tuple[PlatformComparator, Scenario]]
+    ) -> list[ComparisonResult]:
+        """Assess uncached pairs, parallel when configured and worthwhile."""
+        workers = self.workers or 1
+        if workers <= 1 or len(pairs) <= self.chunk_size:
+            return _compare_chunk(pairs)
+        chunks = [
+            pairs[i : i + self.chunk_size]
+            for i in range(0, len(pairs), self.chunk_size)
+        ]
+        try:
+            chunk_results = list(self._pool_get().map(_compare_chunk, chunks))
+        except (pickle.PicklingError, BrokenExecutor):
+            # Pool infrastructure failures (unpicklable suites, killed
+            # workers) must never change results — discard the pool and
+            # fall back to the sequential path.  Model errors raised by
+            # ``compare()`` itself propagate unchanged.
+            self.close()
+            return _compare_chunk(pairs)
+        return [result for chunk in chunk_results for result in chunk]
+
+
+_DEFAULT_ENGINE = EvaluationEngine()
+
+
+def default_engine() -> EvaluationEngine:
+    """The process-wide engine backing analysis calls with no injection."""
+    return _DEFAULT_ENGINE
+
+
+def resolve_engine(engine: EvaluationEngine | None) -> EvaluationEngine:
+    """``engine`` if given, else the shared default."""
+    return engine if engine is not None else _DEFAULT_ENGINE

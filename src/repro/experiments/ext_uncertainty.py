@@ -17,6 +17,7 @@ from repro.core.comparison import PlatformComparator
 from repro.core.scenario import Scenario
 from repro.core.suite import ModelSuite
 from repro.design.model import DesignModel
+from repro.engine import EvaluationEngine
 from repro.eol.model import EolModel
 from repro.experiments.base import ExperimentReport
 from repro.manufacturing.act import ManufacturingModel
@@ -85,8 +86,11 @@ def run(suite: ModelSuite | None = None) -> ExperimentReport:
     comparator = PlatformComparator.for_domain("dnn", suite)
     dists = distributions()
 
-    mc = monte_carlo(comparator, BASELINE, dists, n_samples=N_SAMPLES)
-    sens = tornado(comparator, BASELINE, dists)
+    # One engine across both studies: the tornado baseline and any
+    # endpoint coinciding with a Monte-Carlo draw come from the cache.
+    engine = EvaluationEngine()
+    mc = monte_carlo(comparator, BASELINE, dists, n_samples=N_SAMPLES, engine=engine)
+    sens = tornado(comparator, BASELINE, dists, engine=engine)
 
     report = ExperimentReport(
         experiment_id="ext_uncertainty",

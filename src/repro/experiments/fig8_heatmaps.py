@@ -14,6 +14,7 @@ from repro.analysis.heatmap import HeatmapResult, pairwise_heatmap
 from repro.core.comparison import PlatformComparator
 from repro.core.scenario import Scenario
 from repro.core.suite import ModelSuite
+from repro.engine import EvaluationEngine
 from repro.experiments.base import ExperimentReport
 
 DOMAIN = "dnn"
@@ -32,14 +33,21 @@ PANELS = (
 
 
 def panel(
-    held_axis: str, suite: ModelSuite | None = None
+    held_axis: str,
+    suite: ModelSuite | None = None,
+    engine: EvaluationEngine | None = None,
 ) -> HeatmapResult:
-    """Compute the heatmap for the panel that holds ``held_axis`` fixed."""
+    """Compute the heatmap for the panel that holds ``held_axis`` fixed.
+
+    The three panels share baseline rows/columns, so evaluating them
+    through one engine reuses those cells from the cache.
+    """
     for held, x_axis, x_values, y_axis, y_values in PANELS:
         if held == held_axis:
             comparator = PlatformComparator.for_domain(DOMAIN, suite)
             return pairwise_heatmap(
-                comparator, BASELINE, x_axis, x_values, y_axis, y_values
+                comparator, BASELINE, x_axis, x_values, y_axis, y_values,
+                engine=engine,
             )
     raise KeyError(f"no Fig. 8 panel holds {held_axis!r} fixed")
 
@@ -57,7 +65,8 @@ def _ascii_heatmap(result: HeatmapResult) -> str:
 
 
 def run(suite: ModelSuite | None = None) -> ExperimentReport:
-    """Reproduce all three Fig. 8 panels."""
+    """Reproduce all three Fig. 8 panels (one shared evaluation engine)."""
+    engine = EvaluationEngine()
     report = ExperimentReport(
         experiment_id="fig8",
         title="Pairwise sweeps of FPGA:ASIC CFP ratio (DNN)",
@@ -68,13 +77,14 @@ def run(suite: ModelSuite | None = None) -> ExperimentReport:
         ),
     )
     for held, *_ in PANELS:
-        result = panel(held, suite)
+        result = panel(held, suite, engine=engine)
         report.add_table(f"const_{held}", result.rows())
         report.add_chart(
             f"panel const {held}:\n" + _ascii_heatmap(result)
         )
     # Paper's highlighted observation: high volume or few apps defeat FPGAs.
-    const_t = panel("lifetime", suite)
+    # (Fully cache-served: this panel was just computed on `engine`.)
+    const_t = panel("lifetime", suite, engine=engine)
     high_vol_col = len(const_t.x_values) - 1
     few_apps_row = 0
     report.add_note(

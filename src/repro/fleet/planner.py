@@ -94,7 +94,7 @@ class FleetPlanner:
 
     fpga_device: FpgaDevice
     asic_device: AsicDevice
-    suite: ModelSuite = field(default_factory=ModelSuite)
+    suite: ModelSuite = field(default_factory=ModelSuite.default)
 
     @classmethod
     def for_domain(

@@ -87,3 +87,76 @@ def test_empty_grid_rejected():
 def test_empty_objectives_rejected(result):
     with pytest.raises(ParameterError):
         result.pareto_front(objectives=())
+
+
+def test_design_points_are_hashable(result):
+    """Frozen overrides make points usable in sets and as dict keys."""
+    unique = set(result.points)
+    assert len(unique) == len(result.points)
+    ranked_by_point = {point: rank for rank, point in enumerate(result.ranked())}
+    assert len(ranked_by_point) == len(result.points)
+
+
+def test_overrides_behave_like_a_read_only_mapping(result):
+    point = result.points[0]
+    overrides = point.overrides
+    assert overrides["use_energy_source"] in ("wind", "coal")
+    assert set(overrides) == {"use_energy_source", "recycled_material_fraction"}
+    assert dict(overrides) == {k: overrides[k] for k in overrides}
+    with pytest.raises(TypeError):
+        overrides["use_energy_source"] = "solar"
+
+
+def test_overrides_equal_plain_dicts(result):
+    point = result.points[0]
+    assert point.overrides == dict(point.overrides)
+
+
+def test_overrides_equality_and_hash_ignore_key_order():
+    from repro.analysis.dse import FrozenOverrides
+
+    a = FrozenOverrides({"x": 1, "y": 2})
+    b = FrozenOverrides({"y": 2, "x": 1})
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_overrides_reject_duplicate_keys():
+    from repro.analysis.dse import FrozenOverrides
+
+    with pytest.raises(ParameterError):
+        FrozenOverrides([("x", 1), ("x", 2)])
+
+
+def test_pareto_front_matches_quadratic_reference(result):
+    """The sort-based pass must agree with the all-pairs definition."""
+
+    def values(p, objectives):
+        return tuple(float(getattr(p, o)) for o in objectives)
+
+    for objectives in (("fpga_total_kg", "asic_total_kg"), ("best_total_kg",),
+                       ("fpga_total_kg", "asic_total_kg", "ratio")):
+        front = result.pareto_front(objectives=objectives)
+        reference = []
+        for candidate in result.points:
+            c_vals = values(candidate, objectives)
+            dominated = any(
+                all(o <= c for o, c in zip(values(other, objectives), c_vals))
+                and any(o < c for o, c in zip(values(other, objectives), c_vals))
+                for other in result.points
+                if other is not candidate
+            )
+            if not dominated:
+                reference.append(candidate)
+        assert set(front) == set(reference)
+
+
+def test_explore_reuses_memoised_suites(result):
+    """Identical parameter combinations share one suite object."""
+    from repro.engine import build_suite_cached
+    from repro.config import Parameters
+
+    params = Parameters().with_overrides(use_energy_source="wind",
+                                         recycled_material_fraction=0.0)
+    assert build_suite_cached(params) is build_suite_cached(params)
