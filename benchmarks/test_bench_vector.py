@@ -1,0 +1,190 @@
+"""Bench: the vector kernel against the scalar per-point path.
+
+Measures the ISSUE-2 headline workloads — a cold 100x100 heatmap grid
+and a 10k-draw Monte-Carlo run — three ways (cold scalar, cold vector,
+warm cache) and emits ``benchmarks/BENCH_engine.json`` so the perf
+trajectory is tracked from run to run (``scripts/check.sh`` surfaces
+it).  The kernel must beat the scalar path by >= 10x on both workloads
+and agree with it to ``rtol=1e-12``, so the speedup can never come at
+the cost of parity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import pairwise_heatmap, pairwise_heatmap_batch
+from repro.analysis.montecarlo import ParameterDistribution, monte_carlo, monte_carlo_batch
+from repro.core.comparison import PlatformComparator
+from repro.core.scenario import Scenario
+from repro.engine import EvaluationEngine
+from repro.operation.model import OperationModel
+
+BENCH_JSON = Path(__file__).parent / "BENCH_engine.json"
+
+BASELINE = Scenario(num_apps=5, app_lifetime_years=2.0, volume=1_000_000)
+
+#: Dense 100 x 100 = 10k-cell grid over the Fig. 8 axes.
+NUM_APPS_VALUES = tuple(range(1, 101))
+LIFETIME_VALUES = tuple(float(t) for t in np.linspace(0.5, 3.0, 100))
+
+N_MC_DRAWS = 10_000
+
+#: The speedup floor the vector kernel must clear on both workloads.
+MIN_SPEEDUP = 10.0
+
+
+def _set_use_intensity(comparator, value):
+    suite = comparator.suite.with_overrides(
+        operation=OperationModel(
+            energy_source=value, profile=comparator.suite.operation.profile
+        )
+    )
+    return dataclasses.replace(comparator, suite=suite)
+
+
+@pytest.fixture(scope="module")
+def comparator(suite):
+    return PlatformComparator.for_domain("dnn", suite)
+
+
+def test_vector_speedup_and_emit_bench_json(comparator):
+    """Cold scalar vs cold vector vs warm cache; emit BENCH_engine.json."""
+    # Warm both code paths at miniature size first so one-time costs
+    # (NumPy ufunc dispatch, import machinery) stay out of the timings.
+    # No *results* are reused: every timed run recomputes its batch.
+    dists = [
+        ParameterDistribution("use_intensity", 30.0, 700.0, _set_use_intensity,
+                              kind="loguniform"),
+    ]
+    for warm_engine in (EvaluationEngine(cache_size=0, vectorize=False),
+                        EvaluationEngine()):
+        pairwise_heatmap_batch(
+            comparator, BASELINE, "num_apps", (1, 2), "lifetime", (1.0, 2.0),
+            engine=warm_engine,
+        )
+        monte_carlo_batch(comparator, BASELINE, dists, n_samples=32,
+                          engine=warm_engine)
+
+    # ------------------------------------------------------------------
+    # Workload A: cold 100x100 heatmap grid.
+    # ------------------------------------------------------------------
+    scalar_engine = EvaluationEngine(cache_size=16384, vectorize=False)
+    t0 = time.perf_counter()
+    scalar_grid = pairwise_heatmap(
+        comparator, BASELINE,
+        "num_apps", NUM_APPS_VALUES, "lifetime", LIFETIME_VALUES,
+        engine=scalar_engine,
+    )
+    heatmap_cold_scalar_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm_grid = pairwise_heatmap(
+        comparator, BASELINE,
+        "num_apps", NUM_APPS_VALUES, "lifetime", LIFETIME_VALUES,
+        engine=scalar_engine,
+    )
+    heatmap_warm_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    vector_grid = pairwise_heatmap_batch(
+        comparator, BASELINE,
+        "num_apps", NUM_APPS_VALUES, "lifetime", LIFETIME_VALUES,
+        engine=EvaluationEngine(),
+    )
+    heatmap_cold_vector_s = time.perf_counter() - t0
+
+    np.testing.assert_array_equal(warm_grid.ratios, scalar_grid.ratios)
+    np.testing.assert_allclose(
+        vector_grid.ratios, scalar_grid.ratios, rtol=1.0e-12, atol=0.0
+    )
+    # Drop the 10k cached ComparisonResult graphs before timing the next
+    # workload: keeping them alive inflates the cyclic-GC pauses taken
+    # during the Monte-Carlo measurement by ~60%.
+    scalar_engine.clear_cache()
+
+    # ------------------------------------------------------------------
+    # Workload B: 10k-draw Monte-Carlo (one fresh comparator per draw).
+    # ------------------------------------------------------------------
+    t0 = time.perf_counter()
+    scalar_mc = monte_carlo(
+        comparator, BASELINE, dists, n_samples=N_MC_DRAWS, seed=2024,
+        engine=EvaluationEngine(cache_size=0, vectorize=False),
+    )
+    mc_cold_scalar_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    vector_mc = monte_carlo_batch(
+        comparator, BASELINE, dists, n_samples=N_MC_DRAWS, seed=2024,
+        engine=EvaluationEngine(),
+    )
+    mc_cold_vector_s = time.perf_counter() - t0
+
+    np.testing.assert_allclose(
+        vector_mc.ratios, scalar_mc.ratios, rtol=1.0e-12, atol=0.0
+    )
+
+    heatmap_speedup = heatmap_cold_scalar_s / heatmap_cold_vector_s
+    mc_speedup = mc_cold_scalar_s / mc_cold_vector_s
+
+    BENCH_JSON.write_text(json.dumps({
+        "generated_unix": time.time(),
+        "min_speedup_gate": MIN_SPEEDUP,
+        "workloads": {
+            "heatmap_100x100": {
+                "cells": len(NUM_APPS_VALUES) * len(LIFETIME_VALUES),
+                "cold_scalar_s": round(heatmap_cold_scalar_s, 4),
+                "cold_vector_s": round(heatmap_cold_vector_s, 4),
+                "warm_cache_s": round(heatmap_warm_s, 4),
+                "vector_speedup": round(heatmap_speedup, 1),
+                "warm_speedup": round(heatmap_cold_scalar_s / heatmap_warm_s, 1),
+            },
+            "monte_carlo_10k": {
+                "draws": N_MC_DRAWS,
+                "cold_scalar_s": round(mc_cold_scalar_s, 4),
+                "cold_vector_s": round(mc_cold_vector_s, 4),
+                "vector_speedup": round(mc_speedup, 1),
+            },
+        },
+    }, indent=2) + "\n")
+
+    assert heatmap_speedup >= MIN_SPEEDUP, (
+        f"vector heatmap only {heatmap_speedup:.1f}x faster than scalar "
+        f"({heatmap_cold_vector_s:.3f}s vs {heatmap_cold_scalar_s:.3f}s)"
+    )
+    assert mc_speedup >= MIN_SPEEDUP, (
+        f"vector Monte-Carlo only {mc_speedup:.1f}x faster than scalar "
+        f"({mc_cold_vector_s:.3f}s vs {mc_cold_scalar_s:.3f}s)"
+    )
+
+
+def test_bench_vector_heatmap_10k(benchmark, comparator):
+    """pytest-benchmark stats for the array-land 10k-cell grid."""
+    result = benchmark(
+        pairwise_heatmap_batch,
+        comparator, BASELINE,
+        "num_apps", NUM_APPS_VALUES, "lifetime", LIFETIME_VALUES,
+        engine=EvaluationEngine(),
+    )
+    assert result.ratios.shape == (len(LIFETIME_VALUES), len(NUM_APPS_VALUES))
+    assert np.all(np.isfinite(result.ratios)) and np.all(result.ratios > 0.0)
+
+
+def test_bench_vector_monte_carlo_10k(benchmark, comparator):
+    """pytest-benchmark stats for the kernel-evaluated 10k-draw MC."""
+    dists = [
+        ParameterDistribution("use_intensity", 30.0, 700.0, _set_use_intensity,
+                              kind="loguniform"),
+    ]
+    result = benchmark(
+        monte_carlo_batch, comparator, BASELINE, dists,
+        n_samples=N_MC_DRAWS, seed=2024, engine=EvaluationEngine(),
+    )
+    assert result.n_samples == N_MC_DRAWS
+    assert 0.0 <= result.fpga_win_probability <= 1.0

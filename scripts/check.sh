@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Local CI gate: tier-1 tests + evaluation-engine benchmark in smoke mode.
+# Local CI gate: tier-1 tests + evaluation-engine benchmarks in smoke mode.
 #
 # Usage: scripts/check.sh [--full-bench]
-#   --full-bench  additionally run the engine benchmark with timing
+#   --full-bench  additionally run the engine benchmarks with timing
 #                 statistics (slower; default is one smoke iteration).
 #
 # The smoke run executes every engine bench once (--benchmark-disable),
-# including the warm-vs-cold speedup assertion, so a perf regression in
-# the hot evaluation path fails here before it ships.
+# including the warm-vs-cold speedup assertion and the vector-kernel
+# >= 10x gate, so a perf regression in the hot evaluation path fails
+# here before it ships.  The vector bench emits
+# benchmarks/BENCH_engine.json (cold scalar vs cold vector vs warm
+# cache on a 10k-cell grid and a 10k-draw Monte-Carlo), which this
+# script surfaces so the perf trajectory is visible run over run.
 
 set -euo pipefail
 
@@ -19,13 +23,23 @@ echo "== tier-1: unit + integration tests =="
 python -m pytest tests -x -q
 
 echo
-echo "== engine benchmark (smoke) =="
-python -m pytest benchmarks/test_bench_engine.py -x -q --benchmark-disable
+echo "== engine benchmarks (smoke) =="
+python -m pytest benchmarks/test_bench_engine.py benchmarks/test_bench_vector.py \
+    -x -q --benchmark-disable
+
+echo
+echo "== BENCH_engine.json =="
+if [[ -f benchmarks/BENCH_engine.json ]]; then
+    cat benchmarks/BENCH_engine.json
+else
+    echo "error: benchmarks/BENCH_engine.json was not emitted" >&2
+    exit 1
+fi
 
 if [[ "${1:-}" == "--full-bench" ]]; then
     echo
-    echo "== engine benchmark (full statistics) =="
-    python -m pytest benchmarks/test_bench_engine.py -x -q
+    echo "== engine benchmarks (full statistics) =="
+    python -m pytest benchmarks/test_bench_engine.py benchmarks/test_bench_vector.py -x -q
 fi
 
 echo

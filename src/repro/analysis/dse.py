@@ -158,27 +158,22 @@ class DseResult:
         return front
 
 
-def explore(
+def _grid_pairs(
     domain: "DomainSpec | str",
     scenario: Scenario,
     grid: Mapping[str, Sequence[object]],
-    base: Parameters | None = None,
-    engine: EvaluationEngine | None = None,
-) -> DseResult:
-    """Evaluate every combination of ``grid`` overrides.
+    base: Parameters | None,
+    engine: EvaluationEngine | None,
+) -> tuple[
+    EvaluationEngine,
+    list[FrozenOverrides],
+    list[tuple[PlatformComparator, Scenario]],
+]:
+    """Enumerate the grid once for both :func:`explore` spellings.
 
-    Args:
-        domain: Table 2 domain (or explicit spec) to compare under.
-        scenario: Fixed deployment scenario.
-        grid: Parameter-name -> candidate values.  Names must be
-            :class:`~repro.config.Parameters` fields.
-        base: Baseline parameters for everything not in the grid.
-        engine: Batch evaluator; the shared default when not given.
-            Suite construction per grid point is memoised through the
-            engine, and the whole grid is assessed as one cached batch.
-
-    Returns:
-        A :class:`DseResult` with one point per grid combination.
+    Returns the resolved engine plus the per-combination overrides and
+    (comparator, scenario) pairs, with suite construction memoised
+    through the engine.
     """
     if not grid:
         raise ParameterError("grid must not be empty")
@@ -201,7 +196,32 @@ def explore(
         )
         all_overrides.append(FrozenOverrides(overrides))
         pairs.append((comparator, scenario))
+    return eng, all_overrides, pairs
 
+
+def explore(
+    domain: "DomainSpec | str",
+    scenario: Scenario,
+    grid: Mapping[str, Sequence[object]],
+    base: Parameters | None = None,
+    engine: EvaluationEngine | None = None,
+) -> DseResult:
+    """Evaluate every combination of ``grid`` overrides.
+
+    Args:
+        domain: Table 2 domain (or explicit spec) to compare under.
+        scenario: Fixed deployment scenario.
+        grid: Parameter-name -> candidate values.  Names must be
+            :class:`~repro.config.Parameters` fields.
+        base: Baseline parameters for everything not in the grid.
+        engine: Batch evaluator; the shared default when not given.
+            Suite construction per grid point is memoised through the
+            engine, and the whole grid is assessed as one cached batch.
+
+    Returns:
+        A :class:`DseResult` with one point per grid combination.
+    """
+    eng, all_overrides, pairs = _grid_pairs(domain, scenario, grid, base, engine)
     comparisons = eng.evaluate_pairs(pairs)
     points = tuple(
         DesignPoint(
@@ -211,5 +231,36 @@ def explore(
             ratio=comparison.ratio,
         )
         for overrides, comparison in zip(all_overrides, comparisons)
+    )
+    return DseResult(points=points)
+
+
+def explore_batch(
+    domain: "DomainSpec | str",
+    scenario: Scenario,
+    grid: Mapping[str, Sequence[object]],
+    base: Parameters | None = None,
+    engine: EvaluationEngine | None = None,
+) -> DseResult:
+    """Array-land :func:`explore`: the grid runs as one kernel batch.
+
+    Grid enumeration and suite memoisation match :func:`explore`, but
+    evaluation goes through the vector kernel's multi-comparator path —
+    each configuration's suite becomes one model-parameter row — so no
+    ``ComparisonResult`` is materialised per point.  The returned
+    :class:`DseResult` carries the same :class:`DesignPoint` objects
+    (totals/ratios within ``rtol <= 1e-12`` of :func:`explore`); grid
+    points bypass the engine's LRU cache.
+    """
+    eng, all_overrides, pairs = _grid_pairs(domain, scenario, grid, base, engine)
+    batch = eng.evaluate_pairs_batch(pairs)
+    points = tuple(
+        DesignPoint(
+            overrides=overrides,
+            fpga_total_kg=float(batch.fpga_totals[i]),
+            asic_total_kg=float(batch.asic_totals[i]),
+            ratio=float(batch.ratios[i]),
+        )
+        for i, overrides in enumerate(all_overrides)
     )
     return DseResult(points=points)

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.sweep import SWEEP_AXES, _AXIS_APPLIERS
+from repro.analysis.sweep import SWEEP_AXES, _AXIS_APPLIERS, axis_batch
 from repro.core.comparison import PlatformComparator
 from repro.core.scenario import Scenario
 from repro.engine import EvaluationEngine, resolve_engine
@@ -115,4 +115,57 @@ def pairwise_heatmap(
         x_values=tuple(float(v) for v in x_values),
         y_values=tuple(float(v) for v in y_values),
         ratios=ratios,
+    )
+
+
+def pairwise_heatmap_batch(
+    comparator: PlatformComparator,
+    base_scenario: Scenario,
+    x_axis: str,
+    x_values: Sequence[float],
+    y_axis: str,
+    y_values: Sequence[float],
+    engine: EvaluationEngine | None = None,
+) -> HeatmapResult:
+    """Array-land :func:`pairwise_heatmap`: one kernel call for the grid.
+
+    The whole grid is built as scenario *columns* and evaluated by the
+    vector kernel — no per-cell :class:`Scenario` or ``ComparisonResult``
+    objects exist at any point, which is what makes dense (100x100+)
+    grids run at array speed.  Ratios agree with :func:`pairwise_heatmap`
+    bit-for-bit; the trade-off is that cells do not populate the
+    engine's LRU cache (use :func:`pairwise_heatmap` when other analyses
+    should reuse them).
+    """
+    for axis in (x_axis, y_axis):
+        if axis not in _AXIS_APPLIERS:
+            raise ParameterError(
+                f"unknown heatmap axis {axis!r}; expected one of {SWEEP_AXES}"
+            )
+    if x_axis == y_axis:
+        raise ParameterError("heatmap axes must differ")
+    if len(x_values) == 0 or len(y_values) == 0:
+        raise ParameterError("heatmap axis values must not be empty")
+    base_lifetimes = base_scenario.lifetimes
+    if any(t != base_lifetimes[0] for t in base_lifetimes):
+        # Mirror the scalar path, which applies the y axis before the x
+        # axis: with_num_apps on still-heterogeneous lifetimes raises.
+        if "num_apps" in (x_axis, y_axis) and not (
+            x_axis == "num_apps" and y_axis == "lifetime"
+        ):
+            raise ParameterError(
+                "varying num_apps requires a uniform app lifetime; rebuild "
+                "the scenario explicitly for heterogeneous lifetimes"
+            )
+
+    x_col = np.tile(np.asarray(x_values), len(y_values))
+    y_col = np.repeat(np.asarray(y_values), len(x_values))
+    batch = axis_batch(base_scenario, {x_axis: x_col, y_axis: y_col})
+    result = resolve_engine(engine).evaluate_batch(comparator, batch)
+    return HeatmapResult(
+        x_axis=x_axis,
+        y_axis=y_axis,
+        x_values=tuple(float(v) for v in x_values),
+        y_values=tuple(float(v) for v in y_values),
+        ratios=result.ratios.reshape((len(y_values), len(x_values))),
     )

@@ -55,10 +55,17 @@ class ParameterDistribution:
 
 @dataclass(frozen=True)
 class MonteCarloResult:
-    """Sampled distribution of the FPGA:ASIC ratio."""
+    """Sampled distribution of the FPGA:ASIC ratio.
+
+    ``winners`` (when provided by :func:`monte_carlo` /
+    :func:`monte_carlo_batch`) carries the totals-based per-draw winner,
+    which stays correct even where the ratio's sign stops tracking the
+    greener platform (credit-negative ASIC totals).
+    """
 
     ratios: np.ndarray
     samples: tuple[dict[str, float], ...]
+    winners: np.ndarray | None = None
 
     @property
     def n_samples(self) -> int:
@@ -81,15 +88,23 @@ class MonteCarloResult:
 
     @property
     def fpga_win_probability(self) -> float:
-        """Fraction of draws where the FPGA is greener (ratio < 1).
+        """Fraction of draws where the FPGA is the greener platform.
 
-        Robust to non-finite ratios, following
-        :attr:`ComparisonResult.ratio`'s edge semantics: ``-inf``
-        (negative FPGA total against a zero ASIC total) is a decisive
-        FPGA win, while ``+inf`` and ``nan`` count as draws the FPGA did
-        *not* win — the probability stays well-defined either way.
+        Decided on :attr:`winners` (totals-based, matching
+        :attr:`ComparisonResult.winner`) when the result carries them,
+        which stays correct even for draws whose ASIC total goes
+        credit-negative and inverts the quotient's sign.  Without
+        winners the ``ratio < 1`` proxy applies, robust to non-finite
+        ratios per :attr:`ComparisonResult.ratio`'s edge semantics:
+        ``-inf`` (negative FPGA total against a zero ASIC total) is a
+        decisive FPGA win, while ``+inf`` and ``nan`` count as draws the
+        FPGA did *not* win — the probability stays well-defined either
+        way.
         """
-        wins = int(np.count_nonzero(self.ratios < 1.0))
+        if self.winners is not None:
+            wins = int(np.count_nonzero(self.winners == "fpga"))
+        else:
+            wins = int(np.count_nonzero(self.ratios < 1.0))
         return wins / self.ratios.size
 
     def quantiles(self, qs: Sequence[float] = (0.05, 0.25, 0.5, 0.75, 0.95)) -> dict[float, float]:
@@ -119,6 +134,38 @@ class MonteCarloResult:
         }
 
 
+def _draw_pairs(
+    comparator: PlatformComparator,
+    scenario: Scenario,
+    distributions: Sequence[ParameterDistribution],
+    n_samples: int,
+    seed: int,
+) -> tuple[tuple[dict[str, float], ...], list[tuple[PlatformComparator, Scenario]]]:
+    """Sample every draw up-front: ``(samples, (comparator, scenario) pairs)``.
+
+    One body shared by :func:`monte_carlo` and :func:`monte_carlo_batch`
+    so the RNG consumption order — the reproducibility contract between
+    them — can never drift apart.
+    """
+    if n_samples < 1:
+        raise ParameterError("n_samples must be >= 1")
+    if not distributions:
+        raise ParameterError("at least one ParameterDistribution is required")
+    rng = np.random.default_rng(seed)
+    samples: list[dict[str, float]] = []
+    pairs: list[tuple[PlatformComparator, Scenario]] = []
+    for _ in range(n_samples):
+        drawn: dict[str, float] = {}
+        perturbed = comparator
+        for dist in distributions:
+            value = dist.sample(rng)
+            drawn[dist.name] = value
+            perturbed = dist.apply(perturbed, value)
+        samples.append(drawn)
+        pairs.append((perturbed, scenario))
+    return tuple(samples), pairs
+
+
 def monte_carlo(
     comparator: PlatformComparator,
     scenario: Scenario,
@@ -144,22 +191,36 @@ def monte_carlo(
         seed: RNG seed (results are reproducible by construction).
         engine: Batch evaluator; the shared default when not given.
     """
-    if n_samples < 1:
-        raise ParameterError("n_samples must be >= 1")
-    if not distributions:
-        raise ParameterError("at least one ParameterDistribution is required")
-    rng = np.random.default_rng(seed)
-    samples: list[dict[str, float]] = []
-    pairs: list[tuple[PlatformComparator, Scenario]] = []
-    for _ in range(n_samples):
-        drawn: dict[str, float] = {}
-        perturbed = comparator
-        for dist in distributions:
-            value = dist.sample(rng)
-            drawn[dist.name] = value
-            perturbed = dist.apply(perturbed, value)
-        samples.append(drawn)
-        pairs.append((perturbed, scenario))
+    samples, pairs = _draw_pairs(comparator, scenario, distributions,
+                                 n_samples, seed)
     comparisons = resolve_engine(engine).evaluate_pairs(pairs)
     ratios = np.array([c.ratio for c in comparisons], dtype=float)
-    return MonteCarloResult(ratios=ratios, samples=tuple(samples))
+    winners = np.array([c.winner for c in comparisons])
+    return MonteCarloResult(ratios=ratios, samples=samples, winners=winners)
+
+
+def monte_carlo_batch(
+    comparator: PlatformComparator,
+    scenario: Scenario,
+    distributions: Sequence[ParameterDistribution],
+    n_samples: int = 500,
+    seed: int = 2024,
+    engine: EvaluationEngine | None = None,
+) -> MonteCarloResult:
+    """Array-land :func:`monte_carlo`: the draws run as one kernel batch.
+
+    Sampling (RNG consumption order included) is identical to
+    :func:`monte_carlo`, but the perturbed comparators are evaluated
+    through the vector kernel's multi-comparator path — every draw's
+    suite is decomposed into model-parameter columns and the sub-models
+    themselves are vectorised, so no per-draw lifecycle objects or
+    ``ComparisonResult`` materialisation occur.  Ratios agree with the
+    scalar path to ``rtol <= 1e-12``; draws bypass the engine's LRU
+    cache (use :func:`monte_carlo` when cache warmth matters more than
+    throughput).
+    """
+    samples, pairs = _draw_pairs(comparator, scenario, distributions,
+                                 n_samples, seed)
+    batch = resolve_engine(engine).evaluate_pairs_batch(pairs)
+    return MonteCarloResult(ratios=batch.ratios, samples=samples,
+                            winners=batch.winners)

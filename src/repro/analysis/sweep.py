@@ -10,9 +10,11 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.comparison import ComparisonResult, PlatformComparator
 from repro.core.scenario import Scenario
-from repro.engine import EvaluationEngine, resolve_engine
+from repro.engine import BatchResult, EvaluationEngine, ScenarioBatch, resolve_engine
 from repro.errors import ParameterError
 
 #: Axes a sweep can vary and how each value is applied to the scenario.
@@ -23,6 +25,46 @@ _AXIS_APPLIERS = {
 }
 
 SWEEP_AXES = tuple(_AXIS_APPLIERS)
+
+
+def axis_batch(
+    base_scenario: Scenario,
+    axis_values: "dict[str, np.ndarray]",
+) -> ScenarioBatch:
+    """Columnise ``base_scenario`` with one or more axes overridden.
+
+    The array-land twin of applying :data:`_AXIS_APPLIERS` per value:
+    ``axis_values`` maps axis names (:data:`SWEEP_AXES`) to equal-length
+    arrays, every other scenario field rides along from the base.  A
+    heterogeneous-lifetime base is supported only when the ``lifetime``
+    axis is overridden (the column then defines every row's uniform
+    lifetime, matching the scalar appliers); otherwise the batch cannot
+    represent the ragged lifetimes — use the scalar entry point.
+    """
+    for axis in axis_values:
+        if axis not in _AXIS_APPLIERS:
+            raise ParameterError(
+                f"unknown sweep axis {axis!r}; expected one of {SWEEP_AXES}"
+            )
+    base_lifetimes = base_scenario.lifetimes
+    uniform = all(t == base_lifetimes[0] for t in base_lifetimes)
+    if not uniform and "lifetime" not in axis_values:
+        raise ParameterError(
+            "batch sweeps require a uniform base app lifetime unless the "
+            "lifetime axis is overridden; rebuild the scenario explicitly "
+            "(or use the scalar entry point) for heterogeneous lifetimes"
+        )
+    num_apps = axis_values.get("num_apps", base_scenario.num_apps)
+    lifetime = axis_values.get("lifetime", base_lifetimes[0])
+    volume = axis_values.get("volume", base_scenario.volume)
+    return ScenarioBatch.from_arrays(
+        num_apps=np.asarray(num_apps, dtype=np.int64),
+        lifetime=np.asarray(lifetime, dtype=np.float64),
+        volume=np.asarray(volume, dtype=np.int64),
+        evaluation_years=base_scenario.evaluation_years,
+        app_size_mgates=base_scenario.app_size_mgates,
+        enforce_chip_lifetime=base_scenario.enforce_chip_lifetime,
+    )
 
 
 @dataclass(frozen=True)
@@ -100,4 +142,71 @@ def sweep(
         axis=axis,
         values=tuple(float(v) for v in values),
         comparisons=comparisons,
+    )
+
+
+@dataclass(frozen=True)
+class SweepBatch:
+    """Array-land outcome of a one-dimensional sweep.
+
+    The batch twin of :class:`SweepResult`: per-point quantities are
+    NumPy arrays read straight off the vector kernel, and no
+    :class:`ComparisonResult` is materialised anywhere.
+
+    Attributes:
+        axis: Which scenario axis was varied.
+        values: Axis values, in sweep order (any order is preserved,
+            including descending and single-point axes).
+        batch: Full :class:`BatchResult` with totals, winners and
+            per-component breakdowns.
+    """
+
+    axis: str
+    values: np.ndarray
+    batch: BatchResult
+
+    @property
+    def ratios(self) -> np.ndarray:
+        """FPGA:ASIC ratio at each point."""
+        return self.batch.ratios
+
+    @property
+    def fpga_totals(self) -> np.ndarray:
+        """FPGA total CFP at each point (kg)."""
+        return self.batch.fpga_totals
+
+    @property
+    def asic_totals(self) -> np.ndarray:
+        """ASIC total CFP at each point (kg)."""
+        return self.batch.asic_totals
+
+    @property
+    def winners(self) -> np.ndarray:
+        """Winning platform at each point (``"fpga"`` / ``"asic"``)."""
+        return self.batch.winners
+
+
+def sweep_batch(
+    comparator: PlatformComparator,
+    base_scenario: Scenario,
+    axis: str,
+    values: Sequence[float],
+    engine: EvaluationEngine | None = None,
+) -> SweepBatch:
+    """Array-land :func:`sweep`: one kernel call, no per-point objects.
+
+    Results agree with :func:`sweep` bit-for-bit (the kernel mirrors the
+    scalar arithmetic); use this entry point when only the arrays are
+    wanted — dense axes, service endpoints, benchmark loops.
+    """
+    if axis not in _AXIS_APPLIERS:
+        raise ParameterError(f"unknown sweep axis {axis!r}; expected one of {SWEEP_AXES}")
+    if len(values) == 0:
+        raise ParameterError("sweep values must not be empty")
+    batch = axis_batch(base_scenario, {axis: np.asarray(values)})
+    result = resolve_engine(engine).evaluate_batch(comparator, batch)
+    return SweepBatch(
+        axis=axis,
+        values=np.asarray(values, dtype=np.float64),
+        batch=result,
     )

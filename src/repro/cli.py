@@ -7,6 +7,14 @@ Subcommands:
   and print its report (optionally exporting CSVs).
 * ``greenfpga compare --domain dnn --apps 5 --lifetime 2 --volume 1e6`` —
   one-off FPGA-vs-ASIC comparison.
+
+Engine options (shared by ``run`` and ``compare``):
+
+* ``--workers N`` — farm scalar cache misses to N worker processes.
+* ``--no-vectorize`` — disable the NumPy vector kernel (pure scalar
+  path; mainly for debugging and perf comparisons).
+* ``--cache-stats`` — print the shared engine's cache counters after
+  the command, showing how much of the run was served from warmth.
 """
 
 from __future__ import annotations
@@ -15,9 +23,10 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from repro.core.comparison import compare_domain
+from repro.core.comparison import PlatformComparator
 from repro.core.scenario import Scenario
 from repro.devices.catalog import DOMAIN_NAMES, list_industry_devices
+from repro.engine import configure_default_engine, default_engine
 from repro.reporting.table import format_table
 
 
@@ -25,6 +34,23 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="greenfpga",
         description="GreenFPGA: FPGA vs ASIC lifecycle carbon-footprint analysis",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate scalar cache misses on N worker processes",
+    )
+    parser.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help="disable the NumPy vector kernel (scalar path only)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print evaluation-engine cache statistics after the command",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -40,6 +66,29 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--lifetime", type=float, default=2.0, help="app lifetime, years")
     compare.add_argument("--volume", type=float, default=1.0e6, help="units per app")
     return parser
+
+
+def _configure_engine(args: argparse.Namespace) -> None:
+    """Apply ``--workers`` / ``--no-vectorize`` to the shared engine."""
+    if args.workers is not None or args.no_vectorize:
+        configure_default_engine(
+            workers=args.workers, vectorize=not args.no_vectorize
+        )
+
+
+def _print_cache_stats() -> None:
+    stats = default_engine().cache_stats
+    rows = [
+        {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_rate": f"{stats.hit_rate:.1%}",
+            "size": stats.size,
+            "maxsize": stats.maxsize,
+        }
+    ]
+    print()
+    print(format_table(rows, title="evaluation-engine cache"))
 
 
 def _cmd_list() -> int:
@@ -65,7 +114,8 @@ def _cmd_compare(domain: str, apps: int, lifetime: float, volume: float) -> int:
     scenario = Scenario(
         num_apps=apps, app_lifetime_years=lifetime, volume=int(volume)
     )
-    result = compare_domain(domain, scenario)
+    comparator = PlatformComparator.for_domain(domain)
+    result = default_engine().evaluate(comparator, scenario)
     rows = [
         {"platform": "FPGA", **result.fpga.footprint.as_dict()},
         {"platform": "ASIC", **result.asic.footprint.as_dict()},
@@ -78,13 +128,18 @@ def _cmd_compare(domain: str, apps: int, lifetime: float, volume: float) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    _configure_engine(args)
     if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args.experiment, args.csv_dir)
-    if args.command == "compare":
-        return _cmd_compare(args.domain, args.apps, args.lifetime, args.volume)
-    raise AssertionError(f"unhandled command {args.command!r}")
+        code = _cmd_list()
+    elif args.command == "run":
+        code = _cmd_run(args.experiment, args.csv_dir)
+    elif args.command == "compare":
+        code = _cmd_compare(args.domain, args.apps, args.lifetime, args.volume)
+    else:
+        raise AssertionError(f"unhandled command {args.command!r}")
+    if args.cache_stats:
+        _print_cache_stats()
+    return code
 
 
 if __name__ == "__main__":

@@ -1,27 +1,38 @@
-"""Shared batch evaluation engine (caching + parallel assessment).
+"""Shared batch evaluation engine (caching + parallel + vector kernel).
 
-See :mod:`repro.engine.engine` for the design rationale.
+See :mod:`repro.engine.engine` for the engine design rationale and
+:mod:`repro.engine.vector` for the NumPy kernel behind the fast path.
 """
 
 from repro.engine.cache import CacheStats, LruCache
 from repro.engine.engine import (
+    MIN_VECTOR_BATCH,
     EvaluationEngine,
     build_suite_cached,
     comparator_key,
+    configure_default_engine,
     default_engine,
     evaluation_key,
+    reset_default_engine,
     resolve_engine,
     scenario_key,
 )
+from repro.engine.vector import BatchResult, ScenarioBatch, VectorizedEvaluator
 
 __all__ = [
+    "BatchResult",
     "CacheStats",
     "EvaluationEngine",
     "LruCache",
+    "MIN_VECTOR_BATCH",
+    "ScenarioBatch",
+    "VectorizedEvaluator",
     "build_suite_cached",
     "comparator_key",
+    "configure_default_engine",
     "default_engine",
     "evaluation_key",
+    "reset_default_engine",
     "resolve_engine",
     "scenario_key",
 ]

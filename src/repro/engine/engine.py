@@ -23,9 +23,11 @@ bit-identical to the sequential per-point loops.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import functools
 import pickle
+import threading
 from collections.abc import Iterable, Sequence
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Hashable
@@ -35,11 +37,16 @@ from repro.core.comparison import ComparisonResult, PlatformComparator
 from repro.core.scenario import Scenario
 from repro.core.suite import ModelSuite
 from repro.engine.cache import CacheStats, LruCache
+from repro.engine.vector import BatchResult, ScenarioBatch, VectorizedEvaluator
 from repro.errors import ParameterError
 
 #: Default chunk size for parallel dispatch — large enough that pickling
 #: a chunk's comparators is amortised over many assessments.
 DEFAULT_CHUNK_SIZE = 32
+
+#: Smallest same-comparator miss group worth routing through the vector
+#: kernel: below this the per-batch NumPy overhead beats the saving.
+MIN_VECTOR_BATCH = 8
 
 
 def scenario_key(scenario: Scenario) -> Hashable:
@@ -109,6 +116,17 @@ class EvaluationEngine:
             processes.  Results are identical either way.
         chunk_size: Pairs per parallel task; tune upward for very cheap
             models to keep pickling overhead negligible.
+        vectorize: Route same-comparator cache-miss batches through the
+            NumPy kernel (:class:`VectorizedEvaluator`).  Results stay
+            bit-identical to the scalar path — the kernel mirrors its
+            operation order exactly — and still populate the LRU cache,
+            so scalar and vector callers share warmth.  ``False``
+            restores the pure scalar path everywhere (including the
+            ``*_batch`` APIs, which then columnise scalar results).
+        min_vector_batch: Smallest same-comparator miss group sent to
+            the kernel; smaller groups (and scenarios the kernel doesn't
+            cover, e.g. heterogeneous per-application lifetimes) take
+            the scalar path per pair.
     """
 
     def __init__(
@@ -116,13 +134,22 @@ class EvaluationEngine:
         cache_size: int = 4096,
         workers: int | None = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        vectorize: bool = True,
+        min_vector_batch: int = MIN_VECTOR_BATCH,
     ) -> None:
         if workers is not None and workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
         if chunk_size < 1:
             raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+        if min_vector_batch < 1:
+            raise ParameterError(
+                f"min_vector_batch must be >= 1, got {min_vector_batch}"
+            )
         self.workers = workers
         self.chunk_size = chunk_size
+        self.vectorize = vectorize
+        self.min_vector_batch = min_vector_batch
+        self._vector = VectorizedEvaluator()
         self._cache = LruCache(maxsize=cache_size)
         self._pool: ProcessPoolExecutor | None = None
 
@@ -200,10 +227,13 @@ class EvaluationEngine:
                 misses.append((key, comparator, scenario))
 
         if misses:
-            computed = self._compute([(c, s) for _, c, s in misses])
-            for (key, _, _), result in zip(misses, computed):
-                results[key] = result
-                self._cache.put(key, result)
+            if self.vectorize:
+                misses = self._vector_compute(misses, results)
+            if misses:
+                computed = self._compute([(c, s) for _, c, s in misses])
+                for (key, _, _), result in zip(misses, computed):
+                    results[key] = result
+                    self._cache.put(key, result)
 
         ordered: list[ComparisonResult] = []
         for key, (_, scenario) in zip(keys, pair_list):
@@ -215,6 +245,91 @@ class EvaluationEngine:
                 result = dataclasses.replace(result, scenario=scenario)
             ordered.append(result)
         return tuple(ordered)
+
+    def _vector_compute(
+        self,
+        misses: list[tuple[Hashable, PlatformComparator, Scenario]],
+        results: dict[Hashable, ComparisonResult],
+    ) -> list[tuple[Hashable, PlatformComparator, Scenario]]:
+        """Serve miss groups through the vector kernel; return the rest.
+
+        Misses are grouped by comparator identity; groups of at least
+        ``min_vector_batch`` kernel-covered scenarios are evaluated as
+        one batch, materialised into :class:`ComparisonResult` objects,
+        and inserted into the cache exactly like scalar results.  The
+        remainder (small groups, uncovered scenarios) is returned for
+        the scalar/parallel path, preserving batch order.
+        """
+        groups: dict[Hashable, list[int]] = {}
+        for index, (_, comparator, _) in enumerate(misses):
+            groups.setdefault(comparator_key(comparator), []).append(index)
+
+        handled: set[int] = set()
+        for indices in groups.values():
+            covered = [
+                i for i in indices if self._vector.covers(misses[i][2])
+            ]
+            if len(covered) < self.min_vector_batch:
+                continue
+            comparator = misses[covered[0]][1]
+            scenarios = [misses[i][2] for i in covered]
+            batch = self._vector.evaluate_batch(comparator, scenarios)
+            for row, i in enumerate(covered):
+                key, _, scenario = misses[i]
+                result = batch.comparison(row, scenario)
+                results[key] = result
+                self._cache.put(key, result)
+                handled.add(i)
+        if not handled:
+            return misses
+        return [m for i, m in enumerate(misses) if i not in handled]
+
+    # ------------------------------------------------------------------
+    # Array-land batch evaluation (no per-row result materialisation)
+    # ------------------------------------------------------------------
+
+    def evaluate_batch(
+        self,
+        comparator: PlatformComparator,
+        scenarios: "ScenarioBatch | Iterable[Scenario]",
+    ) -> BatchResult:
+        """Assess one comparator over a batch, staying in array-land.
+
+        The vector kernel computes ratios, winners, totals and component
+        breakdowns as arrays without materialising per-row
+        :class:`ComparisonResult` objects (use :meth:`evaluate_many` when
+        those are wanted).  With ``vectorize=False`` the scalar path runs
+        instead and its results are columnised, so callers see one API
+        either way.
+        """
+        if self.vectorize:
+            return self._vector.evaluate_batch(comparator, scenarios)
+        if isinstance(scenarios, ScenarioBatch):
+            scenario_list = [
+                scenarios.scenario_at(i) for i in range(scenarios.size)
+            ]
+        else:
+            scenario_list = list(scenarios)
+        return BatchResult.from_results(
+            self.evaluate_many(comparator, scenario_list), comparator
+        )
+
+    def evaluate_pairs_batch(
+        self, pairs: Iterable[tuple[PlatformComparator, Scenario]]
+    ) -> BatchResult:
+        """Assess many (comparator, scenario) pairs, staying in array-land.
+
+        Every row may carry its own suite (Monte-Carlo draws, DSE grids);
+        the kernel extracts model parameters into columns and vectorises
+        the sub-models themselves.  Parity with the scalar path is
+        ``rtol <= 1e-12``.
+        """
+        if self.vectorize:
+            return self._vector.evaluate_pairs_batch(pairs)
+        pair_list = list(pairs)
+        return BatchResult.from_results(
+            self.evaluate_pairs(pair_list), [c for c, _ in pair_list]
+        )
 
     def _pool_get(self) -> ProcessPoolExecutor:
         """The engine's worker pool, started lazily and reused per batch."""
@@ -245,14 +360,58 @@ class EvaluationEngine:
         return [result for chunk in chunk_results for result in chunk]
 
 
-_DEFAULT_ENGINE = EvaluationEngine()
+_DEFAULT_ENGINE: EvaluationEngine | None = None
+_DEFAULT_ENGINE_LOCK = threading.Lock()
 
 
 def default_engine() -> EvaluationEngine:
-    """The process-wide engine backing analysis calls with no injection."""
-    return _DEFAULT_ENGINE
+    """The process-wide engine backing analysis calls with no injection.
+
+    Created lazily; its worker pool (if any) is shut down by an
+    ``atexit`` hook so a lazily-started :class:`ProcessPoolExecutor`
+    never leaks at interpreter exit.
+    """
+    global _DEFAULT_ENGINE
+    with _DEFAULT_ENGINE_LOCK:
+        if _DEFAULT_ENGINE is None:
+            _DEFAULT_ENGINE = EvaluationEngine()
+        return _DEFAULT_ENGINE
+
+
+def reset_default_engine() -> None:
+    """Close and discard the shared default engine.
+
+    The next :func:`default_engine` call builds a fresh default.  Used
+    by tests (cache isolation), by :func:`configure_default_engine`, and
+    as the interpreter-exit hook.
+    """
+    global _DEFAULT_ENGINE
+    with _DEFAULT_ENGINE_LOCK:
+        engine, _DEFAULT_ENGINE = _DEFAULT_ENGINE, None
+    if engine is not None:
+        engine.close()
+
+
+def configure_default_engine(**kwargs: object) -> EvaluationEngine:
+    """Replace the shared default engine with a freshly configured one.
+
+    Accepts :class:`EvaluationEngine` constructor arguments (``workers``,
+    ``vectorize``, ``cache_size``, ...).  The previous default (and its
+    worker pool) is closed.  Returns the new default so callers can keep
+    a handle — the CLI uses this for ``--workers`` / ``--no-vectorize``.
+    """
+    global _DEFAULT_ENGINE
+    engine = EvaluationEngine(**kwargs)  # type: ignore[arg-type]
+    with _DEFAULT_ENGINE_LOCK:
+        previous, _DEFAULT_ENGINE = _DEFAULT_ENGINE, engine
+    if previous is not None:
+        previous.close()
+    return engine
+
+
+atexit.register(reset_default_engine)
 
 
 def resolve_engine(engine: EvaluationEngine | None) -> EvaluationEngine:
     """``engine`` if given, else the shared default."""
-    return engine if engine is not None else _DEFAULT_ENGINE
+    return engine if engine is not None else default_engine()

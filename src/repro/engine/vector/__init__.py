@@ -1,0 +1,46 @@
+"""Vectorized NumPy evaluation kernel behind the evaluation engine.
+
+See :mod:`repro.engine.vector.evaluator` for the design rationale.
+"""
+
+from repro.engine.vector.columns import ScenarioBatch
+from repro.engine.vector.evaluator import (
+    BatchResult,
+    SideConstants,
+    VectorizedEvaluator,
+    comparator_constants,
+)
+from repro.engine.vector.kernels import (
+    YIELD_MODEL_CODES,
+    design_project_kg,
+    die_yield_kernel,
+    dies_per_wafer_kernel,
+    eol_per_chip_kg,
+    manufacturing_per_die_kg,
+    operation_per_chip_year_kg,
+    packaging_per_chip,
+    ratio_kernel,
+    repeat_add,
+    wafer_area_per_die_kernel,
+    winner_kernel,
+)
+
+__all__ = [
+    "BatchResult",
+    "ScenarioBatch",
+    "SideConstants",
+    "VectorizedEvaluator",
+    "YIELD_MODEL_CODES",
+    "comparator_constants",
+    "design_project_kg",
+    "die_yield_kernel",
+    "dies_per_wafer_kernel",
+    "eol_per_chip_kg",
+    "manufacturing_per_die_kg",
+    "operation_per_chip_year_kg",
+    "packaging_per_chip",
+    "ratio_kernel",
+    "repeat_add",
+    "wafer_area_per_die_kernel",
+    "winner_kernel",
+]

@@ -1,0 +1,764 @@
+"""Vectorized batch evaluation of FPGA-vs-ASIC comparisons.
+
+The scalar path rebuilds dataclass pyramids per scenario; this module
+computes whole batches as array math in two regimes:
+
+* **same-comparator batches** (heatmap grids, sweeps): the per-chip
+  constants — manufacturing, packaging, EOL, design, operation and
+  app-dev coefficients — depend only on the device pair and suite, so
+  they are computed *once* through the scalar sub-models (guaranteeing
+  bit-parity) and the scenario composition is vectorised;
+* **multi-comparator batches** (Monte-Carlo draws, DSE grids): each row
+  carries its own suite, so the per-chip constants themselves are
+  computed through the array kernels in :mod:`repro.engine.vector.kernels`
+  from extracted model-parameter columns.  Parity with the scalar path is
+  within ``rtol=1e-12`` (NumPy transcendentals may differ from libm by an
+  ulp); everything else is exact.
+
+The scenario composition mirrors the scalar models' operation order —
+including the per-application left-fold via :func:`repeat_add` — so the
+same-comparator path reproduces the scalar results bit-for-bit, which is
+what lets the engine fast path share its LRU cache with scalar callers.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.asic_model import AsicAssessment, AsicLifecycleModel
+from repro.core.comparison import ComparisonResult, PlatformComparator
+from repro.core.fpga_model import FpgaAssessment, FpgaLifecycleModel
+from repro.core.lifecycle import CarbonFootprint
+from repro.core.scenario import Scenario
+from repro.data.grid import carbon_intensity_kg_per_kwh
+from repro.data.reports import DesignHouseReport, get_report
+from repro.data.warm import WarmFactors, get_material
+from repro.engine.vector.columns import ScenarioBatch
+from repro.engine.vector.kernels import (
+    YIELD_MODEL_CODES,
+    design_project_kg,
+    eol_per_chip_kg,
+    manufacturing_per_die_kg,
+    operation_per_chip_year_kg,
+    packaging_per_chip,
+    ratio_kernel,
+    repeat_add,
+    winner_kernel,
+)
+from repro.manufacturing.yield_model import YieldModel
+from repro.units import gwh_to_kwh, watts_to_kw
+
+
+#: ArrayLike scalar-or-column type for per-side constants.
+Column = "float | np.ndarray"
+
+
+@dataclass(frozen=True)
+class SideConstants:
+    """Per-chip constants of one platform side (scalars or row columns).
+
+    Scalar fields broadcast over the scenario batch (same-comparator
+    path); ndarray fields carry one value per row (multi-comparator
+    path).  Either way the composition kernel is identical.
+    """
+
+    design_kg: Column
+    mfg_per_chip_kg: Column
+    pkg_per_chip_kg: Column
+    eol_per_chip_kg: Column
+    per_chip_embodied_kg: Column
+    op_per_chip_year_kg: Column
+    appdev_dev_kg: Column
+    appdev_config_kw: Column
+    appdev_config_hours_per_unit: Column
+    appdev_intensity: Column
+    chip_lifetime_years: Column
+    capacity_mgates: Column | None = None  # FPGA only
+
+
+@functools.lru_cache(maxsize=256)
+def comparator_constants(
+    comparator: PlatformComparator,
+) -> tuple[SideConstants, SideConstants]:
+    """Exact per-chip constants for one comparator, via the scalar models.
+
+    Every number here is produced by the same code the scalar path runs
+    (`per_chip_embodied`, `project_kg`, `per_chip_year_kg`, ...), so the
+    vectorized composition built on top is bit-identical to
+    :meth:`PlatformComparator.compare` for covered scenarios.
+    """
+    suite = comparator.suite
+    fpga_device = comparator.fpga_device
+    asic_device = comparator.asic_device
+
+    appdev_intensity = carbon_intensity_kg_per_kwh(suite.appdev.energy_source)
+    farm_kw = watts_to_kw(suite.appdev.farm_power_w)
+    config_kw = watts_to_kw(suite.appdev.config_power_w)
+
+    fpga_per_chip = FpgaLifecycleModel(device=fpga_device, suite=suite).per_chip_embodied()
+    silicon_gates = (
+        fpga_device.area_mm2 * fpga_device.node.gate_density_mgates_per_mm2
+    )
+    fpga_dev_hours = suite.fpga_effort.per_application_hours()
+    fpga_side = SideConstants(
+        design_kg=suite.design.project_kg(silicon_gates, suite.fpga_team),
+        mfg_per_chip_kg=fpga_per_chip.manufacturing,
+        pkg_per_chip_kg=fpga_per_chip.packaging,
+        eol_per_chip_kg=fpga_per_chip.eol,
+        per_chip_embodied_kg=fpga_per_chip.total,
+        op_per_chip_year_kg=suite.operation.per_chip_year_kg(fpga_device.peak_power_w),
+        appdev_dev_kg=farm_kw * fpga_dev_hours * appdev_intensity,
+        appdev_config_kw=config_kw,
+        appdev_config_hours_per_unit=suite.fpga_effort.config_hours_per_unit,
+        appdev_intensity=appdev_intensity,
+        chip_lifetime_years=fpga_device.chip_lifetime_years,
+        capacity_mgates=fpga_device.logic_capacity_mgates,
+    )
+
+    asic_per_chip = AsicLifecycleModel(device=asic_device, suite=suite).per_chip_embodied()
+    asic_dev_hours = suite.asic_effort.per_application_hours()
+    asic_side = SideConstants(
+        design_kg=suite.design.project_kg(
+            asic_device.logic_gates_mgates, suite.asic_team
+        ),
+        mfg_per_chip_kg=asic_per_chip.manufacturing,
+        pkg_per_chip_kg=asic_per_chip.packaging,
+        eol_per_chip_kg=asic_per_chip.eol,
+        per_chip_embodied_kg=asic_per_chip.total,
+        op_per_chip_year_kg=suite.operation.per_chip_year_kg(asic_device.peak_power_w),
+        appdev_dev_kg=farm_kw * asic_dev_hours * appdev_intensity,
+        appdev_config_kw=config_kw,
+        appdev_config_hours_per_unit=suite.asic_effort.config_hours_per_unit,
+        appdev_intensity=appdev_intensity,
+        chip_lifetime_years=asic_device.chip_lifetime_years,
+        capacity_mgates=None,
+    )
+    return fpga_side, asic_side
+
+
+# ----------------------------------------------------------------------
+# Multi-comparator parameter extraction
+# ----------------------------------------------------------------------
+
+# Column indices of the extracted model-parameter matrix (one row per
+# comparator).  Shared suite knobs first, then the FPGA and ASIC sides.
+(
+    _MFG_FAB_CI, _MFG_ABATE, _MFG_EDGE, _MFG_SCRIBE, _MFG_RHO,
+    _MFG_YIELD_CODE, _MFG_CHARGE,
+    _PKG_SUB, _PKG_ASM_KWH, _PKG_ASM_CI, _PKG_FANOUT, _PKG_BASE_KG,
+    _PKG_MASS_CM2, _PKG_BASE_MASS,
+    _EOL_DELTA, _EOL_DISCARD, _EOL_CREDIT, _EOL_TRANSPORT,
+    _DES_ANNUAL_KWH, _DES_CI, _DES_AVG_GATES, _DES_BETA,
+    _OP_CI, _OP_DUTY, _OP_IDLE, _OP_PUE,
+    _AD_CI, _AD_CONFIG_KW,
+    _F_AREA, _F_POWER, _F_LIFE, _F_CAPACITY, _F_GATES,
+    _F_EPA, _F_GPA, _F_MPA_NEW, _F_MPA_REC, _F_DEFECT, _F_LINE_YIELD,
+    _F_WAFER_D, _F_TEAM_YEARS, _F_DEV_KG, _F_CHPU,
+    _A_AREA, _A_POWER, _A_LIFE, _A_GATES,
+    _A_EPA, _A_GPA, _A_MPA_NEW, _A_MPA_REC, _A_DEFECT, _A_LINE_YIELD,
+    _A_WAFER_D, _A_TEAM_YEARS, _A_DEV_KG, _A_CHPU,
+) = range(57)
+_N_COLS = 57
+
+
+# The per-sub-model extractors below are memoised on the (frozen,
+# hashable) model objects themselves: a Monte-Carlo draw typically
+# perturbs one or two sub-models, so the other five rows' worth of
+# attribute walking and registry lookups collapse into cache hits.
+
+
+@functools.lru_cache(maxsize=1024)
+def _mfg_cols(mfg) -> tuple[float, ...]:
+    fab = mfg.fab
+    return (
+        fab.carbon_intensity_kg_per_kwh,
+        fab.gas_abatement,
+        fab.edge_exclusion_mm,
+        fab.scribe_mm,
+        mfg.recycled_fraction,
+        float(YIELD_MODEL_CODES[YieldModel.coerce(mfg.yield_model)]),
+        float(mfg.charge_wafer_waste),
+    )
+
+
+@functools.lru_cache(maxsize=1024)
+def _pkg_cols(pkg) -> tuple[float, ...]:
+    return (
+        pkg.substrate_kg_per_cm2,
+        pkg.assembly_kwh_per_package,
+        carbon_intensity_kg_per_kwh(pkg.assembly_energy_source),
+        pkg.fanout_factor,
+        pkg.base_kg_per_package,
+        pkg.mass_g_per_cm2,
+        pkg.base_mass_g,
+    )
+
+
+@functools.lru_cache(maxsize=1024)
+def _eol_cols(eol) -> tuple[float, ...]:
+    material = (
+        eol.material
+        if isinstance(eol.material, WarmFactors)
+        else get_material(eol.material)
+    )
+    return (
+        eol.recycled_fraction,
+        material.discard_kg_per_kg,
+        material.recycle_credit_kg_per_kg,
+        eol.transport_kg_per_kg,
+    )
+
+
+@functools.lru_cache(maxsize=1024)
+def _design_cols(design) -> tuple[float, ...]:
+    report = (
+        design.report
+        if isinstance(design.report, DesignHouseReport)
+        else get_report(design.report)
+    )
+    return (
+        gwh_to_kwh(report.annual_energy_gwh)
+        * design.overhead_factor
+        * design.allocation,
+        design.carbon_intensity(),
+        report.avg_gates_per_chip_mgates,
+        design.gate_scaling_beta,
+    )
+
+
+@functools.lru_cache(maxsize=1024)
+def _op_cols(operation) -> tuple[float, ...]:
+    profile = operation.profile
+    return (
+        carbon_intensity_kg_per_kwh(operation.energy_source),
+        profile.duty_cycle,
+        profile.idle_fraction_of_peak,
+        profile.pue,
+    )
+
+
+@functools.lru_cache(maxsize=1024)
+def _appdev_cols(appdev, fpga_effort, asic_effort) -> tuple[float, ...]:
+    """``(ad_ci, config_kw, fpga_dev_kg, fpga_chpu, asic_dev_kg, asic_chpu)``."""
+    intensity = carbon_intensity_kg_per_kwh(appdev.energy_source)
+    farm_kw = watts_to_kw(appdev.farm_power_w)
+    return (
+        intensity,
+        watts_to_kw(appdev.config_power_w),
+        farm_kw * fpga_effort.per_application_hours() * intensity,
+        fpga_effort.config_hours_per_unit,
+        farm_kw * asic_effort.per_application_hours() * intensity,
+        asic_effort.config_hours_per_unit,
+    )
+
+
+@functools.lru_cache(maxsize=1024)
+def _fpga_device_cols(device) -> tuple[float, ...]:
+    node = device.node
+    return (
+        device.area_mm2,
+        device.peak_power_w,
+        device.chip_lifetime_years,
+        device.logic_capacity_mgates,
+        device.area_mm2 * node.gate_density_mgates_per_mm2,
+        node.epa_kwh_per_cm2,
+        node.gpa_kg_per_cm2,
+        node.mpa_new_kg_per_cm2,
+        node.mpa_recycled_kg_per_cm2,
+        node.defect_density_per_cm2,
+        node.line_yield,
+        node.wafer_diameter_mm,
+    )
+
+
+@functools.lru_cache(maxsize=1024)
+def _asic_device_cols(device) -> tuple[float, ...]:
+    node = device.node
+    return (
+        device.area_mm2,
+        device.peak_power_w,
+        device.chip_lifetime_years,
+        device.logic_gates_mgates,
+        node.epa_kwh_per_cm2,
+        node.gpa_kg_per_cm2,
+        node.mpa_new_kg_per_cm2,
+        node.mpa_recycled_kg_per_cm2,
+        node.defect_density_per_cm2,
+        node.line_yield,
+        node.wafer_diameter_mm,
+    )
+
+
+def _extract_row(comparator: PlatformComparator) -> tuple[float, ...]:
+    """Flatten one comparator into a model-parameter row.
+
+    Pure attribute reads and registry lookups — no footprint math — and
+    memoised per sub-model, so a 10k-draw Monte-Carlo batch spends a few
+    microseconds per row here and the heavy arithmetic happens once,
+    vectorised, in the kernels.
+    """
+    suite = comparator.suite
+    ad = _appdev_cols(suite.appdev, suite.fpga_effort, suite.asic_effort)
+    return (
+        _mfg_cols(suite.manufacturing)
+        + _pkg_cols(suite.packaging)
+        + _eol_cols(suite.eol)
+        + _design_cols(suite.design)
+        + _op_cols(suite.operation)
+        + ad[:2]
+        + _fpga_device_cols(comparator.fpga_device)
+        + (suite.fpga_team.project_years, ad[2], ad[3])
+        + _asic_device_cols(comparator.asic_device)
+        + (suite.asic_team.project_years, ad[4], ad[5])
+    )
+
+
+def _kernel_side_constants(
+    m: np.ndarray, *, fpga_side: bool
+) -> SideConstants:
+    """Per-chip constant columns for one side, via the array kernels."""
+    if fpga_side:
+        area = m[:, _F_AREA]
+        power = m[:, _F_POWER]
+        life = m[:, _F_LIFE]
+        gates = m[:, _F_GATES]
+        epa, gpa = m[:, _F_EPA], m[:, _F_GPA]
+        mpa_new, mpa_rec = m[:, _F_MPA_NEW], m[:, _F_MPA_REC]
+        defect, line_yield = m[:, _F_DEFECT], m[:, _F_LINE_YIELD]
+        wafer_d = m[:, _F_WAFER_D]
+        team_years = m[:, _F_TEAM_YEARS]
+        dev_kg = m[:, _F_DEV_KG]
+        chpu = m[:, _F_CHPU]
+        capacity = m[:, _F_CAPACITY]
+    else:
+        area = m[:, _A_AREA]
+        power = m[:, _A_POWER]
+        life = m[:, _A_LIFE]
+        gates = m[:, _A_GATES]
+        epa, gpa = m[:, _A_EPA], m[:, _A_GPA]
+        mpa_new, mpa_rec = m[:, _A_MPA_NEW], m[:, _A_MPA_REC]
+        defect, line_yield = m[:, _A_DEFECT], m[:, _A_LINE_YIELD]
+        wafer_d = m[:, _A_WAFER_D]
+        team_years = m[:, _A_TEAM_YEARS]
+        dev_kg = m[:, _A_DEV_KG]
+        chpu = m[:, _A_CHPU]
+        capacity = None
+
+    mfg = manufacturing_per_die_kg(
+        area, epa, gpa, mpa_new, mpa_rec, defect, line_yield, wafer_d,
+        m[:, _MFG_FAB_CI], m[:, _MFG_ABATE], m[:, _MFG_EDGE],
+        m[:, _MFG_SCRIBE], m[:, _MFG_RHO], m[:, _MFG_YIELD_CODE],
+        m[:, _MFG_CHARGE] != 0.0,
+    )
+    pkg, mass_g = packaging_per_chip(
+        area, m[:, _PKG_SUB], m[:, _PKG_ASM_KWH], m[:, _PKG_ASM_CI],
+        m[:, _PKG_FANOUT], m[:, _PKG_BASE_KG], m[:, _PKG_MASS_CM2],
+        m[:, _PKG_BASE_MASS],
+    )
+    eol = eol_per_chip_kg(
+        mass_g, m[:, _EOL_DELTA], m[:, _EOL_DISCARD], m[:, _EOL_CREDIT],
+        m[:, _EOL_TRANSPORT],
+    )
+    design = design_project_kg(
+        gates, m[:, _DES_ANNUAL_KWH], team_years, m[:, _DES_CI],
+        m[:, _DES_AVG_GATES], m[:, _DES_BETA],
+    )
+    op = operation_per_chip_year_kg(
+        power, m[:, _OP_DUTY], m[:, _OP_IDLE], m[:, _OP_PUE], m[:, _OP_CI]
+    )
+    return SideConstants(
+        design_kg=design,
+        mfg_per_chip_kg=mfg,
+        pkg_per_chip_kg=pkg,
+        eol_per_chip_kg=eol,
+        per_chip_embodied_kg=(mfg + pkg) + eol,
+        op_per_chip_year_kg=op,
+        appdev_dev_kg=dev_kg,
+        appdev_config_kw=m[:, _AD_CONFIG_KW],
+        appdev_config_hours_per_unit=chpu,
+        appdev_intensity=m[:, _AD_CI],
+        chip_lifetime_years=life,
+        capacity_mgates=capacity,
+    )
+
+
+# ----------------------------------------------------------------------
+# Composition: scenario accounting over constants
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Array-valued outcome of one evaluation batch.
+
+    Mirrors a tuple of :class:`ComparisonResult` as struct-of-arrays:
+    ``ratios[i]``, ``winners[i]``, totals and per-component breakdowns
+    all refer to row ``i`` of the input batch.  Component dicts are keyed
+    by :attr:`CarbonFootprint.COMPONENTS`.
+    """
+
+    ratios: np.ndarray
+    winners: np.ndarray
+    fpga_totals: np.ndarray
+    asic_totals: np.ndarray
+    fpga_components: dict[str, np.ndarray]
+    asic_components: dict[str, np.ndarray]
+    fpga_per_chip_embodied_kg: np.ndarray
+    asic_per_chip_embodied_kg: np.ndarray
+    n_fpga: np.ndarray
+    fpga_generations: np.ndarray
+    #: Per-application ASIC chip generations.  ``0`` marks rows where a
+    #: single per-application value is undefined (heterogeneous
+    #: lifetimes, served by the scalar fallback).
+    asic_generations: np.ndarray
+    num_apps: np.ndarray
+    #: Per-application ASIC component arrays (uniform applications), for
+    #: materialising ``AsicAssessment.per_application``.
+    asic_app_components: dict[str, np.ndarray] = field(repr=False, default_factory=dict)
+    #: Rows computed via the scalar fallback keep their full results.
+    fallback: dict[int, ComparisonResult] = field(repr=False, default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of rows in the batch."""
+        return int(self.ratios.shape[0])
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def fpga_advantage_kg(self) -> np.ndarray:
+        """ASIC total minus FPGA total per row (positive = FPGA wins)."""
+        return self.asic_totals - self.fpga_totals
+
+    def fpga_footprint(self, index: int) -> CarbonFootprint:
+        """Materialise the FPGA footprint of one row."""
+        if index in self.fallback:
+            return self.fallback[index].fpga.footprint
+        return CarbonFootprint(
+            **{k: float(v[index]) for k, v in self.fpga_components.items()}
+        )
+
+    def asic_footprint(self, index: int) -> CarbonFootprint:
+        """Materialise the ASIC footprint of one row."""
+        if index in self.fallback:
+            return self.fallback[index].asic.footprint
+        return CarbonFootprint(
+            **{k: float(v[index]) for k, v in self.asic_components.items()}
+        )
+
+    def comparison(self, index: int, scenario: Scenario) -> ComparisonResult:
+        """Materialise one row as a full :class:`ComparisonResult`.
+
+        Used by the engine fast path to populate the LRU cache; the
+        result is indistinguishable from the scalar path's.
+        """
+        if index in self.fallback:
+            return self.fallback[index]
+        fpga = FpgaAssessment(
+            footprint=self.fpga_footprint(index),
+            per_chip_embodied_kg=float(self.fpga_per_chip_embodied_kg[index]),
+            n_fpga_per_unit=int(self.n_fpga[index]),
+            generations=int(self.fpga_generations[index]),
+        )
+        app_footprint = CarbonFootprint(
+            **{k: float(v[index]) for k, v in self.asic_app_components.items()}
+        )
+        asic = AsicAssessment(
+            footprint=self.asic_footprint(index),
+            per_chip_embodied_kg=float(self.asic_per_chip_embodied_kg[index]),
+            per_application=(app_footprint,) * int(self.num_apps[index]),
+        )
+        return ComparisonResult(scenario=scenario, fpga=fpga, asic=asic)
+
+    @classmethod
+    def from_results(
+        cls,
+        comparisons: Sequence[ComparisonResult],
+        comparators: "Sequence[PlatformComparator] | PlatformComparator | None" = None,
+    ) -> "BatchResult":
+        """Columnise scalar results (the ``vectorize=False`` spelling).
+
+        ``comparators`` (one shared or one per row) supplies the ASIC
+        chip lifetimes needed to reconstruct :attr:`asic_generations`,
+        which :class:`ComparisonResult` does not carry; without it (or
+        for heterogeneous-lifetime rows) those entries are ``0``.
+        """
+        n = len(comparisons)
+        components = CarbonFootprint.COMPONENTS
+        fpga_components = {k: np.empty(n) for k in components}
+        asic_components = {k: np.empty(n) for k in components}
+        fpga_totals = np.empty(n)
+        asic_totals = np.empty(n)
+        ratios = np.empty(n)
+        n_fpga = np.empty(n, dtype=np.int64)
+        fpga_gen = np.empty(n, dtype=np.int64)
+        asic_gen = np.zeros(n, dtype=np.int64)
+        num_apps = np.empty(n, dtype=np.int64)
+        fpga_pc = np.empty(n)
+        asic_pc = np.empty(n)
+        for i, c in enumerate(comparisons):
+            for k in components:
+                fpga_components[k][i] = getattr(c.fpga.footprint, k)
+                asic_components[k][i] = getattr(c.asic.footprint, k)
+            fpga_totals[i] = c.fpga.footprint.total
+            asic_totals[i] = c.asic.footprint.total
+            ratios[i] = c.ratio
+            n_fpga[i] = c.fpga.n_fpga_per_unit
+            fpga_gen[i] = c.fpga.generations
+            num_apps[i] = c.scenario.num_apps
+            fpga_pc[i] = c.fpga.per_chip_embodied_kg
+            asic_pc[i] = c.asic.per_chip_embodied_kg
+            if comparators is not None:
+                comparator = (
+                    comparators
+                    if isinstance(comparators, PlatformComparator)
+                    else comparators[i]
+                )
+                lifetimes = c.scenario.lifetimes
+                if all(t == lifetimes[0] for t in lifetimes):
+                    asic_gen[i] = max(
+                        1,
+                        math.ceil(
+                            lifetimes[0]
+                            / comparator.asic_device.chip_lifetime_years
+                            - 1.0e-9
+                        ),
+                    )
+        return cls(
+            ratios=ratios,
+            winners=winner_kernel(fpga_totals, asic_totals),
+            fpga_totals=fpga_totals,
+            asic_totals=asic_totals,
+            fpga_components=fpga_components,
+            asic_components=asic_components,
+            fpga_per_chip_embodied_kg=fpga_pc,
+            asic_per_chip_embodied_kg=asic_pc,
+            n_fpga=n_fpga,
+            fpga_generations=fpga_gen,
+            asic_generations=asic_gen,
+            num_apps=num_apps,
+            asic_app_components={},
+            fallback=dict(enumerate(comparisons)),
+        )
+
+
+def _compose(
+    fpga: SideConstants, asic: SideConstants, batch: ScenarioBatch
+) -> BatchResult:
+    """Scenario accounting over per-chip constants, as array math.
+
+    Operation order mirrors :meth:`FpgaLifecycleModel.assess` /
+    :meth:`AsicLifecycleModel.assess` exactly (including the
+    per-application left-folds), so given exact constants the outputs are
+    bit-identical to the scalar path.
+    """
+    n = batch.size
+    num_apps = batch.num_apps
+    volume = batch.volume
+    vol_f = volume.astype(np.float64)
+    lifetime = batch.lifetime
+
+    # N_FPGA = ceil(app_size / capacity), 1 when sized to the device.
+    capacity = np.broadcast_to(
+        np.asarray(fpga.capacity_mgates, dtype=np.float64), (n,)
+    )
+    sized = ~np.isnan(batch.app_size_mgates)
+    safe_size = np.where(sized, batch.app_size_mgates, capacity)
+    units = np.maximum(1, np.ceil(safe_size / capacity).astype(np.int64))
+    n_fpga = np.where(sized, units, 1)
+
+    # FPGA chip generations over the study horizon (Fig. 9 semantics).
+    total_years = repeat_add(lifetime, num_apps)
+    horizon = np.where(
+        np.isnan(batch.evaluation_years), total_years, batch.evaluation_years
+    )
+    fpga_gen = np.where(
+        batch.enforce_chip_lifetime,
+        np.maximum(
+            1,
+            np.ceil(horizon / fpga.chip_lifetime_years - 1.0e-9).astype(np.int64),
+        ),
+        1,
+    )
+
+    unit_count = volume * n_fpga
+    unit_f = unit_count.astype(np.float64)
+    fleet = (unit_count * fpga_gen).astype(np.float64)
+
+    zeros = np.zeros(n)
+    f_design = zeros + fpga.design_kg
+    f_mfg = fpga.mfg_per_chip_kg * fleet
+    f_pkg = fpga.pkg_per_chip_kg * fleet
+    f_eol = fpga.eol_per_chip_kg * fleet
+    op_app = (lifetime * unit_f) * fpga.op_per_chip_year_kg
+    f_op = repeat_add(op_app, num_apps)
+    config_hours = fpga.appdev_config_hours_per_unit * unit_f
+    configuration = (fpga.appdev_config_kw * config_hours) * fpga.appdev_intensity
+    appdev_app = fpga.appdev_dev_kg + configuration
+    f_appdev = repeat_add(appdev_app, num_apps)
+    fpga_totals = (((f_design + f_mfg) + f_pkg) + f_eol) + (f_op + f_appdev)
+
+    asic_gen = np.maximum(
+        1, np.ceil(lifetime / asic.chip_lifetime_years - 1.0e-9).astype(np.int64)
+    )
+    chips = (volume * asic_gen).astype(np.float64)
+    a_design_app = zeros + asic.design_kg
+    a_mfg_app = asic.mfg_per_chip_kg * chips
+    a_pkg_app = asic.pkg_per_chip_kg * chips
+    a_eol_app = asic.eol_per_chip_kg * chips
+    a_op_app = (lifetime * vol_f) * asic.op_per_chip_year_kg
+    a_config_hours = asic.appdev_config_hours_per_unit * vol_f
+    a_configuration = (asic.appdev_config_kw * a_config_hours) * asic.appdev_intensity
+    a_appdev_app = asic.appdev_dev_kg + a_configuration
+    a_design = repeat_add(a_design_app, num_apps)
+    a_mfg = repeat_add(a_mfg_app, num_apps)
+    a_pkg = repeat_add(a_pkg_app, num_apps)
+    a_eol = repeat_add(a_eol_app, num_apps)
+    a_op = repeat_add(a_op_app, num_apps)
+    a_appdev = repeat_add(a_appdev_app, num_apps)
+    asic_totals = (((a_design + a_mfg) + a_pkg) + a_eol) + (a_op + a_appdev)
+
+    return BatchResult(
+        ratios=ratio_kernel(fpga_totals, asic_totals),
+        winners=winner_kernel(fpga_totals, asic_totals),
+        fpga_totals=fpga_totals,
+        asic_totals=asic_totals,
+        fpga_components={
+            "design": f_design,
+            "manufacturing": f_mfg,
+            "packaging": f_pkg,
+            "eol": f_eol,
+            "appdev": f_appdev,
+            "operational": f_op,
+        },
+        asic_components={
+            "design": a_design,
+            "manufacturing": a_mfg,
+            "packaging": a_pkg,
+            "eol": a_eol,
+            "appdev": a_appdev,
+            "operational": a_op,
+        },
+        fpga_per_chip_embodied_kg=zeros + fpga.per_chip_embodied_kg,
+        asic_per_chip_embodied_kg=zeros + asic.per_chip_embodied_kg,
+        n_fpga=n_fpga,
+        fpga_generations=fpga_gen,
+        asic_generations=asic_gen,
+        num_apps=num_apps.copy(),
+        asic_app_components={
+            "design": a_design_app,
+            "manufacturing": a_mfg_app,
+            "packaging": a_pkg_app,
+            "eol": a_eol_app,
+            "appdev": a_appdev_app,
+            "operational": a_op_app,
+        },
+        fallback={},
+    )
+
+
+def _patch_fallback_rows(
+    result: BatchResult,
+    batch: ScenarioBatch,
+    comparators: "Sequence[PlatformComparator] | PlatformComparator",
+) -> BatchResult:
+    """Recompute uncovered rows through the scalar path, in place.
+
+    ``comparators`` is either one comparator (same-comparator batches) or
+    a per-row sequence.  The composed arrays for uncovered rows are
+    overwritten with scalar results and the full ``ComparisonResult`` is
+    kept for materialisation.
+    """
+    indices = np.nonzero(~batch.covered)[0]
+    if indices.size == 0:
+        return result
+    for i in (int(j) for j in indices):
+        comparator = (
+            comparators if isinstance(comparators, PlatformComparator)
+            else comparators[i]
+        )
+        comparison = comparator.compare(batch.scenario_at(i))
+        result.fallback[i] = comparison
+        for k in CarbonFootprint.COMPONENTS:
+            result.fpga_components[k][i] = getattr(comparison.fpga.footprint, k)
+            result.asic_components[k][i] = getattr(comparison.asic.footprint, k)
+        result.fpga_totals[i] = comparison.fpga.footprint.total
+        result.asic_totals[i] = comparison.asic.footprint.total
+        result.ratios[i] = comparison.ratio
+        result.winners[i] = comparison.winner
+        result.fpga_per_chip_embodied_kg[i] = comparison.fpga.per_chip_embodied_kg
+        result.asic_per_chip_embodied_kg[i] = comparison.asic.per_chip_embodied_kg
+        result.n_fpga[i] = comparison.fpga.n_fpga_per_unit
+        result.fpga_generations[i] = comparison.fpga.generations
+        result.asic_generations[i] = 0  # undefined for ragged lifetimes
+    return result
+
+
+class VectorizedEvaluator:
+    """Batch evaluation through the NumPy kernels.
+
+    Stateless apart from the memoised per-comparator constants; safe to
+    share (the engine owns one and the analysis batch entry points reach
+    it through the engine).
+    """
+
+    @staticmethod
+    def covers(scenario: Scenario) -> bool:
+        """Whether the kernel evaluates ``scenario`` (uniform lifetimes).
+
+        Heterogeneous per-application lifetimes take the scalar fallback;
+        everything else — horizon overrides, chip-lifetime enforcement,
+        application sizing — is in-kernel.
+        """
+        lifetimes = scenario.lifetimes
+        return all(t == lifetimes[0] for t in lifetimes)
+
+    def evaluate_batch(
+        self,
+        comparator: PlatformComparator,
+        scenarios: "ScenarioBatch | Iterable[Scenario]",
+    ) -> BatchResult:
+        """Assess one comparator over a scenario batch, vectorised.
+
+        Per-chip constants come from the scalar sub-models (computed once
+        per comparator, memoised), so results are bit-identical to
+        :meth:`PlatformComparator.compare` for covered rows; uncovered
+        rows fall back to the scalar path transparently.
+        """
+        batch = (
+            scenarios
+            if isinstance(scenarios, ScenarioBatch)
+            else ScenarioBatch.from_scenarios(tuple(scenarios))
+        )
+        fpga_side, asic_side = comparator_constants(comparator)
+        result = _compose(fpga_side, asic_side, batch)
+        return _patch_fallback_rows(result, batch, comparator)
+
+    def evaluate_pairs_batch(
+        self,
+        pairs: Iterable[tuple[PlatformComparator, Scenario]],
+    ) -> BatchResult:
+        """Assess many (comparator, scenario) pairs, fully vectorised.
+
+        Unlike :meth:`evaluate_batch` the per-chip constants are computed
+        through the array kernels from extracted model parameters, so
+        batches where *every row has its own suite* (Monte-Carlo draws,
+        DSE grids) still run as array math.  Parity with the scalar path
+        is ``rtol <= 1e-12``.
+        """
+        pair_list = list(pairs)
+        comparators = [c for c, _ in pair_list]
+        batch = ScenarioBatch.from_scenarios(tuple(s for _, s in pair_list))
+        matrix = np.array(
+            [_extract_row(c) for c in comparators], dtype=np.float64
+        ).reshape(len(pair_list), _N_COLS)
+        fpga_side = _kernel_side_constants(matrix, fpga_side=True)
+        asic_side = _kernel_side_constants(matrix, fpga_side=False)
+        result = _compose(fpga_side, asic_side, batch)
+        return _patch_fallback_rows(result, batch, comparators)

@@ -1,0 +1,294 @@
+"""Array kernels mirroring the suite sub-models.
+
+Each kernel reproduces one scalar sub-model's arithmetic — in the same
+operation order, so results agree with the scalar path to the last ulp
+wherever IEEE semantics permit (NumPy's transcendental implementations
+may differ from libm by one ulp, which is far inside the advertised
+``rtol=1e-12`` parity bound).
+
+Two kinds of kernel live here:
+
+* **sub-model kernels** (`manufacturing_per_die_kg`, `packaging_per_chip`,
+  `eol_per_chip_kg`, `design_project_kg`, `operation_per_chip_year_kg`)
+  compute per-chip constants from *model-parameter columns* — one row per
+  comparator — enabling multi-comparator batches (Monte-Carlo draws, DSE
+  grids) to vectorise the whole lifecycle, not just the scenario axes;
+* **composition helpers** (`repeat_add`, `ratio_kernel`, `winner_kernel`)
+  reproduce the scenario accounting and the degenerate-ratio semantics of
+  :class:`~repro.core.comparison.ComparisonResult` with masks instead of
+  branches, raising no floating-point warnings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CapacityError
+from repro.manufacturing.yield_model import YieldModel
+from repro.units import HOURS_PER_YEAR, MM2_PER_CM2, RETICLE_LIMIT_MM2
+
+#: Stable integer codes for the statistical yield models, used because
+#: enum members don't belong in float matrices.
+YIELD_MODEL_CODES = {
+    YieldModel.MURPHY: 0,
+    YieldModel.POISSON: 1,
+    YieldModel.SEEDS: 2,
+}
+
+
+# ----------------------------------------------------------------------
+# Composition helpers
+# ----------------------------------------------------------------------
+
+
+def repeat_add(x: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Row-wise ``x + x + ... + x`` (``counts`` times), left-folded.
+
+    The scalar lifecycle models accumulate per-application terms with
+    repeated ``+=`` over identical addends; ``counts * x`` rounds
+    differently for counts >= 4, so bit-parity requires reproducing the
+    fold.  Iterates ``max(counts)`` times over the whole batch — the
+    paper's application counts are tens, so this stays cheap even for
+    10k-row batches.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    counts = np.asarray(counts)
+    acc = np.where(counts >= 1, x, 0.0)
+    if counts.size == 0:
+        return acc
+    for k in range(2, int(counts.max()) + 1):
+        acc = np.where(counts >= k, acc + x, acc)
+    return acc
+
+
+def ratio_kernel(fpga_totals: np.ndarray, asic_totals: np.ndarray) -> np.ndarray:
+    """Vectorised :attr:`ComparisonResult.ratio` with degenerate masks.
+
+    A zero ASIC total yields signed infinity (``copysign(inf, fpga)``),
+    two zero totals a perfect tie of ``1.0`` — identical semantics to the
+    scalar property, with warnings suppressed rather than raised.
+    """
+    fpga_totals = np.asarray(fpga_totals, dtype=np.float64)
+    asic_totals = np.asarray(asic_totals, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        raw = fpga_totals / asic_totals
+    return np.where(
+        asic_totals == 0.0,
+        np.where(fpga_totals == 0.0, 1.0, np.copysign(np.inf, fpga_totals)),
+        raw,
+    )
+
+
+def winner_kernel(fpga_totals: np.ndarray, asic_totals: np.ndarray) -> np.ndarray:
+    """Vectorised :attr:`ComparisonResult.winner` (ties go to the ASIC)."""
+    return np.where(
+        np.asarray(fpga_totals) < np.asarray(asic_totals), "fpga", "asic"
+    )
+
+
+# ----------------------------------------------------------------------
+# Manufacturing: wafer geometry + yield + carbon-per-area
+# ----------------------------------------------------------------------
+
+
+def dies_per_wafer_kernel(
+    die_area_mm2: np.ndarray,
+    wafer_diameter_mm: np.ndarray,
+    edge_exclusion_mm: np.ndarray,
+    scribe_mm: np.ndarray,
+) -> np.ndarray:
+    """Vectorised :func:`repro.manufacturing.wafer.dies_per_wafer`."""
+    die_area_mm2 = np.asarray(die_area_mm2, dtype=np.float64)
+    if np.any(die_area_mm2 > RETICLE_LIMIT_MM2):
+        worst = float(die_area_mm2.max())
+        raise CapacityError(
+            f"die area {worst:.0f} mm^2 exceeds the reticle limit "
+            f"({RETICLE_LIMIT_MM2:.0f} mm^2); split the design across chips"
+        )
+    side_mm = np.sqrt(die_area_mm2) + scribe_mm
+    footprint_mm2 = side_mm**2
+    usable_diameter_mm = wafer_diameter_mm - 2.0 * edge_exclusion_mm
+    area_term = np.pi * (usable_diameter_mm / 2.0) ** 2 / footprint_mm2
+    edge_term = np.pi * usable_diameter_mm / np.sqrt(2.0 * footprint_mm2)
+    gross = np.floor(area_term - edge_term).astype(np.int64)
+    if np.any(gross < 1):
+        raise CapacityError("a die in the batch does not fit on its wafer")
+    return gross
+
+
+def wafer_area_per_die_kernel(
+    die_area_mm2: np.ndarray,
+    wafer_diameter_mm: np.ndarray,
+    edge_exclusion_mm: np.ndarray,
+    scribe_mm: np.ndarray,
+) -> np.ndarray:
+    """Vectorised :func:`repro.manufacturing.wafer.wafer_area_per_die_cm2`."""
+    gross = dies_per_wafer_kernel(
+        die_area_mm2, wafer_diameter_mm, edge_exclusion_mm, scribe_mm
+    )
+    radius_mm = wafer_diameter_mm / 2.0 - edge_exclusion_mm
+    if np.any(radius_mm <= 0.0):
+        raise CapacityError("edge exclusion leaves no usable wafer area")
+    usable_cm2 = (np.pi * radius_mm**2) / MM2_PER_CM2
+    return np.maximum(usable_cm2 / gross, die_area_mm2 / MM2_PER_CM2)
+
+
+def die_yield_kernel(
+    area_cm2: np.ndarray,
+    defect_density_per_cm2: np.ndarray,
+    model_code: np.ndarray,
+    line_yield: np.ndarray,
+) -> np.ndarray:
+    """Vectorised :func:`repro.manufacturing.yield_model.die_yield`.
+
+    ``model_code`` selects the statistical model per row (see
+    :data:`YIELD_MODEL_CODES`); rows are masked per model so mixed
+    batches (a DSE axis over yield models) stay one kernel call.
+    """
+    faults = np.asarray(area_cm2, dtype=np.float64) * defect_density_per_cm2
+    model_code = np.broadcast_to(np.asarray(model_code), faults.shape)
+    statistical = np.empty_like(faults)
+
+    murphy = model_code == YIELD_MODEL_CODES[YieldModel.MURPHY]
+    if np.any(murphy):
+        f = faults[murphy]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            curve = (-np.expm1(-f) / f) ** 2
+        statistical[murphy] = np.where(f < 1.0e-12, 1.0, curve)
+    poisson = model_code == YIELD_MODEL_CODES[YieldModel.POISSON]
+    if np.any(poisson):
+        statistical[poisson] = np.exp(-faults[poisson])
+    seeds = model_code == YIELD_MODEL_CODES[YieldModel.SEEDS]
+    if np.any(seeds):
+        statistical[seeds] = 1.0 / (1.0 + faults[seeds])
+    return statistical * line_yield
+
+
+def manufacturing_per_die_kg(
+    die_area_mm2: np.ndarray,
+    epa_kwh_per_cm2: np.ndarray,
+    gpa_kg_per_cm2: np.ndarray,
+    mpa_new_kg_per_cm2: np.ndarray,
+    mpa_recycled_kg_per_cm2: np.ndarray,
+    defect_density_per_cm2: np.ndarray,
+    line_yield: np.ndarray,
+    wafer_diameter_mm: np.ndarray,
+    fab_intensity_kg_per_kwh: np.ndarray,
+    gas_abatement: np.ndarray,
+    edge_exclusion_mm: np.ndarray,
+    scribe_mm: np.ndarray,
+    recycled_fraction: np.ndarray,
+    yield_model_code: np.ndarray,
+    charge_wafer_waste: np.ndarray,
+) -> np.ndarray:
+    """Vectorised :meth:`ManufacturingModel.assess_die` total (kg/good die)."""
+    die_area_mm2 = np.asarray(die_area_mm2, dtype=np.float64)
+    area_cm2 = np.empty_like(die_area_mm2)
+    charge = np.broadcast_to(np.asarray(charge_wafer_waste, dtype=bool),
+                             die_area_mm2.shape)
+    if np.any(charge):
+        area_cm2[charge] = wafer_area_per_die_kernel(
+            die_area_mm2[charge],
+            np.broadcast_to(wafer_diameter_mm, die_area_mm2.shape)[charge],
+            np.broadcast_to(edge_exclusion_mm, die_area_mm2.shape)[charge],
+            np.broadcast_to(scribe_mm, die_area_mm2.shape)[charge],
+        )
+    if not np.all(charge):
+        area_cm2[~charge] = (die_area_mm2 / MM2_PER_CM2)[~charge]
+    total_yield = die_yield_kernel(
+        die_area_mm2 / MM2_PER_CM2,
+        defect_density_per_cm2,
+        yield_model_code,
+        line_yield,
+    )
+    scale = area_cm2 / total_yield
+    energy = epa_kwh_per_cm2 * fab_intensity_kg_per_kwh * scale
+    gas = gpa_kg_per_cm2 * (1.0 - gas_abatement) * scale
+    blended = (
+        recycled_fraction * mpa_recycled_kg_per_cm2
+        + (1.0 - recycled_fraction) * mpa_new_kg_per_cm2
+    )
+    material = blended * scale
+    return energy + gas + material
+
+
+# ----------------------------------------------------------------------
+# Packaging, end-of-life
+# ----------------------------------------------------------------------
+
+
+def packaging_per_chip(
+    die_area_mm2: np.ndarray,
+    substrate_kg_per_cm2: np.ndarray,
+    assembly_kwh_per_package: np.ndarray,
+    assembly_intensity_kg_per_kwh: np.ndarray,
+    fanout_factor: np.ndarray,
+    base_kg_per_package: np.ndarray,
+    mass_g_per_cm2: np.ndarray,
+    base_mass_g: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :meth:`MonolithicPackagingModel.assess_package`.
+
+    Returns ``(per_package_kg, package_mass_g)`` — the mass feeds the
+    EOL kernel exactly like the scalar flow.
+    """
+    pkg_area_cm2 = (np.asarray(die_area_mm2, dtype=np.float64) * fanout_factor) / MM2_PER_CM2
+    substrate = base_kg_per_package + substrate_kg_per_cm2 * pkg_area_cm2
+    assembly = assembly_kwh_per_package * assembly_intensity_kg_per_kwh
+    mass_g = base_mass_g + mass_g_per_cm2 * pkg_area_cm2
+    return substrate + assembly, mass_g
+
+
+def eol_per_chip_kg(
+    package_mass_g: np.ndarray,
+    recycled_fraction: np.ndarray,
+    discard_kg_per_kg: np.ndarray,
+    recycle_credit_kg_per_kg: np.ndarray,
+    transport_kg_per_kg: np.ndarray,
+) -> np.ndarray:
+    """Vectorised :meth:`EolModel.assess_chip` total (may be negative)."""
+    mass_kg = np.asarray(package_mass_g, dtype=np.float64) / 1000.0
+    delta = recycled_fraction
+    discard = (1.0 - delta) * discard_kg_per_kg * mass_kg
+    credit = delta * recycle_credit_kg_per_kg * mass_kg
+    transport = transport_kg_per_kg * mass_kg
+    return discard - credit + transport
+
+
+# ----------------------------------------------------------------------
+# Design, operation, application development
+# ----------------------------------------------------------------------
+
+
+def design_project_kg(
+    gates_mgates: np.ndarray,
+    annual_energy_kwh_effective: np.ndarray,
+    project_years: np.ndarray,
+    intensity_kg_per_kwh: np.ndarray,
+    avg_gates_per_chip_mgates: np.ndarray,
+    gate_scaling_beta: np.ndarray,
+) -> np.ndarray:
+    """Vectorised :meth:`DesignModel.assess_project` total.
+
+    ``annual_energy_kwh_effective`` is the report energy with overhead
+    and allocation already applied (that product is comparator data, not
+    scenario data, so it is folded during extraction).
+    """
+    gate_scale = (
+        np.asarray(gates_mgates, dtype=np.float64) / avg_gates_per_chip_mgates
+    ) ** gate_scaling_beta
+    return annual_energy_kwh_effective * project_years * intensity_kg_per_kwh * gate_scale
+
+
+def operation_per_chip_year_kg(
+    power_w: np.ndarray,
+    duty_cycle: np.ndarray,
+    idle_fraction_of_peak: np.ndarray,
+    pue: np.ndarray,
+    intensity_kg_per_kwh: np.ndarray,
+) -> np.ndarray:
+    """Vectorised :meth:`OperationModel.per_chip_year_kg`."""
+    idle = (1.0 - duty_cycle) * idle_fraction_of_peak
+    effective_duty = (duty_cycle + idle) * pue
+    energy = (np.asarray(power_w, dtype=np.float64) / 1000.0) * effective_duty * HOURS_PER_YEAR
+    return intensity_kg_per_kwh * energy

@@ -11,13 +11,13 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.analysis.montecarlo import ParameterDistribution, monte_carlo
+from repro.analysis.montecarlo import ParameterDistribution, monte_carlo_batch
 from repro.analysis.sensitivity import tornado
 from repro.core.comparison import PlatformComparator
 from repro.core.scenario import Scenario
 from repro.core.suite import ModelSuite
 from repro.design.model import DesignModel
-from repro.engine import EvaluationEngine
+from repro.engine import resolve_engine
 from repro.eol.model import EolModel
 from repro.experiments.base import ExperimentReport
 from repro.manufacturing.act import ManufacturingModel
@@ -86,10 +86,13 @@ def run(suite: ModelSuite | None = None) -> ExperimentReport:
     comparator = PlatformComparator.for_domain("dnn", suite)
     dists = distributions()
 
-    # One engine across both studies: the tornado baseline and any
-    # endpoint coinciding with a Monte-Carlo draw come from the cache.
-    engine = EvaluationEngine()
-    mc = monte_carlo(comparator, BASELINE, dists, n_samples=N_SAMPLES, engine=engine)
+    # The Monte-Carlo study runs through the vector kernel's
+    # multi-comparator path (every draw is one model-parameter row); the
+    # small tornado sweep shares the default engine's result cache.
+    engine = resolve_engine(None)
+    mc = monte_carlo_batch(
+        comparator, BASELINE, dists, n_samples=N_SAMPLES, engine=engine
+    )
     sens = tornado(comparator, BASELINE, dists, engine=engine)
 
     report = ExperimentReport(

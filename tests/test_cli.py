@@ -50,3 +50,43 @@ def test_bad_domain_rejected():
 def test_no_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_compare_with_cache_stats(capsys):
+    from repro.engine import reset_default_engine
+
+    reset_default_engine()
+    try:
+        assert main(["--cache-stats", "compare", "--domain", "dnn"]) == 0
+        out = capsys.readouterr().out
+        assert "evaluation-engine cache" in out
+        assert "misses" in out
+    finally:
+        reset_default_engine()
+
+
+def test_compare_no_vectorize_matches_default(capsys):
+    from repro.engine import reset_default_engine
+
+    reset_default_engine()
+    try:
+        assert main(["compare", "--domain", "crypto"]) == 0
+        default_out = capsys.readouterr().out
+        assert main(["--no-vectorize", "compare", "--domain", "crypto"]) == 0
+        scalar_out = capsys.readouterr().out
+        assert scalar_out == default_out  # identical numbers either way
+    finally:
+        reset_default_engine()
+
+
+def test_run_with_workers_flag(capsys):
+    from repro.engine import default_engine, reset_default_engine
+
+    reset_default_engine()
+    try:
+        assert main(["--workers", "2", "--cache-stats", "run", "fig2"]) == 0
+        assert default_engine().workers == 2
+        out = capsys.readouterr().out
+        assert "evaluation-engine cache" in out
+    finally:
+        reset_default_engine()

@@ -457,3 +457,80 @@ def test_zero_asic_touch_point_in_sweep_totals():
         [c.asic.footprint.total for c in comparisons],
     )
     assert crossovers == []
+
+
+# ----------------------------------------------------------------------
+# Default-engine lifecycle (atexit hook, reset, configure)
+# ----------------------------------------------------------------------
+
+
+def test_reset_default_engine_discards_shared_state(dnn_comparator,
+                                                    small_scenario):
+    from repro.engine import reset_default_engine
+
+    first = default_engine()
+    first.evaluate(dnn_comparator, small_scenario)
+    assert first.cache_stats.size >= 1
+    reset_default_engine()
+    fresh = default_engine()
+    assert fresh is not first
+    assert fresh.cache_stats.size == 0
+    reset_default_engine()  # idempotent; also closes the fresh engine
+
+
+def test_configure_default_engine_replaces_and_applies_options():
+    from repro.engine import (
+        configure_default_engine,
+        default_engine,
+        reset_default_engine,
+        resolve_engine,
+    )
+
+    configured = configure_default_engine(vectorize=False, cache_size=16)
+    try:
+        assert default_engine() is configured
+        assert resolve_engine(None) is configured
+        assert configured.vectorize is False
+        assert configured.cache_stats.maxsize == 16
+    finally:
+        reset_default_engine()  # restore a pristine default for other tests
+
+
+def test_default_engine_close_is_registered_at_exit():
+    """Importing the engine module must register the atexit reset hook.
+
+    Reloads the module with ``atexit.register`` instrumented: deleting
+    the ``atexit.register(reset_default_engine)`` line makes this fail.
+    The duplicate registration the reload leaves behind is harmless —
+    ``reset_default_engine`` is idempotent.
+    """
+    import atexit
+    import importlib
+
+    from repro.engine import engine as engine_module
+
+    recorded = []
+    real_register = atexit.register
+
+    def recording_register(fn, *args, **kwargs):
+        recorded.append(fn)
+        return real_register(fn, *args, **kwargs)
+
+    atexit.register = recording_register
+    try:
+        importlib.reload(engine_module)
+    finally:
+        atexit.register = real_register
+    assert engine_module.reset_default_engine in recorded
+
+
+def test_close_shuts_down_lazy_pool(dnn_comparator):
+    engine = EvaluationEngine(workers=2, chunk_size=1, vectorize=False)
+    scenarios = [
+        Scenario(num_apps=n, app_lifetime_years=1.0, volume=100)
+        for n in range(1, 5)
+    ]
+    engine.evaluate_many(dnn_comparator, scenarios)  # starts the pool
+    assert engine._pool is not None
+    engine.close()
+    assert engine._pool is None

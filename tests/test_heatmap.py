@@ -81,3 +81,73 @@ def test_unknown_axis_rejected(dnn_comparator, base):
 def test_empty_values_rejected(dnn_comparator, base):
     with pytest.raises(ParameterError):
         pairwise_heatmap(dnn_comparator, base, "num_apps", [], "volume", [2])
+
+
+# ----------------------------------------------------------------------
+# Masks and iso-ratio boundary on grids with non-finite ratios
+# ----------------------------------------------------------------------
+
+
+def _result_with_ratios(ratios: np.ndarray):
+    from repro.analysis.heatmap import HeatmapResult
+
+    n_rows, n_cols = ratios.shape
+    return HeatmapResult(
+        x_axis="num_apps",
+        y_axis="lifetime",
+        x_values=tuple(float(j) for j in range(1, n_cols + 1)),
+        y_values=tuple(float(i) for i in range(1, n_rows + 1)),
+        ratios=ratios,
+    )
+
+
+def test_sustainable_mask_with_non_finite_ratios():
+    """-inf is a decisive FPGA win; +inf and nan are not."""
+    ratios = np.array([
+        [0.5, np.inf, 2.0],
+        [-np.inf, np.nan, 0.9],
+    ])
+    mask = _result_with_ratios(ratios).fpga_sustainable_mask()
+    np.testing.assert_array_equal(
+        mask,
+        np.array([
+            [True, False, False],
+            [True, False, True],
+        ]),
+    )
+
+
+def test_boundary_cells_with_non_finite_ratios():
+    """The iso-ratio contour stays well-defined around inf/nan cells."""
+    ratios = np.array([
+        [0.5, 0.5, 0.5],
+        [0.5, np.inf, 0.5],
+        [0.5, 0.5, 0.5],
+    ])
+    cells = set(_result_with_ratios(ratios).boundary_cells())
+    # The inf cell flips against all four neighbours; they flip back.
+    assert (1, 1) in cells
+    assert {(0, 1), (1, 0), (1, 2), (2, 1)} <= cells
+    assert (0, 0) not in cells  # corners only touch same-side neighbours
+
+
+def test_boundary_empty_when_all_non_finite():
+    ratios = np.full((2, 2), np.nan)
+    result = _result_with_ratios(ratios)
+    assert not result.fpga_sustainable_mask().any()
+    assert result.boundary_cells() == []
+
+
+def test_heatmap_single_point_axes(dnn_comparator, base):
+    """1x1 grids work on both the classic and the batch path."""
+    from repro.analysis.heatmap import pairwise_heatmap_batch
+
+    classic = pairwise_heatmap(
+        dnn_comparator, base, "num_apps", [3], "lifetime", [2.0]
+    )
+    batch = pairwise_heatmap_batch(
+        dnn_comparator, base, "num_apps", [3], "lifetime", [2.0]
+    )
+    assert classic.ratios.shape == batch.ratios.shape == (1, 1)
+    np.testing.assert_array_equal(batch.ratios, classic.ratios)
+    assert classic.boundary_cells() == []  # no neighbours, no contour

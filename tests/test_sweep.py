@@ -65,3 +65,43 @@ def test_empty_values(dnn_comparator, base):
 def test_winner_at(dnn_comparator, base):
     result = sweep(dnn_comparator, base, "num_apps", [1])
     assert result.winner_at(0) in ("fpga", "asic")
+
+
+# ----------------------------------------------------------------------
+# Axis edge cases: single-point and descending axes
+# ----------------------------------------------------------------------
+
+
+def test_single_point_axis(dnn_comparator, base):
+    result = sweep(dnn_comparator, base, "lifetime", [2.0])
+    assert result.values == (2.0,)
+    assert len(result.comparisons) == 1
+    assert result.ratios[0] == dnn_comparator.ratio(base.with_lifetime(2.0))
+
+
+def test_single_point_axis_batch(dnn_comparator, base):
+    from repro.analysis.sweep import sweep_batch
+
+    batch = sweep_batch(dnn_comparator, base, "lifetime", [2.0])
+    assert batch.values.shape == (1,)
+    assert batch.ratios[0] == dnn_comparator.ratio(base.with_lifetime(2.0))
+
+
+def test_descending_axis_preserves_order(dnn_comparator, base):
+    ascending = sweep(dnn_comparator, base, "volume", [100, 10_000, 1_000_000])
+    descending = sweep(dnn_comparator, base, "volume", [1_000_000, 10_000, 100])
+    assert descending.values == tuple(reversed(ascending.values))
+    assert descending.ratios == tuple(reversed(ascending.ratios))
+    assert descending.fpga_totals == tuple(reversed(ascending.fpga_totals))
+
+
+def test_descending_axis_batch_matches_classic(dnn_comparator, base):
+    import numpy as np
+
+    from repro.analysis.sweep import sweep_batch
+
+    values = [3.0, 2.0, 0.5]
+    classic = sweep(dnn_comparator, base, "lifetime", values)
+    batch = sweep_batch(dnn_comparator, base, "lifetime", values)
+    np.testing.assert_array_equal(batch.values, np.array(values))
+    np.testing.assert_array_equal(batch.ratios, np.array(classic.ratios))
