@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
-# Local CI gate: tier-1 tests + evaluation-engine benchmarks in smoke mode.
+# Local CI gate: tier-1 tests + evaluation-engine/serving benchmarks.
 #
 # Usage: scripts/check.sh [--full-bench]
 #   --full-bench  additionally run the engine benchmarks with timing
 #                 statistics (slower; default is one smoke iteration).
 #
 # The smoke run executes every engine bench once (--benchmark-disable),
-# including the warm-vs-cold speedup assertion and the vector-kernel
-# >= 10x gate, so a perf regression in the hot evaluation path fails
-# here before it ships.  The vector bench emits
-# benchmarks/BENCH_engine.json (cold scalar vs cold vector vs warm
-# cache on a 10k-cell grid and a 10k-draw Monte-Carlo), which this
-# script surfaces so the perf trajectory is visible run over run.
+# including the warm-vs-cold speedup assertion, the vector-kernel
+# >= 10x gate, and the warm-store gate (warm_cache_s <= 2x
+# cold_vector_s on the 10k-cell grid), so a perf regression in the hot
+# evaluation path fails here before it ships.  The serving bench drives
+# the async micro-batching front-end (1 vs 8 concurrent clients, cold
+# vs persisted-warm store) and gates >= 4x aggregate throughput for
+# coalesced concurrent clients over serialized dispatch.  Both benches
+# emit JSON trajectories (benchmarks/BENCH_engine.json,
+# benchmarks/BENCH_serving.json), which this script surfaces so the
+# perf history is visible run over run.
 
 set -euo pipefail
 
@@ -20,12 +24,21 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1: unit + integration tests =="
-python -m pytest tests -x -q
+python -m pytest tests -x -q \
+    --ignore=tests/test_service.py --ignore=tests/test_store.py
+
+echo
+echo "== async serving + store test suite =="
+python -m pytest tests/test_service.py tests/test_store.py -x -q
 
 echo
 echo "== engine benchmarks (smoke) =="
 python -m pytest benchmarks/test_bench_engine.py benchmarks/test_bench_vector.py \
     -x -q --benchmark-disable
+
+echo
+echo "== serving benchmarks =="
+python -m pytest benchmarks/test_bench_serving.py -x -q --benchmark-disable
 
 echo
 echo "== BENCH_engine.json =="
@@ -36,10 +49,20 @@ else
     exit 1
 fi
 
+echo
+echo "== BENCH_serving.json =="
+if [[ -f benchmarks/BENCH_serving.json ]]; then
+    cat benchmarks/BENCH_serving.json
+else
+    echo "error: benchmarks/BENCH_serving.json was not emitted" >&2
+    exit 1
+fi
+
 if [[ "${1:-}" == "--full-bench" ]]; then
     echo
     echo "== engine benchmarks (full statistics) =="
-    python -m pytest benchmarks/test_bench_engine.py benchmarks/test_bench_vector.py -x -q
+    python -m pytest benchmarks/test_bench_engine.py benchmarks/test_bench_vector.py \
+        benchmarks/test_bench_serving.py -x -q
 fi
 
 echo

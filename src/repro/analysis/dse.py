@@ -250,7 +250,8 @@ def explore_batch(
     ``ComparisonResult`` is materialised per point.  The returned
     :class:`DseResult` carries the same :class:`DesignPoint` objects
     (totals/ratios within ``rtol <= 1e-12`` of :func:`explore`); grid
-    points bypass the engine's LRU cache.
+    points bypass the engine's sharded result store, whose digests are
+    keyed per suite (use :func:`explore` when warmth should be shared).
     """
     eng, all_overrides, pairs = _grid_pairs(domain, scenario, grid, base, engine)
     batch = eng.evaluate_pairs_batch(pairs)

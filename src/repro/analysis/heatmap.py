@@ -15,7 +15,7 @@ import numpy as np
 from repro.analysis.sweep import SWEEP_AXES, _AXIS_APPLIERS, axis_batch
 from repro.core.comparison import PlatformComparator
 from repro.core.scenario import Scenario
-from repro.engine import EvaluationEngine, resolve_engine
+from repro.engine import EvaluationEngine, ScenarioBatch, resolve_engine
 from repro.errors import ParameterError
 
 
@@ -118,24 +118,19 @@ def pairwise_heatmap(
     )
 
 
-def pairwise_heatmap_batch(
-    comparator: PlatformComparator,
+def heatmap_columns(
     base_scenario: Scenario,
     x_axis: str,
     x_values: Sequence[float],
     y_axis: str,
     y_values: Sequence[float],
-    engine: EvaluationEngine | None = None,
-) -> HeatmapResult:
-    """Array-land :func:`pairwise_heatmap`: one kernel call for the grid.
+) -> ScenarioBatch:
+    """Validated scenario columns for a full 2-D heatmap grid.
 
-    The whole grid is built as scenario *columns* and evaluated by the
-    vector kernel — no per-cell :class:`Scenario` or ``ComparisonResult``
-    objects exist at any point, which is what makes dense (100x100+)
-    grids run at array speed.  Ratios agree with :func:`pairwise_heatmap`
-    bit-for-bit; the trade-off is that cells do not populate the
-    engine's LRU cache (use :func:`pairwise_heatmap` when other analyses
-    should reuse them).
+    Shared by :func:`pairwise_heatmap_batch` and the async serving layer
+    (:meth:`repro.engine.service.AsyncEvaluationEngine.heatmap_batch`),
+    so both spellings build — and therefore digest and cache — identical
+    batches (x varies fastest, matching the scalar nesting).
     """
     for axis in (x_axis, y_axis):
         if axis not in _AXIS_APPLIERS:
@@ -157,10 +152,32 @@ def pairwise_heatmap_batch(
                 "varying num_apps requires a uniform app lifetime; rebuild "
                 "the scenario explicitly for heterogeneous lifetimes"
             )
-
     x_col = np.tile(np.asarray(x_values), len(y_values))
     y_col = np.repeat(np.asarray(y_values), len(x_values))
-    batch = axis_batch(base_scenario, {x_axis: x_col, y_axis: y_col})
+    return axis_batch(base_scenario, {x_axis: x_col, y_axis: y_col})
+
+
+def pairwise_heatmap_batch(
+    comparator: PlatformComparator,
+    base_scenario: Scenario,
+    x_axis: str,
+    x_values: Sequence[float],
+    y_axis: str,
+    y_values: Sequence[float],
+    engine: EvaluationEngine | None = None,
+) -> HeatmapResult:
+    """Array-land :func:`pairwise_heatmap`: one kernel call for the grid.
+
+    The whole grid is built as scenario *columns* and evaluated by the
+    vector kernel — no per-cell :class:`Scenario` or ``ComparisonResult``
+    objects exist at any point, which is what makes dense (100x100+)
+    grids run at array speed.  Ratios agree with :func:`pairwise_heatmap`
+    bit-for-bit, and cells populate (and are served from) the engine's
+    sharded result store: a warm grid is answered with one vectorised
+    gather, and overlapping panels share cells with every other
+    analysis, scalar callers included.
+    """
+    batch = heatmap_columns(base_scenario, x_axis, x_values, y_axis, y_values)
     result = resolve_engine(engine).evaluate_batch(comparator, batch)
     return HeatmapResult(
         x_axis=x_axis,

@@ -215,9 +215,10 @@ def monte_carlo_batch(
     suite is decomposed into model-parameter columns and the sub-models
     themselves are vectorised, so no per-draw lifecycle objects or
     ``ComparisonResult`` materialisation occur.  Ratios agree with the
-    scalar path to ``rtol <= 1e-12``; draws bypass the engine's LRU
-    cache (use :func:`monte_carlo` when cache warmth matters more than
-    throughput).
+    scalar path to ``rtol <= 1e-12``; draws bypass the engine's sharded
+    result store — per-draw suites never repeat, so digesting them would
+    cost more than it saves (use :func:`monte_carlo` when cache warmth
+    matters more than throughput).
     """
     samples, pairs = _draw_pairs(comparator, scenario, distributions,
                                  n_samples, seed)

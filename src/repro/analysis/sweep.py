@@ -186,6 +186,23 @@ class SweepBatch:
         return self.batch.winners
 
 
+def sweep_columns(
+    base_scenario: Scenario, axis: str, values: Sequence[float]
+) -> ScenarioBatch:
+    """Validated scenario columns for a one-axis sweep.
+
+    Shared by :func:`sweep_batch` and the async serving layer
+    (:meth:`repro.engine.service.AsyncEvaluationEngine.sweep_batch`), so
+    both spellings build — and therefore digest and cache — identical
+    batches.
+    """
+    if axis not in _AXIS_APPLIERS:
+        raise ParameterError(f"unknown sweep axis {axis!r}; expected one of {SWEEP_AXES}")
+    if len(values) == 0:
+        raise ParameterError("sweep values must not be empty")
+    return axis_batch(base_scenario, {axis: np.asarray(values)})
+
+
 def sweep_batch(
     comparator: PlatformComparator,
     base_scenario: Scenario,
@@ -197,13 +214,11 @@ def sweep_batch(
 
     Results agree with :func:`sweep` bit-for-bit (the kernel mirrors the
     scalar arithmetic); use this entry point when only the arrays are
-    wanted — dense axes, service endpoints, benchmark loops.
+    wanted — dense axes, service endpoints, benchmark loops.  Points are
+    cached in (and served from) the engine's sharded result store, so
+    sweeps share warmth with every other analysis.
     """
-    if axis not in _AXIS_APPLIERS:
-        raise ParameterError(f"unknown sweep axis {axis!r}; expected one of {SWEEP_AXES}")
-    if len(values) == 0:
-        raise ParameterError("sweep values must not be empty")
-    batch = axis_batch(base_scenario, {axis: np.asarray(values)})
+    batch = sweep_columns(base_scenario, axis, values)
     result = resolve_engine(engine).evaluate_batch(comparator, batch)
     return SweepBatch(
         axis=axis,

@@ -7,14 +7,20 @@ Subcommands:
   and print its report (optionally exporting CSVs).
 * ``greenfpga compare --domain dnn --apps 5 --lifetime 2 --volume 1e6`` —
   one-off FPGA-vs-ASIC comparison.
+* ``greenfpga serve-bench [--clients N]`` — measure async serving
+  throughput (micro-batched concurrent clients vs serialized dispatch).
 
-Engine options (shared by ``run`` and ``compare``):
+Engine options (shared by every subcommand):
 
 * ``--workers N`` — farm scalar cache misses to N worker processes.
 * ``--no-vectorize`` — disable the NumPy vector kernel (pure scalar
   path; mainly for debugging and perf comparisons).
 * ``--cache-stats`` — print the shared engine's cache counters after
   the command, showing how much of the run was served from warmth.
+* ``--cache-shards N`` — hash shards of the result store.
+* ``--cache-file PATH`` — load the result store from PATH (if it
+  exists) before the command and save it back afterwards, so cache
+  warmth survives across CLI runs.
 """
 
 from __future__ import annotations
@@ -52,6 +58,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print evaluation-engine cache statistics after the command",
     )
+    parser.add_argument(
+        "--cache-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hash shards of the result store (default 8)",
+    )
+    parser.add_argument(
+        "--cache-file",
+        default=None,
+        metavar="PATH",
+        help="persist the result store to PATH (.npz) across CLI runs",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiments, domains and devices")
@@ -65,15 +84,34 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--apps", type=int, default=5, help="number of applications")
     compare.add_argument("--lifetime", type=float, default=2.0, help="app lifetime, years")
     compare.add_argument("--volume", type=float, default=1.0e6, help="units per app")
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark the async batch-serving front-end",
+    )
+    serve.add_argument("--clients", type=int, default=8, help="concurrent clients")
+    serve.add_argument("--requests", type=int, default=16,
+                       help="requests per client")
+    serve.add_argument("--cells", type=int, default=100,
+                       help="scenario cells per request")
+    serve.add_argument("--window-ms", type=float, default=2.0,
+                       help="micro-batching window, milliseconds")
     return parser
 
 
 def _configure_engine(args: argparse.Namespace) -> None:
-    """Apply ``--workers`` / ``--no-vectorize`` to the shared engine."""
-    if args.workers is not None or args.no_vectorize:
-        configure_default_engine(
-            workers=args.workers, vectorize=not args.no_vectorize
-        )
+    """Apply the engine options to the shared default engine."""
+    options: dict[str, object] = {}
+    if args.workers is not None:
+        options["workers"] = args.workers
+    if args.no_vectorize:
+        options["vectorize"] = False
+    if args.cache_shards is not None:
+        options["cache_shards"] = args.cache_shards
+    if args.cache_file is not None:
+        options["cache_file"] = args.cache_file
+    if options:
+        configure_default_engine(**options)
 
 
 def _print_cache_stats() -> None:
@@ -125,6 +163,41 @@ def _cmd_compare(domain: str, apps: int, lifetime: float, volume: float) -> int:
     return 0
 
 
+def _cmd_serve_bench(
+    clients: int,
+    requests: int,
+    cells: int,
+    window_ms: float,
+    cache_file: str | None,
+) -> int:
+    from repro.engine.service import serving_benchmark
+
+    report = serving_benchmark(
+        clients=clients,
+        requests_per_client=requests,
+        cells_per_request=cells,
+        batch_window_s=window_ms / 1000.0,
+        cache_file=cache_file,
+    )
+    rows = [
+        {"phase": name, **metrics} for name, metrics in report["phases"].items()
+    ]
+    print(format_table(
+        rows,
+        title=(
+            f"async serving: {report['total_scenarios']} scenarios, "
+            f"{clients} clients, window {window_ms:g} ms"
+        ),
+    ))
+    print(
+        f"\nwarm concurrent vs serialized dispatch: "
+        f"{report['speedup_concurrent_vs_serialized_warm']:.2f}x  "
+        f"(persisted entries: {report['persisted_entries']}, "
+        f"warm rows recomputed: {report['warm_concurrent_rows_recomputed']})"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -135,10 +208,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         code = _cmd_run(args.experiment, args.csv_dir)
     elif args.command == "compare":
         code = _cmd_compare(args.domain, args.apps, args.lifetime, args.volume)
+    elif args.command == "serve-bench":
+        code = _cmd_serve_bench(
+            args.clients, args.requests, args.cells, args.window_ms,
+            args.cache_file,
+        )
     else:
         raise AssertionError(f"unhandled command {args.command!r}")
     if args.cache_stats:
         _print_cache_stats()
+    if args.cache_file is not None and args.command != "serve-bench":
+        # serve-bench persists the benchmark store itself; saving the
+        # untouched default engine here would overwrite that warmth.
+        default_engine().save_cache(args.cache_file)
     return code
 
 

@@ -1,38 +1,55 @@
-"""Shared batch evaluation engine (caching + parallel + vector kernel).
+"""Shared batch evaluation engine (sharded store + async serving + kernel).
 
-See :mod:`repro.engine.engine` for the engine design rationale and
-:mod:`repro.engine.vector` for the NumPy kernel behind the fast path.
+See :mod:`repro.engine.engine` for the engine design rationale,
+:mod:`repro.engine.store` for the array-backed sharded result store,
+:mod:`repro.engine.service` for the awaitable micro-batching front-end,
+and :mod:`repro.engine.vector` for the NumPy kernel behind the fast path.
 """
 
 from repro.engine.cache import CacheStats, LruCache
 from repro.engine.engine import (
+    DEFAULT_CACHE_SHARDS,
     MIN_VECTOR_BATCH,
     EvaluationEngine,
     build_suite_cached,
-    comparator_key,
     configure_default_engine,
     default_engine,
-    evaluation_key,
     reset_default_engine,
     resolve_engine,
+)
+from repro.engine.service import AsyncEvaluationEngine, serving_benchmark
+from repro.engine.store import (
+    ShardedResultStore,
+    batch_digests,
+    comparator_digest,
+    comparator_key,
+    evaluation_key,
+    pair_digest,
     scenario_key,
 )
 from repro.engine.vector import BatchResult, ScenarioBatch, VectorizedEvaluator
 
 __all__ = [
+    "AsyncEvaluationEngine",
     "BatchResult",
     "CacheStats",
+    "DEFAULT_CACHE_SHARDS",
     "EvaluationEngine",
     "LruCache",
     "MIN_VECTOR_BATCH",
     "ScenarioBatch",
+    "ShardedResultStore",
     "VectorizedEvaluator",
+    "batch_digests",
     "build_suite_cached",
+    "comparator_digest",
     "comparator_key",
     "configure_default_engine",
     "default_engine",
     "evaluation_key",
+    "pair_digest",
     "reset_default_engine",
     "resolve_engine",
     "scenario_key",
+    "serving_benchmark",
 ]

@@ -1,11 +1,14 @@
 """Bounded LRU cache with hit/miss accounting.
 
-The evaluation engine keys every (device pair, suite, scenario)
-assessment on an immutable tuple and stores the finished
-:class:`~repro.core.comparison.ComparisonResult` here.  The cache is a
-plain ``OrderedDict`` guarded by a lock so the engine can be shared by
-analysis code running on worker threads; worker *processes* never see
-the cache — they return results to the parent, which inserts them.
+Historically the engine's only result cache (one finished
+:class:`~repro.core.comparison.ComparisonResult` per key); since the
+array-backed :class:`~repro.engine.store.ShardedResultStore` took over
+the hot path, this class serves as the store's *object side-cache* for
+results that cannot be packed into uniform columns (heterogeneous
+per-application lifetimes).  A plain ``OrderedDict`` guarded by a lock,
+so it can be shared by analysis code running on worker threads; worker
+*processes* never see it — they return results to the parent, which
+inserts them.
 """
 
 from __future__ import annotations

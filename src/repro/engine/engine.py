@@ -3,41 +3,64 @@
 Every analysis layer that reproduces the paper's figures — sweeps,
 heatmaps, design-space exploration, Monte-Carlo and tornado sensitivity —
 reduces to the same primitive: assess a (comparator, scenario) pair and
-read the FPGA:ASIC ratio.  Historically each module looped
-``PlatformComparator.compare()`` privately, rebuilding identical
-assessments point by point.  :class:`EvaluationEngine` centralises that
-loop behind one batch API with
+read the FPGA:ASIC ratio.  :class:`EvaluationEngine` centralises that
+primitive behind one batch API with
 
-* an LRU result cache keyed on ``(device pair, suite, scenario)``, so
-  overlapping grids (e.g. the three Fig. 8 panels, which share a whole
-  edge of cells) and repeated Monte-Carlo draws are computed once;
-* memoised :meth:`repro.config.Parameters.build_suite` construction, so
-  DSE grids revisiting a configuration reuse the same suite; and
+* an array-backed sharded result store
+  (:class:`~repro.engine.store.ShardedResultStore`) keyed on stable
+  128-bit digests of ``(device pair, suite, scenario)``.  Batch callers
+  are answered with vectorised gather straight from packed NumPy column
+  blocks — no :class:`ComparisonResult` is allocated on the batch path;
+  object callers get dataclasses materialised lazily from the same
+  columns.  ``save_cache`` / ``load_cache`` persist the shards to
+  ``.npz`` so warmth survives across processes and CLI runs;
+* memoised :meth:`repro.config.Parameters.build_suite` construction
+  (safe under concurrent access), so DSE grids revisiting a
+  configuration reuse the same suite object; and
 * opt-in process parallelism (``workers=N``) with chunked dispatch to
-  amortise pickling, for dense grids and large Monte-Carlo runs.
+  amortise pickling, for scalar-path misses.
 
 Evaluation is pure — ``compare()`` depends only on the frozen comparator
-and scenario — so cached and parallel execution return results
-bit-identical to the sequential per-point loops.
+and scenario — so cached, vectorised and parallel execution return
+results bit-identical to the sequential per-point loops.  For awaitable,
+micro-batched serving on top of this engine see
+:class:`repro.engine.service.AsyncEvaluationEngine`.
 """
 
 from __future__ import annotations
 
 import atexit
 import dataclasses
-import functools
 import pickle
 import threading
 from collections.abc import Iterable, Sequence
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from typing import Hashable
+from pathlib import Path
+
+import numpy as np
 
 from repro.config import Parameters
 from repro.core.comparison import ComparisonResult, PlatformComparator
 from repro.core.scenario import Scenario
 from repro.core.suite import ModelSuite
-from repro.engine.cache import CacheStats, LruCache
+from repro.engine.cache import CacheStats, LruCache  # noqa: F401 (re-export)
+from repro.engine.store import (  # noqa: F401 (keys re-exported for compat)
+    FLOAT_COLS,
+    INT_COLS,
+    ShardedResultStore,
+    batch_digests,
+    comparator_digest,
+    comparator_key,
+    evaluation_key,
+    materialise_comparison,
+    pack_batch_rows,
+    pack_comparison,
+    pack_fallback_row,
+    pair_digest,
+    scenario_key,
+)
 from repro.engine.vector import BatchResult, ScenarioBatch, VectorizedEvaluator
+from repro.engine.vector.kernels import ratio_kernel, winner_kernel
 from repro.errors import ParameterError
 
 #: Default chunk size for parallel dispatch — large enough that pickling
@@ -48,49 +71,46 @@ DEFAULT_CHUNK_SIZE = 32
 #: kernel: below this the per-batch NumPy overhead beats the saving.
 MIN_VECTOR_BATCH = 8
 
-
-def scenario_key(scenario: Scenario) -> Hashable:
-    """Canonical hashable identity of a scenario.
-
-    Uses the normalised ``lifetimes`` tuple rather than the raw
-    ``app_lifetime_years`` field so that scalar and per-application
-    spellings of the same deployment hash identically (and so that
-    list-valued lifetimes do not break hashing).
-    """
-    return (
-        scenario.num_apps,
-        scenario.lifetimes,
-        scenario.volume,
-        scenario.evaluation_years,
-        scenario.app_size_mgates,
-        scenario.enforce_chip_lifetime,
-    )
+#: Default shard count of the result store.
+DEFAULT_CACHE_SHARDS = 8
 
 
-def comparator_key(comparator: PlatformComparator) -> Hashable:
-    """Canonical hashable identity of a device pair + suite."""
-    return (comparator.fpga_device, comparator.asic_device, comparator.suite)
+#: A scenario routes through the packed array store exactly when the
+#: kernel covers it — one definition, shared with the batch path, so the
+#: object side-cache and the column shards never split a key.
+_kernel_packable = VectorizedEvaluator.covers
 
 
-def evaluation_key(comparator: PlatformComparator, scenario: Scenario) -> Hashable:
-    """Cache key of one assessment: ``(device pair, suite, scenario)``."""
-    return (comparator_key(comparator), scenario_key(scenario))
+# ----------------------------------------------------------------------
+# Suite memoisation (thread-safe)
+# ----------------------------------------------------------------------
 
-
-@functools.lru_cache(maxsize=256)
-def _suite_from_parameters(params: Parameters) -> ModelSuite:
-    return params.build_suite()
+_SUITE_CACHE: dict[Parameters, ModelSuite] = {}
+_SUITE_LOCK = threading.Lock()
+_SUITE_CACHE_MAX = 256
 
 
 def build_suite_cached(params: Parameters) -> ModelSuite:
-    """Memoised :meth:`Parameters.build_suite`.
+    """Memoised :meth:`Parameters.build_suite`, safe under concurrency.
 
     :class:`Parameters` is frozen and hashable, and ``build_suite`` is a
-    pure constructor, so identical parameter sets share one suite object.
-    DSE grids that revisit a configuration (or differ only in scenario)
-    skip the rebuild entirely.
+    pure constructor, so identical parameter sets share one suite
+    object.  A double-checked lock guarantees exactly one build per
+    parameter set even when many threads (or async tasks dispatched to a
+    worker pool) race on the same configuration — every caller gets the
+    *same* object, which keeps digest/key identity coherent.
     """
-    return _suite_from_parameters(params)
+    suite = _SUITE_CACHE.get(params)
+    if suite is not None:
+        return suite
+    with _SUITE_LOCK:
+        suite = _SUITE_CACHE.get(params)
+        if suite is None:
+            suite = params.build_suite()
+            while len(_SUITE_CACHE) >= _SUITE_CACHE_MAX:
+                _SUITE_CACHE.pop(next(iter(_SUITE_CACHE)))
+            _SUITE_CACHE[params] = suite
+    return suite
 
 
 def _compare_chunk(
@@ -101,32 +121,38 @@ def _compare_chunk(
 
 
 class EvaluationEngine:
-    """Batch evaluator with caching and opt-in parallelism.
+    """Batch evaluator with a sharded array cache and opt-in parallelism.
 
-    One engine instance is meant to be shared across analyses: the cache
+    One engine instance is meant to be shared across analyses: the store
     then spans sweeps, heatmap panels, DSE grids and Monte-Carlo draws
     alike.  A module-level default (:func:`default_engine`) backs every
     analysis entry point unless the caller injects their own.
 
     Args:
-        cache_size: LRU bound on stored :class:`ComparisonResult` objects
+        cache_size: Total entry bound of the sharded result store
             (``0`` disables caching).
         workers: ``None`` or ``1`` evaluates in-process; ``N > 1`` farms
-            cache misses out to a :class:`ProcessPoolExecutor` of ``N``
-            processes.  Results are identical either way.
+            scalar cache misses out to a :class:`ProcessPoolExecutor` of
+            ``N`` processes.  Results are identical either way.
         chunk_size: Pairs per parallel task; tune upward for very cheap
             models to keep pickling overhead negligible.
         vectorize: Route same-comparator cache-miss batches through the
             NumPy kernel (:class:`VectorizedEvaluator`).  Results stay
             bit-identical to the scalar path — the kernel mirrors its
-            operation order exactly — and still populate the LRU cache,
-            so scalar and vector callers share warmth.  ``False``
-            restores the pure scalar path everywhere (including the
-            ``*_batch`` APIs, which then columnise scalar results).
+            operation order exactly — and still populate the store, so
+            scalar and vector callers share warmth.  ``False`` restores
+            the pure scalar path everywhere (including the ``*_batch``
+            APIs, which then columnise scalar results).
         min_vector_batch: Smallest same-comparator miss group sent to
             the kernel; smaller groups (and scenarios the kernel doesn't
             cover, e.g. heterogeneous per-application lifetimes) take
             the scalar path per pair.
+        cache_shards: Hash shards of the result store (the digest's low
+            word routes each entry).
+        cache_file: Optional ``.npz`` path; when it exists its entries
+            are loaded at construction, and :meth:`save_cache` with no
+            argument writes back to it — cache warmth then survives
+            across processes and CLI runs.
     """
 
     def __init__(
@@ -136,6 +162,8 @@ class EvaluationEngine:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         vectorize: bool = True,
         min_vector_batch: int = MIN_VECTOR_BATCH,
+        cache_shards: int = DEFAULT_CACHE_SHARDS,
+        cache_file: "str | Path | None" = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
@@ -150,8 +178,13 @@ class EvaluationEngine:
         self.vectorize = vectorize
         self.min_vector_batch = min_vector_batch
         self._vector = VectorizedEvaluator()
-        self._cache = LruCache(maxsize=cache_size)
+        self._store = ShardedResultStore(capacity=cache_size, shards=cache_shards)
         self._pool: ProcessPoolExecutor | None = None
+        self._computed_lock = threading.Lock()
+        self._rows_computed = 0
+        self.cache_file = Path(cache_file) if cache_file is not None else None
+        if self.cache_file is not None and self.cache_file.exists():
+            self._store.load(self.cache_file)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -159,12 +192,45 @@ class EvaluationEngine:
 
     @property
     def cache_stats(self) -> CacheStats:
-        """Hit/miss/size counters of the result cache."""
-        return self._cache.stats()
+        """Hit/miss/size counters of the result store."""
+        return self._store.stats()
+
+    @property
+    def result_store(self) -> ShardedResultStore:
+        """The engine's sharded result store (for persistence/inspection)."""
+        return self._store
+
+    @property
+    def rows_computed(self) -> int:
+        """Kernel/scalar assessments actually computed (deduplicated).
+
+        Cache hits and in-batch duplicates never increment this — it is
+        the ground truth for "concurrent clients never recompute a
+        cell" assertions in the serving tests.
+        """
+        with self._computed_lock:
+            return self._rows_computed
+
+    def _note_computed(self, count: int) -> None:
+        with self._computed_lock:
+            self._rows_computed += count
 
     def clear_cache(self) -> None:
         """Drop cached results and reset counters."""
-        self._cache.clear()
+        self._store.clear()
+
+    def save_cache(self, path: "str | Path | None" = None) -> Path:
+        """Persist the result store to ``path`` (default: ``cache_file``)."""
+        target = Path(path) if path is not None else self.cache_file
+        if target is None:
+            raise ParameterError(
+                "no cache file configured; pass a path or set cache_file"
+            )
+        return self._store.save(target)
+
+    def load_cache(self, path: "str | Path") -> int:
+        """Merge a persisted store into this engine; returns entries read."""
+        return self._store.load(path)
 
     def close(self) -> None:
         """Shut down the worker pool (if one was started)."""
@@ -187,13 +253,13 @@ class EvaluationEngine:
         return build_suite_cached(params)
 
     # ------------------------------------------------------------------
-    # Evaluation
+    # Evaluation (object path, lazy materialisation)
     # ------------------------------------------------------------------
 
     def evaluate(
         self, comparator: PlatformComparator, scenario: Scenario
     ) -> ComparisonResult:
-        """Assess one pair through the cache."""
+        """Assess one pair through the store."""
         return self.evaluate_pairs(((comparator, scenario),))[0]
 
     def evaluate_many(
@@ -207,78 +273,134 @@ class EvaluationEngine:
     ) -> tuple[ComparisonResult, ...]:
         """Assess many (comparator, scenario) pairs, preserving order.
 
-        Duplicate pairs within the batch are assessed once; pairs seen by
-        earlier calls are served from the LRU cache.  Misses run either
-        in-process or on the worker pool, then populate the cache.
+        Duplicate pairs within the batch are assessed once; pairs seen
+        by earlier calls are served from the sharded store, with the
+        :class:`ComparisonResult` materialised lazily from the packed
+        columns (bit-identical to the originally computed object).
+        Misses run in-process, on the worker pool, or through the vector
+        kernel, then populate the store.
         """
         pair_list = list(pairs)
-        keys = [evaluation_key(c, s) for c, s in pair_list]
+        if not pair_list:
+            return ()
+        digests = [pair_digest(c, s) for c, s in pair_list]
 
-        results: dict[Hashable, ComparisonResult] = {}
-        misses: list[tuple[Hashable, PlatformComparator, Scenario]] = []
-        for key, (comparator, scenario) in zip(keys, pair_list):
-            if key in results:
-                continue
-            cached = self._cache.get(key, None)
-            if cached is not None:
-                results[key] = cached
+        unique: dict[tuple[int, int], tuple[PlatformComparator, Scenario]] = {}
+        for digest, pair in zip(digests, pair_list):
+            unique.setdefault(digest, pair)
+
+        results: dict[tuple[int, int], ComparisonResult] = {}
+        misses: list[tuple[tuple[int, int], PlatformComparator, Scenario]] = []
+        packable: list[tuple[int, int]] = []
+        for digest, (comparator, scenario) in unique.items():
+            if _kernel_packable(scenario):
+                packable.append(digest)
             else:
-                results[key] = None  # placeholder keeps dedup within batch
-                misses.append((key, comparator, scenario))
+                cached = self._store.get_object(digest)
+                if cached is not None:
+                    results[digest] = cached
+                else:
+                    misses.append((digest, comparator, scenario))
+        if packable:
+            lo = np.fromiter(
+                (d[0] for d in packable), dtype=np.uint64, count=len(packable)
+            )
+            hi = np.fromiter(
+                (d[1] for d in packable), dtype=np.uint64, count=len(packable)
+            )
+            hits, floats, ints = self._store.get_batch(lo, hi)
+            for j, digest in enumerate(packable):
+                comparator, scenario = unique[digest]
+                if hits[j]:
+                    results[digest] = materialise_comparison(
+                        floats[j], ints[j], scenario
+                    )
+                else:
+                    misses.append((digest, comparator, scenario))
 
         if misses:
             if self.vectorize:
                 misses = self._vector_compute(misses, results)
             if misses:
                 computed = self._compute([(c, s) for _, c, s in misses])
-                for (key, _, _), result in zip(misses, computed):
-                    results[key] = result
-                    self._cache.put(key, result)
+                self._note_computed(len(computed))
+                pack_lo: list[int] = []
+                pack_hi: list[int] = []
+                pack_f: list[np.ndarray] = []
+                pack_i: list[np.ndarray] = []
+                for (digest, comparator, _), result in zip(misses, computed):
+                    results[digest] = result
+                    packed = pack_comparison(result, comparator)
+                    if packed is None:
+                        self._store.put_object(digest, result)
+                    else:
+                        pack_lo.append(digest[0])
+                        pack_hi.append(digest[1])
+                        pack_f.append(packed[0])
+                        pack_i.append(packed[1])
+                if pack_lo:
+                    self._store.put_batch(
+                        np.array(pack_lo, dtype=np.uint64),
+                        np.array(pack_hi, dtype=np.uint64),
+                        np.array(pack_f),
+                        np.array(pack_i),
+                    )
 
         ordered: list[ComparisonResult] = []
-        for key, (_, scenario) in zip(keys, pair_list):
-            result = results[key]
+        for digest, (_, scenario) in zip(digests, pair_list):
+            result = results[digest]
             if result.scenario != scenario:
-                # The key normalises equivalent scenario spellings (scalar
-                # vs per-application lifetimes), but callers must get back
-                # the exact scenario they passed in.
+                # The digest normalises equivalent scenario spellings
+                # (scalar vs per-application lifetimes), but callers must
+                # get back the exact scenario they passed in.
                 result = dataclasses.replace(result, scenario=scenario)
             ordered.append(result)
         return tuple(ordered)
 
     def _vector_compute(
         self,
-        misses: list[tuple[Hashable, PlatformComparator, Scenario]],
-        results: dict[Hashable, ComparisonResult],
-    ) -> list[tuple[Hashable, PlatformComparator, Scenario]]:
+        misses: list[tuple[tuple[int, int], PlatformComparator, Scenario]],
+        results: dict[tuple[int, int], ComparisonResult],
+    ) -> list[tuple[tuple[int, int], PlatformComparator, Scenario]]:
         """Serve miss groups through the vector kernel; return the rest.
 
         Misses are grouped by comparator identity; groups of at least
         ``min_vector_batch`` kernel-covered scenarios are evaluated as
-        one batch, materialised into :class:`ComparisonResult` objects,
-        and inserted into the cache exactly like scalar results.  The
-        remainder (small groups, uncovered scenarios) is returned for
-        the scalar/parallel path, preserving batch order.
+        one batch, packed into the store as column rows, and
+        materialised into :class:`ComparisonResult` objects for the
+        caller.  The remainder (small groups, uncovered scenarios) is
+        returned for the scalar/parallel path, preserving batch order.
         """
-        groups: dict[Hashable, list[int]] = {}
+        groups: dict[tuple[int, int], list[int]] = {}
         for index, (_, comparator, _) in enumerate(misses):
-            groups.setdefault(comparator_key(comparator), []).append(index)
+            groups.setdefault(comparator_digest(comparator), []).append(index)
 
         handled: set[int] = set()
         for indices in groups.values():
-            covered = [
-                i for i in indices if self._vector.covers(misses[i][2])
-            ]
+            covered = [i for i in indices if self._vector.covers(misses[i][2])]
             if len(covered) < self.min_vector_batch:
                 continue
             comparator = misses[covered[0]][1]
             scenarios = [misses[i][2] for i in covered]
             batch = self._vector.evaluate_batch(comparator, scenarios)
+            self._note_computed(len(covered))
+            rows = np.arange(len(covered))
+            floats, ints = pack_batch_rows(batch, rows)
+            self._store.put_batch(
+                np.fromiter(
+                    (misses[i][0][0] for i in covered),
+                    dtype=np.uint64, count=len(covered),
+                ),
+                np.fromiter(
+                    (misses[i][0][1] for i in covered),
+                    dtype=np.uint64, count=len(covered),
+                ),
+                floats,
+                ints,
+            )
             for row, i in enumerate(covered):
-                key, _, scenario = misses[i]
-                result = batch.comparison(row, scenario)
-                results[key] = result
-                self._cache.put(key, result)
+                digest, _, scenario = misses[i]
+                results[digest] = batch.comparison(row, scenario)
                 handled.add(i)
         if not handled:
             return misses
@@ -295,23 +417,154 @@ class EvaluationEngine:
     ) -> BatchResult:
         """Assess one comparator over a batch, staying in array-land.
 
-        The vector kernel computes ratios, winners, totals and component
-        breakdowns as arrays without materialising per-row
-        :class:`ComparisonResult` objects (use :meth:`evaluate_many` when
-        those are wanted).  With ``vectorize=False`` the scalar path runs
-        instead and its results are columnised, so callers see one API
-        either way.
+        Cache hits are answered with a vectorised gather from the
+        sharded store — no ``Scenario`` or :class:`ComparisonResult`
+        objects exist anywhere on a warm path — and misses run through
+        the vector kernel (deduplicated by digest within the batch),
+        then populate the store, so batch and object callers share
+        warmth in both directions.  With ``vectorize=False`` the scalar
+        path runs instead and its results are columnised, so callers see
+        one API either way.
         """
-        if self.vectorize:
-            return self._vector.evaluate_batch(comparator, scenarios)
-        if isinstance(scenarios, ScenarioBatch):
-            scenario_list = [
-                scenarios.scenario_at(i) for i in range(scenarios.size)
-            ]
-        else:
-            scenario_list = list(scenarios)
-        return BatchResult.from_results(
-            self.evaluate_many(comparator, scenario_list), comparator
+        if not self.vectorize:
+            if isinstance(scenarios, ScenarioBatch):
+                scenario_list = [
+                    scenarios.scenario_at(i) for i in range(scenarios.size)
+                ]
+            else:
+                scenario_list = list(scenarios)
+            return BatchResult.from_results(
+                self.evaluate_many(comparator, scenario_list), comparator
+            )
+        batch = (
+            scenarios
+            if isinstance(scenarios, ScenarioBatch)
+            else ScenarioBatch.from_scenarios(tuple(scenarios))
+        )
+        if self._store.capacity == 0:
+            self._note_computed(batch.size)
+            return self._vector.evaluate_batch(comparator, batch)
+
+        lo, hi = batch_digests(comparator, batch)
+        n = batch.size
+        hits = np.zeros(n, dtype=bool)
+        floats = np.empty((n, FLOAT_COLS), dtype=np.float64)
+        ints = np.empty((n, INT_COLS), dtype=np.int64)
+
+        covered_idx = np.nonzero(batch.covered)[0]
+        if covered_idx.size:
+            c_hits, c_floats, c_ints = self._store.get_batch(
+                lo[covered_idx], hi[covered_idx]
+            )
+            hit_rows = covered_idx[c_hits]
+            hits[hit_rows] = True
+            floats[hit_rows] = c_floats[c_hits]
+            ints[hit_rows] = c_ints[c_hits]
+        object_hits: dict[int, ComparisonResult] = {}
+        for i in np.nonzero(~batch.covered)[0]:
+            cached = self._store.get_object((int(lo[i]), int(hi[i])))
+            if cached is not None:
+                object_hits[int(i)] = cached
+                hits[i] = True
+                row_f, row_i = pack_fallback_row(cached)
+                floats[i] = row_f
+                ints[i] = row_i
+
+        miss_idx = np.nonzero(~hits)[0]
+        fallback: dict[int, ComparisonResult] = dict(object_hits)
+        if miss_idx.size:
+            packed = np.empty(
+                miss_idx.size, dtype=[("lo", np.uint64), ("hi", np.uint64)]
+            )
+            packed["lo"] = lo[miss_idx]
+            packed["hi"] = hi[miss_idx]
+            _, first, inverse = np.unique(
+                packed, return_index=True, return_inverse=True
+            )
+            unique_rows = miss_idx[first]
+            computed = self._vector.evaluate_batch(
+                comparator, batch.take(unique_rows)
+            )
+            self._note_computed(int(unique_rows.size))
+            comp_f, comp_i = pack_batch_rows(
+                computed, np.arange(unique_rows.size)
+            )
+            store_rows = np.array(
+                [r for r in range(unique_rows.size) if r not in computed.fallback],
+                dtype=np.int64,
+            )
+            if store_rows.size:
+                self._store.put_batch(
+                    lo[unique_rows[store_rows]],
+                    hi[unique_rows[store_rows]],
+                    comp_f[store_rows],
+                    comp_i[store_rows],
+                )
+            for r, comparison in computed.fallback.items():
+                key = (int(lo[unique_rows[r]]), int(hi[unique_rows[r]]))
+                self._store.put_object(key, comparison)
+            floats[miss_idx] = comp_f[inverse]
+            ints[miss_idx] = comp_i[inverse]
+            for j, m in enumerate(miss_idx):
+                u = int(inverse[j])
+                if u in computed.fallback:
+                    fallback[int(m)] = computed.fallback[u]
+
+        return self._assemble_batch(batch, floats, ints, fallback)
+
+    @staticmethod
+    def _assemble_batch(
+        batch: ScenarioBatch,
+        floats: np.ndarray,
+        ints: np.ndarray,
+        fallback: dict[int, ComparisonResult],
+    ) -> BatchResult:
+        """Build a :class:`BatchResult` over gathered/scattered columns.
+
+        Ratios and winners are recomputed from the stored totals with
+        the same kernels the vector path uses, so they are bit-identical
+        to a fresh evaluation.
+        """
+        from repro.engine.store import (
+            _COMPONENTS,
+            _FT_APP_COMP,
+            _FT_ASIC_COMP,
+            _FT_ASIC_PC,
+            _FT_ASIC_TOTAL,
+            _FT_FPGA_COMP,
+            _FT_FPGA_PC,
+            _FT_FPGA_TOTAL,
+            _IT_ASIC_GEN,
+            _IT_FPGA_GEN,
+            _IT_N_FPGA,
+        )
+
+        fpga_totals = np.ascontiguousarray(floats[:, _FT_FPGA_TOTAL])
+        asic_totals = np.ascontiguousarray(floats[:, _FT_ASIC_TOTAL])
+        return BatchResult(
+            ratios=ratio_kernel(fpga_totals, asic_totals),
+            winners=winner_kernel(fpga_totals, asic_totals),
+            fpga_totals=fpga_totals,
+            asic_totals=asic_totals,
+            fpga_components={
+                name: floats[:, _FT_FPGA_COMP + j]
+                for j, name in enumerate(_COMPONENTS)
+            },
+            asic_components={
+                name: floats[:, _FT_ASIC_COMP + j]
+                for j, name in enumerate(_COMPONENTS)
+            },
+            fpga_per_chip_embodied_kg=floats[:, _FT_FPGA_PC],
+            asic_per_chip_embodied_kg=floats[:, _FT_ASIC_PC],
+            n_fpga=ints[:, _IT_N_FPGA],
+            fpga_generations=ints[:, _IT_FPGA_GEN],
+            asic_generations=ints[:, _IT_ASIC_GEN],
+            num_apps=batch.num_apps.copy(),
+            asic_app_components={
+                name: floats[:, _FT_APP_COMP + j]
+                for j, name in enumerate(_COMPONENTS)
+            },
+            fallback=fallback,
         )
 
     def evaluate_pairs_batch(
@@ -319,13 +572,17 @@ class EvaluationEngine:
     ) -> BatchResult:
         """Assess many (comparator, scenario) pairs, staying in array-land.
 
-        Every row may carry its own suite (Monte-Carlo draws, DSE grids);
-        the kernel extracts model parameters into columns and vectorises
-        the sub-models themselves.  Parity with the scalar path is
+        Every row may carry its own suite (Monte-Carlo draws, DSE
+        grids); the kernel extracts model parameters into columns and
+        vectorises the sub-models themselves.  Rows bypass the result
+        store — per-draw suites never repeat, so digesting them would
+        cost more than it saves.  Parity with the scalar path is
         ``rtol <= 1e-12``.
         """
         if self.vectorize:
-            return self._vector.evaluate_pairs_batch(pairs)
+            pair_list = list(pairs)
+            self._note_computed(len(pair_list))
+            return self._vector.evaluate_pairs_batch(pair_list)
         pair_list = list(pairs)
         return BatchResult.from_results(
             self.evaluate_pairs(pair_list), [c for c, _ in pair_list]
@@ -367,9 +624,10 @@ _DEFAULT_ENGINE_LOCK = threading.Lock()
 def default_engine() -> EvaluationEngine:
     """The process-wide engine backing analysis calls with no injection.
 
-    Created lazily; its worker pool (if any) is shut down by an
-    ``atexit`` hook so a lazily-started :class:`ProcessPoolExecutor`
-    never leaks at interpreter exit.
+    Created lazily under a lock (safe to race from threads/tasks — every
+    caller observes the same instance); its worker pool (if any) is shut
+    down by an ``atexit`` hook so a lazily-started
+    :class:`ProcessPoolExecutor` never leaks at interpreter exit.
     """
     global _DEFAULT_ENGINE
     with _DEFAULT_ENGINE_LOCK:
@@ -396,9 +654,11 @@ def configure_default_engine(**kwargs: object) -> EvaluationEngine:
     """Replace the shared default engine with a freshly configured one.
 
     Accepts :class:`EvaluationEngine` constructor arguments (``workers``,
-    ``vectorize``, ``cache_size``, ...).  The previous default (and its
-    worker pool) is closed.  Returns the new default so callers can keep
-    a handle — the CLI uses this for ``--workers`` / ``--no-vectorize``.
+    ``vectorize``, ``cache_size``, ``cache_shards``, ``cache_file``,
+    ...).  The previous default (and its worker pool) is closed.
+    Returns the new default so callers can keep a handle — the CLI uses
+    this for ``--workers`` / ``--no-vectorize`` / ``--cache-shards`` /
+    ``--cache-file``.
     """
     global _DEFAULT_ENGINE
     engine = EvaluationEngine(**kwargs)  # type: ignore[arg-type]

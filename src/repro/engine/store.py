@@ -1,0 +1,698 @@
+"""Array-backed sharded result store for the evaluation engine.
+
+The PR-1 LRU cached one :class:`~repro.core.comparison.ComparisonResult`
+dataclass graph per (device pair, suite, scenario) key.  After the PR-2
+vector kernel, that design inverted the hot path: a *warm* 10k-cell
+heatmap spent 35x longer materialising and looking up dataclasses than a
+*cold* kernel run spent computing the answers.  This module stores
+results the way the kernel produces them — packed NumPy column blocks —
+behind hash-sharded, capacity-bounded stores:
+
+* **Digest keys.**  Every assessment is keyed by a 128-bit digest of
+  ``(device pair, suite, scenario)``.  The comparator part is a BLAKE2b
+  hash of the pickled identity (stable across processes — unlike
+  ``hash()``, which is salted per run), memoised per comparator; the
+  scenario part is a splitmix-style fold over the scenario columns that
+  is computed *vectorised* for whole :class:`ScenarioBatch` rows and
+  reproduced bit-for-bit by the scalar fold for single scenarios.
+* **Sharded column blocks.**  Digests route to ``lo mod n_shards``;
+  each shard keeps parallel arrays (digests, float columns, int
+  columns, recency ticks) plus a slot index.  Batch lookups gather hits
+  with one fancy-indexing pass per shard — no per-cell objects — and
+  batch inserts evict the oldest slots in blocks when a shard fills.
+* **Lazy materialisation.**  The column layout carries everything a
+  :class:`ComparisonResult` needs (totals, per-component breakdowns,
+  per-application ASIC columns, chip counts/generations), so object
+  callers get bit-identical dataclasses rebuilt on demand while batch
+  callers never leave array-land.
+* **Persistence.**  :meth:`ShardedResultStore.save` /
+  :meth:`ShardedResultStore.load` round-trip the packed shards through
+  one ``.npz`` file, so cache warmth survives across processes and CLI
+  runs (loading re-shards, so the shard count may differ between the
+  saving and loading process).
+
+Scenarios with heterogeneous per-application lifetimes cannot be packed
+into uniform columns; those few results live in a bounded object
+side-cache (and are not persisted).
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import pickle
+import struct
+import threading
+from pathlib import Path
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.asic_model import AsicAssessment
+from repro.core.comparison import ComparisonResult, PlatformComparator
+from repro.core.fpga_model import FpgaAssessment
+from repro.core.lifecycle import CarbonFootprint
+from repro.core.scenario import Scenario
+from repro.engine.cache import CacheStats, LruCache
+from repro.engine.vector import BatchResult, ScenarioBatch, VectorizedEvaluator
+from repro.engine.vector.kernels import chip_generations
+from repro.errors import ParameterError
+
+# ----------------------------------------------------------------------
+# Canonical keys (moved here from engine.py so digests and tuple keys
+# share one definition; engine.py re-exports them).
+# ----------------------------------------------------------------------
+
+
+def scenario_key(scenario: Scenario) -> Hashable:
+    """Canonical hashable identity of a scenario.
+
+    Uses the normalised ``lifetimes`` tuple rather than the raw
+    ``app_lifetime_years`` field so that scalar and per-application
+    spellings of the same deployment hash identically (and so that
+    list-valued lifetimes do not break hashing).
+    """
+    return (
+        scenario.num_apps,
+        scenario.lifetimes,
+        scenario.volume,
+        scenario.evaluation_years,
+        scenario.app_size_mgates,
+        scenario.enforce_chip_lifetime,
+    )
+
+
+def comparator_key(comparator: PlatformComparator) -> Hashable:
+    """Canonical hashable identity of a device pair + suite."""
+    return (comparator.fpga_device, comparator.asic_device, comparator.suite)
+
+
+def evaluation_key(comparator: PlatformComparator, scenario: Scenario) -> Hashable:
+    """Cache key of one assessment: ``(device pair, suite, scenario)``."""
+    return (comparator_key(comparator), scenario_key(scenario))
+
+
+# ----------------------------------------------------------------------
+# 128-bit digests: stable across processes, vectorised over batches
+# ----------------------------------------------------------------------
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_MIX_M1 = 0xFF51AFD7ED558CCD
+_MIX_M2 = 0xC4CEB9FE1A85EC53
+#: Bit pattern standing in for ``None`` in optional float columns (the
+#: canonical quiet-NaN payload both column and scalar paths normalise to).
+_NONE_BITS = 0x7FF8000000000000
+#: Fold marker preceding a fractional (non-integral) volume's float
+#: bits, so it can never alias an integral volume's int fold.
+_FRACTIONAL_VOLUME_TAG = 0x466C6F6174566F6C  # b"FloatVol"
+
+_U_M1 = np.uint64(_MIX_M1)
+_U_M2 = np.uint64(_MIX_M2)
+_U33 = np.uint64(33)
+_U29 = np.uint64(29)
+
+
+def _mix_scalar(h: int, v: int) -> int:
+    """One fold step of the scenario digest (64-bit Python-int twin)."""
+    v = (v * _MIX_M1) & _MASK64
+    v ^= v >> 33
+    v = (v * _MIX_M2) & _MASK64
+    h = (h ^ v) & _MASK64
+    h = (h * _MIX_M1) & _MASK64
+    return h ^ (h >> 29)
+
+
+def _mix_columns(h: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_mix_scalar` over uint64 columns (wrapping)."""
+    v = v * _U_M1
+    v = v ^ (v >> _U33)
+    v = v * _U_M2
+    h = h ^ v
+    h = h * _U_M1
+    return h ^ (h >> _U29)
+
+
+def _float_bits(value: float) -> int:
+    """Native-order IEEE-754 bits of ``value`` (matches ndarray views)."""
+    return struct.unpack("=Q", struct.pack("=d", value))[0]
+
+
+def _optional_bits(value: float | None) -> int:
+    return _NONE_BITS if value is None else _float_bits(value)
+
+
+def _optional_column_bits(column: np.ndarray) -> np.ndarray:
+    bits = np.ascontiguousarray(column, dtype=np.float64).view(np.uint64).copy()
+    bits[np.isnan(column)] = np.uint64(_NONE_BITS)
+    return bits
+
+
+@functools.lru_cache(maxsize=1024)
+def comparator_digest(comparator: PlatformComparator) -> tuple[int, int]:
+    """Stable ``(lo, hi)`` seed pair for one device pair + suite.
+
+    BLAKE2b over the pickled :func:`comparator_key`, so the digest is
+    identical across processes (``hash()`` is salted per run and cannot
+    key a persisted cache).  Memoised — heatmap/sweep batches pay this
+    once per comparator, not per cell.
+    """
+    payload = pickle.dumps(comparator_key(comparator), protocol=4)
+    raw = hashlib.blake2b(payload, digest_size=16).digest()
+    return (
+        int.from_bytes(raw[:8], "little"),
+        int.from_bytes(raw[8:], "little"),
+    )
+
+
+def pair_digest(comparator: PlatformComparator, scenario: Scenario) -> tuple[int, int]:
+    """128-bit digest of one assessment, as ``(lo, hi)`` Python ints.
+
+    Folds the normalised scenario fields over the comparator seeds in
+    the same order :func:`batch_digests` folds the batch columns, so a
+    uniform-lifetime scenario digests identically either way (and scalar
+    vs per-application lifetime spellings collide on purpose, exactly
+    like :func:`scenario_key`).
+    """
+    lo, hi = comparator_digest(comparator)
+    lifetimes = scenario.lifetimes
+    uniform = all(t == lifetimes[0] for t in lifetimes)
+    values = [int(scenario.num_apps)]
+    if uniform:
+        values.append(_float_bits(lifetimes[0]))
+    else:
+        values.extend(_float_bits(t) for t in lifetimes)
+    # Scenario declares volume: int but only validates >= 1, and the
+    # scalar models evaluate a fractional volume exactly.  An integral
+    # volume folds as the same int the batch columns carry; a fractional
+    # one folds as tagged float bits, so volume=1000.2 and volume=1000.8
+    # can never share a digest (such scenarios are kernel-uncovered and
+    # digested through this fold on every path).
+    volume = scenario.volume
+    if volume == int(volume):
+        values.append(int(volume))
+    else:
+        values.append(_FRACTIONAL_VOLUME_TAG)
+        values.append(_float_bits(float(volume)))
+    values.append(_optional_bits(scenario.evaluation_years))
+    values.append(_optional_bits(scenario.app_size_mgates))
+    values.append(int(scenario.enforce_chip_lifetime))
+    for value in values:
+        lo = _mix_scalar(lo, value)
+        hi = _mix_scalar(hi, value)
+    return lo, hi
+
+
+def batch_digests(
+    comparator: PlatformComparator, batch: ScenarioBatch
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`pair_digest` over a whole scenario batch.
+
+    Covered (uniform-lifetime) rows are digested as one fold per column;
+    the rare uncovered rows fall back to the scalar fold over their
+    originating :class:`Scenario` objects so every row's digest agrees
+    with the object path bit-for-bit.
+    """
+    n = batch.size
+    seed_lo, seed_hi = comparator_digest(comparator)
+    lo = np.full(n, seed_lo, dtype=np.uint64)
+    hi = np.full(n, seed_hi, dtype=np.uint64)
+    columns = (
+        batch.num_apps.astype(np.uint64),
+        np.ascontiguousarray(batch.lifetime, dtype=np.float64).view(np.uint64),
+        batch.volume.astype(np.uint64),
+        _optional_column_bits(batch.evaluation_years),
+        _optional_column_bits(batch.app_size_mgates),
+        batch.enforce_chip_lifetime.astype(np.uint64),
+    )
+    for column in columns:
+        lo = _mix_columns(lo, column)
+        hi = _mix_columns(hi, column)
+    if not batch.all_covered:
+        if batch.scenarios is None:  # pragma: no cover - defensive
+            raise ParameterError("uncovered batch rows need Scenario objects")
+        for i in np.nonzero(~batch.covered)[0]:
+            row_lo, row_hi = pair_digest(comparator, batch.scenarios[int(i)])
+            lo[i] = row_lo
+            hi[i] = row_hi
+    return lo, hi
+
+
+# ----------------------------------------------------------------------
+# Packed column layout
+# ----------------------------------------------------------------------
+
+_COMPONENTS = CarbonFootprint.COMPONENTS  # 6 names, canonical order
+
+#: Float columns per entry: totals, both component breakdowns, the
+#: per-application ASIC components, and the per-chip embodied figures.
+FLOAT_COLS = 22
+_FT_FPGA_TOTAL = 0
+_FT_ASIC_TOTAL = 1
+_FT_FPGA_COMP = 2  # .. 7
+_FT_ASIC_COMP = 8  # .. 13
+_FT_APP_COMP = 14  # .. 19
+_FT_FPGA_PC = 20
+_FT_ASIC_PC = 21
+
+#: Int columns per entry.
+INT_COLS = 4
+_IT_N_FPGA = 0
+_IT_FPGA_GEN = 1
+_IT_ASIC_GEN = 2
+_IT_NUM_APPS = 3
+
+#: Bump when the column layout changes; persisted files carry it.
+STORE_FORMAT_VERSION = 1
+
+
+def pack_batch_rows(
+    result: BatchResult, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Column blocks for ``rows`` of a kernel-produced :class:`BatchResult`.
+
+    Callers must exclude fallback rows (they have no per-application
+    component columns) — the engine only packs covered rows.
+    """
+    floats = np.empty((rows.size, FLOAT_COLS), dtype=np.float64)
+    ints = np.empty((rows.size, INT_COLS), dtype=np.int64)
+    floats[:, _FT_FPGA_TOTAL] = result.fpga_totals[rows]
+    floats[:, _FT_ASIC_TOTAL] = result.asic_totals[rows]
+    for j, name in enumerate(_COMPONENTS):
+        floats[:, _FT_FPGA_COMP + j] = result.fpga_components[name][rows]
+        floats[:, _FT_ASIC_COMP + j] = result.asic_components[name][rows]
+        floats[:, _FT_APP_COMP + j] = result.asic_app_components[name][rows]
+    floats[:, _FT_FPGA_PC] = result.fpga_per_chip_embodied_kg[rows]
+    floats[:, _FT_ASIC_PC] = result.asic_per_chip_embodied_kg[rows]
+    ints[:, _IT_N_FPGA] = result.n_fpga[rows]
+    ints[:, _IT_FPGA_GEN] = result.fpga_generations[rows]
+    ints[:, _IT_ASIC_GEN] = result.asic_generations[rows]
+    ints[:, _IT_NUM_APPS] = result.num_apps[rows]
+    return floats, ints
+
+
+def pack_comparison(
+    result: ComparisonResult, comparator: PlatformComparator
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """One packed row for a scalar-path result, or ``None`` if unpackable.
+
+    Unpackable results — kernel-uncovered scenarios (heterogeneous
+    lifetimes, fractional volume), heterogeneous per-application
+    footprints, or no applications at all — belong in the object
+    side-cache instead.
+    """
+    apps = result.asic.per_application
+    if not apps or not VectorizedEvaluator.covers(result.scenario):
+        return None
+    first = apps[0]
+    if any(app != first for app in apps[1:]):
+        return None
+    floats = np.empty(FLOAT_COLS, dtype=np.float64)
+    ints = np.empty(INT_COLS, dtype=np.int64)
+    floats[_FT_FPGA_TOTAL] = result.fpga.footprint.total
+    floats[_FT_ASIC_TOTAL] = result.asic.footprint.total
+    for j, name in enumerate(_COMPONENTS):
+        floats[_FT_FPGA_COMP + j] = getattr(result.fpga.footprint, name)
+        floats[_FT_ASIC_COMP + j] = getattr(result.asic.footprint, name)
+        floats[_FT_APP_COMP + j] = getattr(first, name)
+    floats[_FT_FPGA_PC] = result.fpga.per_chip_embodied_kg
+    floats[_FT_ASIC_PC] = result.asic.per_chip_embodied_kg
+    ints[_IT_N_FPGA] = result.fpga.n_fpga_per_unit
+    ints[_IT_FPGA_GEN] = result.fpga.generations
+    ints[_IT_ASIC_GEN] = chip_generations(
+        result.scenario.lifetimes[0],
+        comparator.asic_device.chip_lifetime_years,
+    )
+    ints[_IT_NUM_APPS] = result.scenario.num_apps
+    return floats, ints
+
+
+def pack_fallback_row(result: ComparisonResult) -> tuple[np.ndarray, np.ndarray]:
+    """Column row for an *unpackable* result, for batch-array scatter.
+
+    Mirrors what :func:`repro.engine.vector.evaluator._patch_fallback_rows`
+    writes into a batch's arrays for scalar-fallback rows: totals,
+    components and chip counts are exact, per-application components are
+    zero and ``asic_generations`` is 0 (undefined for ragged lifetimes).
+    Materialisation of such rows is served from the fallback object, so
+    the zero columns are never read back as results.
+    """
+    floats = np.zeros(FLOAT_COLS, dtype=np.float64)
+    ints = np.zeros(INT_COLS, dtype=np.int64)
+    floats[_FT_FPGA_TOTAL] = result.fpga.footprint.total
+    floats[_FT_ASIC_TOTAL] = result.asic.footprint.total
+    for j, name in enumerate(_COMPONENTS):
+        floats[_FT_FPGA_COMP + j] = getattr(result.fpga.footprint, name)
+        floats[_FT_ASIC_COMP + j] = getattr(result.asic.footprint, name)
+    floats[_FT_FPGA_PC] = result.fpga.per_chip_embodied_kg
+    floats[_FT_ASIC_PC] = result.asic.per_chip_embodied_kg
+    ints[_IT_N_FPGA] = result.fpga.n_fpga_per_unit
+    ints[_IT_FPGA_GEN] = result.fpga.generations
+    ints[_IT_NUM_APPS] = result.scenario.num_apps
+    return floats, ints
+
+
+def materialise_comparison(
+    floats: np.ndarray, ints: np.ndarray, scenario: Scenario
+) -> ComparisonResult:
+    """Rebuild a full :class:`ComparisonResult` from one packed row.
+
+    The lazy half of the store contract: batch callers never pay for
+    this, object callers get dataclasses indistinguishable from the
+    scalar path's (the components are stored exactly, and ``total`` /
+    ``ratio`` are derived properties).
+    """
+    fpga = FpgaAssessment(
+        footprint=CarbonFootprint(
+            **{
+                name: float(floats[_FT_FPGA_COMP + j])
+                for j, name in enumerate(_COMPONENTS)
+            }
+        ),
+        per_chip_embodied_kg=float(floats[_FT_FPGA_PC]),
+        n_fpga_per_unit=int(ints[_IT_N_FPGA]),
+        generations=int(ints[_IT_FPGA_GEN]),
+    )
+    app_footprint = CarbonFootprint(
+        **{
+            name: float(floats[_FT_APP_COMP + j])
+            for j, name in enumerate(_COMPONENTS)
+        }
+    )
+    asic = AsicAssessment(
+        footprint=CarbonFootprint(
+            **{
+                name: float(floats[_FT_ASIC_COMP + j])
+                for j, name in enumerate(_COMPONENTS)
+            }
+        ),
+        per_chip_embodied_kg=float(floats[_FT_ASIC_PC]),
+        per_application=(app_footprint,) * int(ints[_IT_NUM_APPS]),
+    )
+    return ComparisonResult(scenario=scenario, fpga=fpga, asic=asic)
+
+
+# ----------------------------------------------------------------------
+# Shards
+# ----------------------------------------------------------------------
+
+
+class _Shard:
+    """One hash shard: parallel arrays plus a digest -> slot index.
+
+    Not thread-safe on its own — the owning store serialises access.
+    The index is keyed on the low digest word only; the high word is
+    verified vectorised at lookup, so a (astronomically unlikely) low
+    collision degrades to a miss/overwrite, never a wrong answer.
+    """
+
+    __slots__ = ("capacity", "lo", "hi", "floats", "ints", "tick", "index", "free")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.lo = np.zeros(capacity, dtype=np.uint64)
+        self.hi = np.zeros(capacity, dtype=np.uint64)
+        self.floats = np.empty((capacity, FLOAT_COLS), dtype=np.float64)
+        self.ints = np.empty((capacity, INT_COLS), dtype=np.int64)
+        self.tick = np.zeros(capacity, dtype=np.int64)
+        self.index: dict[int, int] = {}
+        self.free: list[int] = list(range(capacity - 1, -1, -1))
+
+    def lookup(self, lo: np.ndarray, hi: np.ndarray, clock: int) -> np.ndarray:
+        """Slot per query row (``-1`` for a miss), refreshing recency."""
+        get = self.index.get
+        slots = np.fromiter(
+            (get(key, -1) for key in lo.tolist()), dtype=np.int64, count=lo.size
+        )
+        found = slots >= 0
+        if found.any():
+            hit_slots = slots[found]
+            verified = self.hi[hit_slots] == hi[found]
+            if not verified.all():
+                slots[np.nonzero(found)[0][~verified]] = -1
+                found = slots >= 0
+                hit_slots = slots[found]
+            self.tick[hit_slots] = clock
+        return slots
+
+    def insert(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        floats: np.ndarray,
+        ints: np.ndarray,
+        clock: int,
+    ) -> None:
+        """Upsert a batch of rows, evicting the oldest slots when full.
+
+        ``lo`` and ``tick`` are written eagerly per row so that a
+        mid-batch eviction (triggered when the batch overflows the free
+        list) always consults live slot metadata; the payload columns
+        are scattered vectorised afterwards.  Duplicate keys within one
+        batch share a slot and the last row wins (fancy assignment
+        writes in order), matching dict upsert semantics.
+        """
+        slots = np.empty(lo.size, dtype=np.int64)
+        index = self.index
+        for r, key in enumerate(lo.tolist()):
+            slot = index.get(key)
+            if slot is None:
+                if not self.free:
+                    self._evict_batch()
+                slot = self.free.pop()
+                index[key] = slot
+                self.lo[slot] = key
+                self.tick[slot] = clock
+            slots[r] = slot
+        self.lo[slots] = lo
+        self.hi[slots] = hi
+        self.floats[slots] = floats
+        self.ints[slots] = ints
+        self.tick[slots] = clock
+
+    def _evict_batch(self) -> None:
+        """Free the least-recently-touched ~eighth of the shard."""
+        count = max(1, self.capacity // 8)
+        oldest = np.argpartition(self.tick, count - 1)[:count]
+        for slot in oldest.tolist():
+            self.index.pop(int(self.lo[slot]), None)
+            self.free.append(slot)
+
+    def occupied_slots(self) -> np.ndarray:
+        """Slots currently holding entries, oldest first (for save)."""
+        slots = np.fromiter(self.index.values(), dtype=np.int64,
+                            count=len(self.index))
+        return slots[np.argsort(self.tick[slots], kind="stable")]
+
+
+# ----------------------------------------------------------------------
+# The sharded store
+# ----------------------------------------------------------------------
+
+
+class ShardedResultStore:
+    """N hash-sharded, array-backed result stores with one lock.
+
+    Args:
+        capacity: Total entry bound across the packed shards (``0``
+            disables storage entirely while keeping the API and miss
+            counters).  The object side-cache for unpackable
+            (ragged-lifetime / fractional-volume) results holds at most
+            an extra ``capacity // 8`` entries on top.
+        shards: Number of hash shards.  Clamped to ``capacity`` so every
+            shard holds at least one entry; the total across shards is
+            exactly ``capacity``.
+
+    Thread-safe: one lock serialises all shard access, and batch
+    lookups copy their gathered blocks before releasing it, so
+    concurrent eviction can never corrupt a caller's view.
+    """
+
+    def __init__(self, capacity: int = 4096, shards: int = 8) -> None:
+        if capacity < 0:
+            raise ParameterError(f"cache capacity must be >= 0, got {capacity}")
+        if shards < 1:
+            raise ParameterError(f"cache shards must be >= 1, got {shards}")
+        self.capacity = capacity
+        self.n_shards = min(shards, capacity) if capacity else shards
+        per = capacity // self.n_shards if capacity else 0
+        remainder = capacity - per * self.n_shards if capacity else 0
+        self._shards = [
+            _Shard(per + (1 if s < remainder else 0))
+            for s in range(self.n_shards)
+        ]
+        self._objects = LruCache(maxsize=max(1, capacity // 8) if capacity else 0)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._clock = 0
+
+    # -- batch (array) interface ---------------------------------------
+
+    def _shard_ids(self, lo: np.ndarray) -> np.ndarray:
+        return (lo % np.uint64(self.n_shards)).astype(np.int64)
+
+    def get_batch(
+        self, lo: np.ndarray, hi: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised lookup: ``(hit_mask, float_block, int_block)``.
+
+        Rows where ``hit_mask`` is False hold unspecified values in the
+        returned blocks.  Every row counts once toward hits/misses.
+        """
+        n = int(lo.size)
+        hits = np.zeros(n, dtype=bool)
+        floats = np.empty((n, FLOAT_COLS), dtype=np.float64)
+        ints = np.empty((n, INT_COLS), dtype=np.int64)
+        if self.capacity == 0 or n == 0:
+            with self._lock:
+                self._misses += n
+            return hits, floats, ints
+        with self._lock:
+            self._clock += 1
+            shard_ids = self._shard_ids(lo)
+            for s, shard in enumerate(self._shards):
+                rows = np.nonzero(shard_ids == s)[0]
+                if rows.size == 0:
+                    continue
+                slots = shard.lookup(lo[rows], hi[rows], self._clock)
+                found = slots >= 0
+                hit_rows = rows[found]
+                hits[hit_rows] = True
+                floats[hit_rows] = shard.floats[slots[found]]
+                ints[hit_rows] = shard.ints[slots[found]]
+            n_hit = int(np.count_nonzero(hits))
+            self._hits += n_hit
+            self._misses += n - n_hit
+        return hits, floats, ints
+
+    def put_batch(
+        self, lo: np.ndarray, hi: np.ndarray, floats: np.ndarray, ints: np.ndarray
+    ) -> None:
+        """Upsert a batch of packed rows (no effect when disabled)."""
+        if self.capacity == 0 or lo.size == 0:
+            return
+        with self._lock:
+            self._clock += 1
+            shard_ids = self._shard_ids(lo)
+            for s, shard in enumerate(self._shards):
+                rows = np.nonzero(shard_ids == s)[0]
+                if rows.size == 0:
+                    continue
+                shard.insert(
+                    lo[rows], hi[rows], floats[rows], ints[rows], self._clock
+                )
+
+    # -- object side-cache (unpackable results) ------------------------
+
+    def get_object(self, digest: tuple[int, int]) -> ComparisonResult | None:
+        """Lookup in the object side-cache (counts one hit or miss)."""
+        result = self._objects.get(digest)
+        with self._lock:
+            if result is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        return result
+
+    def put_object(self, digest: tuple[int, int], result: ComparisonResult) -> None:
+        """Store one unpackable result (ragged per-application data)."""
+        self._objects.put(digest, result)
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Aggregate counters across shards and the object side-cache."""
+        with self._lock:
+            size = sum(len(shard.index) for shard in self._shards)
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=size + len(self._objects),
+                maxsize=self.capacity,
+            )
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            for s, shard in enumerate(self._shards):
+                self._shards[s] = _Shard(shard.capacity)
+            self._hits = 0
+            self._misses = 0
+            self._clock = 0
+        self._objects.clear()
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: "str | Path") -> Path:
+        """Write every packed entry to one compressed ``.npz`` file.
+
+        Entries are written oldest-first so a capacity-constrained
+        :meth:`load` keeps the most recently used ones.  The object
+        side-cache (ragged scenarios) is not persisted.
+        """
+        path = Path(path)
+        with self._lock:
+            blocks_lo, blocks_hi, blocks_f, blocks_i, blocks_t = [], [], [], [], []
+            for shard in self._shards:
+                slots = shard.occupied_slots()
+                blocks_lo.append(shard.lo[slots])
+                blocks_hi.append(shard.hi[slots])
+                blocks_f.append(shard.floats[slots])
+                blocks_i.append(shard.ints[slots])
+                blocks_t.append(shard.tick[slots])
+            lo = np.concatenate(blocks_lo) if blocks_lo else np.empty(0, np.uint64)
+            hi = np.concatenate(blocks_hi) if blocks_hi else np.empty(0, np.uint64)
+            floats = (
+                np.concatenate(blocks_f)
+                if blocks_f else np.empty((0, FLOAT_COLS))
+            )
+            ints = (
+                np.concatenate(blocks_i)
+                if blocks_i else np.empty((0, INT_COLS), np.int64)
+            )
+            ticks = np.concatenate(blocks_t) if blocks_t else np.empty(0, np.int64)
+        order = np.argsort(ticks, kind="stable")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as handle:
+            np.savez_compressed(
+                handle,
+                meta=np.array(
+                    [STORE_FORMAT_VERSION, FLOAT_COLS, INT_COLS], dtype=np.int64
+                ),
+                lo=lo[order],
+                hi=hi[order],
+                floats=floats[order],
+                ints=ints[order],
+            )
+        return path
+
+    def load(self, path: "str | Path") -> int:
+        """Merge a persisted ``.npz`` shard dump into this store.
+
+        Entries are re-sharded on insert, so the saving process may have
+        used a different shard count.  Returns the number of entries
+        read; counters are untouched (loading is not a lookup).
+        """
+        with np.load(Path(path)) as data:
+            meta = data["meta"]
+            if (
+                int(meta[0]) != STORE_FORMAT_VERSION
+                or int(meta[1]) != FLOAT_COLS
+                or int(meta[2]) != INT_COLS
+            ):
+                raise ParameterError(
+                    f"incompatible cache file {path}: "
+                    f"format {meta.tolist()} != "
+                    f"{[STORE_FORMAT_VERSION, FLOAT_COLS, INT_COLS]}"
+                )
+            lo = data["lo"]
+            hi = data["hi"]
+            floats = data["floats"]
+            ints = data["ints"]
+        self.put_batch(
+            lo.astype(np.uint64),
+            hi.astype(np.uint64),
+            floats.astype(np.float64),
+            ints.astype(np.int64),
+        )
+        return int(lo.size)

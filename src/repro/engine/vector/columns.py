@@ -43,8 +43,10 @@ class ScenarioBatch:
             to the device" (``N_FPGA`` = 1).
         enforce_chip_lifetime: Fig. 9 repurchase semantics per row.
         covered: True where the kernel can evaluate the row (uniform
-            per-application lifetimes).  Heterogeneous-lifetime scenarios
-            are scalar-path territory.
+            per-application lifetimes and an integral volume — the
+            int64 volume column cannot represent the fractional volumes
+            ``Scenario`` tolerates).  Everything else is scalar-path
+            territory.
         scenarios: The originating ``Scenario`` objects when built via
             :meth:`from_scenarios` (needed for the scalar fallback);
             ``None`` for pure-array batches, which are covered by
@@ -107,7 +109,10 @@ class ScenarioBatch:
             # Multi-comparator batches (Monte-Carlo, DSE) reuse one
             # scenario object across every row — columnise it once.
             lifetimes = first.lifetimes
-            uniform = all(t == lifetimes[0] for t in lifetimes)
+            uniform = (
+                all(t == lifetimes[0] for t in lifetimes)
+                and first.volume == int(first.volume)
+            )
             return cls(
                 num_apps=np.full(n, first.num_apps, dtype=np.int64),
                 volume=np.full(n, first.volume, dtype=np.int64),
@@ -142,7 +147,10 @@ class ScenarioBatch:
             evaluation[i] = np.nan if s.evaluation_years is None else s.evaluation_years
             app_size[i] = np.nan if s.app_size_mgates is None else s.app_size_mgates
             enforce[i] = s.enforce_chip_lifetime
-            covered[i] = all(t == first for t in lifetimes)
+            covered[i] = (
+                all(t == first for t in lifetimes)
+                and s.volume == int(s.volume)
+            )
         return cls(
             num_apps=num_apps,
             volume=volume,
@@ -212,6 +220,35 @@ class ScenarioBatch:
             app_size_mgates=np.ascontiguousarray(app_size_a),
             enforce_chip_lifetime=np.ascontiguousarray(enforce_a),
             covered=np.ones(num_apps_a.shape, dtype=bool),
+            scenarios=None,
+        )
+
+    @classmethod
+    def concat(cls, batches: Sequence["ScenarioBatch"]) -> "ScenarioBatch":
+        """Fuse several batches into one (row order = input order).
+
+        Used by the async serving layer to coalesce concurrent requests
+        into a single kernel dispatch.  All rows must be covered — the
+        scalar fallback needs originating ``Scenario`` objects, which a
+        fused batch does not carry uniformly; the service dispatches
+        uncovered requests standalone instead.
+        """
+        if not batches:
+            raise ParameterError("concat requires at least one batch")
+        if len(batches) == 1:
+            return batches[0]
+        if not all(b.all_covered for b in batches):
+            raise ParameterError("concat requires fully covered batches")
+        return cls(
+            num_apps=np.concatenate([b.num_apps for b in batches]),
+            volume=np.concatenate([b.volume for b in batches]),
+            lifetime=np.concatenate([b.lifetime for b in batches]),
+            evaluation_years=np.concatenate([b.evaluation_years for b in batches]),
+            app_size_mgates=np.concatenate([b.app_size_mgates for b in batches]),
+            enforce_chip_lifetime=np.concatenate(
+                [b.enforce_chip_lifetime for b in batches]
+            ),
+            covered=np.concatenate([b.covered for b in batches]),
             scenarios=None,
         )
 

@@ -24,7 +24,6 @@ what lets the engine fast path share its LRU cache with scalar callers.
 from __future__ import annotations
 
 import functools
-import math
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
@@ -41,8 +40,10 @@ from repro.data.warm import WarmFactors, get_material
 from repro.engine.vector.columns import ScenarioBatch
 from repro.engine.vector.kernels import (
     YIELD_MODEL_CODES,
+    chip_generations,
     design_project_kg,
     eol_per_chip_kg,
+    generations_kernel,
     manufacturing_per_die_kg,
     operation_per_chip_year_kg,
     packaging_per_chip,
@@ -476,6 +477,37 @@ class BatchResult:
         )
         return ComparisonResult(scenario=scenario, fpga=fpga, asic=asic)
 
+    def slice_rows(self, start: int, stop: int) -> "BatchResult":
+        """Row-range view ``[start, stop)`` of this result.
+
+        Array fields are NumPy views (no copy); the fallback dict is
+        re-keyed to the slice.  Used by the async serving layer to hand
+        each coalesced client request its own rows of a fused batch.
+        """
+        rows = slice(start, stop)
+        return BatchResult(
+            ratios=self.ratios[rows],
+            winners=self.winners[rows],
+            fpga_totals=self.fpga_totals[rows],
+            asic_totals=self.asic_totals[rows],
+            fpga_components={k: v[rows] for k, v in self.fpga_components.items()},
+            asic_components={k: v[rows] for k, v in self.asic_components.items()},
+            fpga_per_chip_embodied_kg=self.fpga_per_chip_embodied_kg[rows],
+            asic_per_chip_embodied_kg=self.asic_per_chip_embodied_kg[rows],
+            n_fpga=self.n_fpga[rows],
+            fpga_generations=self.fpga_generations[rows],
+            asic_generations=self.asic_generations[rows],
+            num_apps=self.num_apps[rows],
+            asic_app_components={
+                k: v[rows] for k, v in self.asic_app_components.items()
+            },
+            fallback={
+                i - start: r
+                for i, r in self.fallback.items()
+                if start <= i < stop
+            },
+        )
+
     @classmethod
     def from_results(
         cls,
@@ -522,13 +554,9 @@ class BatchResult:
                 )
                 lifetimes = c.scenario.lifetimes
                 if all(t == lifetimes[0] for t in lifetimes):
-                    asic_gen[i] = max(
-                        1,
-                        math.ceil(
-                            lifetimes[0]
-                            / comparator.asic_device.chip_lifetime_years
-                            - 1.0e-9
-                        ),
+                    asic_gen[i] = chip_generations(
+                        lifetimes[0],
+                        comparator.asic_device.chip_lifetime_years,
                     )
         return cls(
             ratios=ratios,
@@ -580,10 +608,7 @@ def _compose(
     )
     fpga_gen = np.where(
         batch.enforce_chip_lifetime,
-        np.maximum(
-            1,
-            np.ceil(horizon / fpga.chip_lifetime_years - 1.0e-9).astype(np.int64),
-        ),
+        generations_kernel(horizon, fpga.chip_lifetime_years),
         1,
     )
 
@@ -604,9 +629,7 @@ def _compose(
     f_appdev = repeat_add(appdev_app, num_apps)
     fpga_totals = (((f_design + f_mfg) + f_pkg) + f_eol) + (f_op + f_appdev)
 
-    asic_gen = np.maximum(
-        1, np.ceil(lifetime / asic.chip_lifetime_years - 1.0e-9).astype(np.int64)
-    )
+    asic_gen = generations_kernel(lifetime, asic.chip_lifetime_years)
     chips = (volume * asic_gen).astype(np.float64)
     a_design_app = zeros + asic.design_kg
     a_mfg_app = asic.mfg_per_chip_kg * chips
@@ -710,14 +733,18 @@ class VectorizedEvaluator:
 
     @staticmethod
     def covers(scenario: Scenario) -> bool:
-        """Whether the kernel evaluates ``scenario`` (uniform lifetimes).
+        """Whether the kernel evaluates ``scenario``.
 
-        Heterogeneous per-application lifetimes take the scalar fallback;
-        everything else — horizon overrides, chip-lifetime enforcement,
-        application sizing — is in-kernel.
+        Heterogeneous per-application lifetimes and fractional volumes
+        (which the int64 volume column would silently truncate) take the
+        scalar fallback; everything else — horizon overrides,
+        chip-lifetime enforcement, application sizing — is in-kernel.
         """
         lifetimes = scenario.lifetimes
-        return all(t == lifetimes[0] for t in lifetimes)
+        return (
+            all(t == lifetimes[0] for t in lifetimes)
+            and scenario.volume == int(scenario.volume)
+        )
 
     def evaluate_batch(
         self,

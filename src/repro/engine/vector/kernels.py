@@ -21,6 +21,8 @@ Two kinds of kernel live here:
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.errors import CapacityError
@@ -59,6 +61,37 @@ def repeat_add(x: np.ndarray, counts: np.ndarray) -> np.ndarray:
     for k in range(2, int(counts.max()) + 1):
         acc = np.where(counts >= k, acc + x, acc)
     return acc
+
+
+#: Epsilon subtracted before ``ceil`` in chip-generation counts, so a
+#: study horizon that is an exact multiple of the chip lifetime does not
+#: buy one spurious extra generation to float rounding.
+GENERATIONS_EPSILON = 1.0e-9
+
+
+def chip_generations(years: float, chip_lifetime_years: float) -> int:
+    """Chip generations consumed over ``years`` (scalar; min 1).
+
+    The single definition of the paper's repurchase count — the scalar
+    twin of :func:`generations_kernel`, shared by the store's packing
+    and :meth:`BatchResult.from_results` so warm gathers can never
+    drift from cold kernel runs.
+    """
+    return max(
+        1, math.ceil(years / chip_lifetime_years - GENERATIONS_EPSILON)
+    )
+
+
+def generations_kernel(
+    years: np.ndarray, chip_lifetime_years: "np.ndarray | float"
+) -> np.ndarray:
+    """Vectorised :func:`chip_generations` (int64 column; min 1)."""
+    return np.maximum(
+        1,
+        np.ceil(
+            years / chip_lifetime_years - GENERATIONS_EPSILON
+        ).astype(np.int64),
+    )
 
 
 def ratio_kernel(fpga_totals: np.ndarray, asic_totals: np.ndarray) -> np.ndarray:

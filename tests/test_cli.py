@@ -90,3 +90,64 @@ def test_run_with_workers_flag(capsys):
         assert "evaluation-engine cache" in out
     finally:
         reset_default_engine()
+
+
+def test_cache_file_warms_across_cli_runs(tmp_path, capsys):
+    from repro.engine import default_engine, reset_default_engine
+
+    cache = tmp_path / "warm.npz"
+    reset_default_engine()
+    try:
+        assert main(["--cache-file", str(cache), "compare"]) == 0
+        assert cache.exists()
+        first_out = capsys.readouterr().out
+        reset_default_engine()  # simulate a fresh process
+        assert main(["--cache-file", str(cache), "compare"]) == 0
+        second_out = capsys.readouterr().out
+        assert second_out == first_out
+        stats = default_engine().cache_stats
+        assert stats.hits >= 1 and stats.misses == 0  # served from disk
+    finally:
+        reset_default_engine()
+
+
+def test_cache_shards_flag_configures_store(capsys):
+    from repro.engine import default_engine, reset_default_engine
+
+    reset_default_engine()
+    try:
+        assert main(["--cache-shards", "3", "compare"]) == 0
+        assert default_engine().result_store.n_shards == 3
+    finally:
+        reset_default_engine()
+
+
+def test_serve_bench_command(capsys):
+    assert main([
+        "serve-bench", "--clients", "2", "--requests", "3",
+        "--cells", "10", "--window-ms", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "async serving" in out
+    assert "warm_concurrent_2" in out
+    assert "serialized dispatch" in out
+
+
+def test_serve_bench_persists_to_cache_file(tmp_path, capsys):
+    """--cache-file must hold the benchmark's warm store, not get
+    clobbered by an end-of-run save of the untouched default engine."""
+    from repro.engine import ShardedResultStore, reset_default_engine
+
+    cache = tmp_path / "bench-warm.npz"
+    reset_default_engine()
+    try:
+        assert main([
+            "--cache-file", str(cache),
+            "serve-bench", "--clients", "2", "--requests", "3",
+            "--cells", "10", "--window-ms", "1",
+        ]) == 0
+        capsys.readouterr()
+        store = ShardedResultStore(capacity=4096)
+        assert store.load(cache) == 3 * 10  # the benchmark's cell universe
+    finally:
+        reset_default_engine()

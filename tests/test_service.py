@@ -1,0 +1,378 @@
+"""Tests for the async batch-serving front-end and engine concurrency.
+
+Parity: everything served through :class:`AsyncEvaluationEngine` must be
+bit-identical to the sync engine/analysis spellings.  Concurrency: the
+micro-batcher must coalesce concurrent clients without ever recomputing
+a cell, and the engine's shared singletons (``build_suite_cached``, the
+default engine) must be safe to hammer from threads and tasks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import pairwise_heatmap_batch
+from repro.analysis.sweep import sweep_batch
+from repro.config import Parameters
+from repro.core.scenario import Scenario
+from repro.engine import (
+    AsyncEvaluationEngine,
+    EvaluationEngine,
+    build_suite_cached,
+    default_engine,
+    reset_default_engine,
+)
+from repro.errors import ParameterError
+
+BASE = Scenario(num_apps=5, app_lifetime_years=2.0, volume=1_000_000)
+
+
+# ----------------------------------------------------------------------
+# Parity with the sync spellings
+# ----------------------------------------------------------------------
+
+
+def test_async_heatmap_matches_sync(dnn_comparator):
+    async def main():
+        async with AsyncEvaluationEngine(batch_window_s=0.0) as served:
+            return await served.heatmap_batch(
+                dnn_comparator, BASE,
+                "num_apps", tuple(range(1, 9)), "lifetime", (0.5, 1.0, 2.0),
+            )
+
+    result = asyncio.run(main())
+    sync = pairwise_heatmap_batch(
+        dnn_comparator, BASE,
+        "num_apps", tuple(range(1, 9)), "lifetime", (0.5, 1.0, 2.0),
+        engine=EvaluationEngine(),
+    )
+    np.testing.assert_array_equal(result.ratios, sync.ratios)
+    assert result.x_values == sync.x_values
+    assert result.y_values == sync.y_values
+
+
+def test_async_sweep_matches_sync(dnn_comparator):
+    values = [1, 2, 3, 4, 5, 6, 7, 8]
+
+    async def main():
+        async with AsyncEvaluationEngine(batch_window_s=0.0) as served:
+            return await served.sweep_batch(
+                dnn_comparator, BASE, "num_apps", values
+            )
+
+    result = asyncio.run(main())
+    sync = sweep_batch(dnn_comparator, BASE, "num_apps", values,
+                       engine=EvaluationEngine())
+    np.testing.assert_array_equal(result.ratios, sync.ratios)
+    np.testing.assert_array_equal(result.fpga_totals, sync.fpga_totals)
+    np.testing.assert_array_equal(result.winners, sync.winners)
+
+
+def test_async_evaluate_many_matches_sync(dnn_comparator):
+    scenarios = [
+        Scenario(num_apps=n, app_lifetime_years=1.0, volume=1_000)
+        for n in range(1, 13)
+    ]
+
+    async def main():
+        async with AsyncEvaluationEngine() as served:
+            return await served.evaluate_many(dnn_comparator, scenarios)
+
+    results = asyncio.run(main())
+    sync = EvaluationEngine().evaluate_many(dnn_comparator, scenarios)
+    assert results == sync
+
+
+def test_async_evaluate_many_ragged_scenarios(dnn_comparator):
+    """Heterogeneous lifetimes take the object path; results still agree."""
+    scenarios = [
+        Scenario(num_apps=2, app_lifetime_years=[1.0, 2.0], volume=100),
+        Scenario(num_apps=2, app_lifetime_years=1.0, volume=100),
+    ]
+
+    async def main():
+        async with AsyncEvaluationEngine() as served:
+            return await served.evaluate_many(dnn_comparator, scenarios)
+
+    results = asyncio.run(main())
+    expected = tuple(dnn_comparator.compare(s) for s in scenarios)
+    assert results == expected
+
+
+def test_async_scalar_vector_cached_served_all_agree(dnn_comparator):
+    """Acceptance criterion: all four paths bit-identical on one grid."""
+    grid = (
+        dnn_comparator, BASE,
+        "num_apps", tuple(range(1, 11)), "lifetime", (0.5, 1.5, 2.5),
+    )
+    scalar = pairwise_heatmap_batch(
+        *grid, engine=EvaluationEngine(vectorize=False)
+    )
+    shared = EvaluationEngine()
+    vector = pairwise_heatmap_batch(*grid, engine=shared)
+    cached = pairwise_heatmap_batch(*grid, engine=shared)  # warm gather
+
+    async def main():
+        async with AsyncEvaluationEngine(shared) as served:
+            return await served.heatmap_batch(*grid)
+
+    served = asyncio.run(main())
+    np.testing.assert_array_equal(vector.ratios, scalar.ratios)
+    np.testing.assert_array_equal(cached.ratios, scalar.ratios)
+    np.testing.assert_array_equal(served.ratios, scalar.ratios)
+
+
+# ----------------------------------------------------------------------
+# Coalescing and deduplication
+# ----------------------------------------------------------------------
+
+
+def test_concurrent_clients_never_recompute_cells(dnn_comparator):
+    engine = EvaluationEngine()
+    x_values = tuple(range(1, 11))
+    y_values = (1.0, 2.0, 3.0)
+
+    async def main():
+        async with AsyncEvaluationEngine(
+            engine, batch_window_s=0.005
+        ) as served:
+            async def client():
+                return await served.heatmap_batch(
+                    dnn_comparator, BASE,
+                    "num_apps", x_values, "lifetime", y_values,
+                )
+
+            results = await asyncio.gather(*(client() for _ in range(6)))
+            return results, served
+
+    results, served = asyncio.run(main())
+    for other in results[1:]:
+        np.testing.assert_array_equal(results[0].ratios, other.ratios)
+    # 6 clients x 30 cells, but only the 30 unique cells were computed.
+    assert engine.rows_computed == len(x_values) * len(y_values)
+    assert served.requests_served == 6
+    assert served.batches_fused >= 1
+    assert served.requests_coalesced >= 2
+
+
+def test_later_requests_hit_the_shared_store(dnn_comparator):
+    engine = EvaluationEngine()
+
+    async def main():
+        async with AsyncEvaluationEngine(engine) as served:
+            await served.sweep_batch(
+                dnn_comparator, BASE, "num_apps", list(range(1, 21))
+            )
+            computed_after_first = engine.rows_computed
+            await served.sweep_batch(
+                dnn_comparator, BASE, "num_apps", list(range(1, 21))
+            )
+            return computed_after_first
+
+    computed_after_first = asyncio.run(main())
+    assert computed_after_first == 20
+    assert engine.rows_computed == 20  # second request: pure store gather
+
+
+def test_mixed_comparator_requests_are_grouped(dnn_comparator, suite):
+    from repro.core.comparison import PlatformComparator
+
+    other = PlatformComparator.for_domain("crypto", suite)
+    engine = EvaluationEngine()
+
+    async def main():
+        async with AsyncEvaluationEngine(
+            engine, batch_window_s=0.005
+        ) as served:
+            a, b = await asyncio.gather(
+                served.sweep_batch(dnn_comparator, BASE, "num_apps", [1, 2, 3]),
+                served.sweep_batch(other, BASE, "num_apps", [1, 2, 3]),
+            )
+            return a, b
+
+    a, b = asyncio.run(main())
+    sync_a = sweep_batch(dnn_comparator, BASE, "num_apps", [1, 2, 3],
+                         engine=EvaluationEngine())
+    sync_b = sweep_batch(other, BASE, "num_apps", [1, 2, 3],
+                         engine=EvaluationEngine())
+    np.testing.assert_array_equal(a.ratios, sync_a.ratios)
+    np.testing.assert_array_equal(b.ratios, sync_b.ratios)
+
+
+def test_async_errors_propagate_to_awaiter(dnn_comparator):
+    async def main():
+        async with AsyncEvaluationEngine() as served:
+            await served.sweep_batch(dnn_comparator, BASE, "bogus-axis", [1])
+
+    with pytest.raises(ParameterError):
+        asyncio.run(main())
+
+
+def test_async_engine_rejects_use_after_close(dnn_comparator):
+    async def main():
+        served = AsyncEvaluationEngine()
+        served.close()
+        await served.evaluate_batch(dnn_comparator, (BASE,))
+
+    with pytest.raises(ParameterError):
+        asyncio.run(main())
+
+
+def test_async_engine_does_not_close_injected_engine(dnn_comparator):
+    engine = EvaluationEngine()
+
+    async def main():
+        async with AsyncEvaluationEngine(engine) as served:
+            await served.sweep_batch(dnn_comparator, BASE, "num_apps", [1, 2])
+
+    asyncio.run(main())
+    # The injected engine survives the service shutdown.
+    assert engine.evaluate(dnn_comparator, BASE) == dnn_comparator.compare(BASE)
+
+
+def test_async_engine_validates_arguments():
+    with pytest.raises(ParameterError):
+        AsyncEvaluationEngine(batch_window_s=-0.1)
+    with pytest.raises(ParameterError):
+        AsyncEvaluationEngine(workers=0)
+
+
+def test_dispatch_failure_fails_futures_instead_of_hanging(
+    dnn_comparator, monkeypatch
+):
+    """An exception before the guarded engine call (e.g. in digesting)
+    must be delivered to every queued client — never strand them on
+    ``await`` with a dead flusher task."""
+    from repro.engine import service as service_module
+
+    def broken_digest(comparator):
+        raise RuntimeError("digest exploded")
+
+    monkeypatch.setattr(service_module, "comparator_digest", broken_digest)
+
+    async def main():
+        async with AsyncEvaluationEngine(batch_window_s=0.001) as served:
+            with pytest.raises(RuntimeError, match="digest exploded"):
+                await asyncio.wait_for(
+                    served.sweep_batch(dnn_comparator, BASE, "num_apps", [1, 2]),
+                    timeout=5.0,
+                )
+
+    asyncio.run(main())
+
+
+def test_eager_single_skips_the_window(dnn_comparator):
+    """With eager_single a lone request must not wait out the window."""
+
+    async def main():
+        async with AsyncEvaluationEngine(
+            batch_window_s=30.0, eager_single=True
+        ) as served:
+            return await asyncio.wait_for(
+                served.sweep_batch(dnn_comparator, BASE, "num_apps", [1, 2, 3]),
+                timeout=5.0,  # would need ~30s if the window were held
+            )
+
+    result = asyncio.run(main())
+    sync = sweep_batch(dnn_comparator, BASE, "num_apps", [1, 2, 3],
+                       engine=EvaluationEngine())
+    np.testing.assert_array_equal(result.ratios, sync.ratios)
+
+
+# ----------------------------------------------------------------------
+# Engine concurrency: shared singletons hammered from threads
+# ----------------------------------------------------------------------
+
+
+def _hammer(worker, threads: int = 16):
+    """Run ``worker`` on many threads through a start barrier."""
+    barrier = threading.Barrier(threads)
+    outputs: list[object] = [None] * threads
+    errors: list[BaseException] = []
+
+    def body(slot: int) -> None:
+        try:
+            barrier.wait()
+            outputs[slot] = worker()
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    workers = [
+        threading.Thread(target=body, args=(slot,)) for slot in range(threads)
+    ]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    assert not errors, errors
+    return outputs
+
+
+def test_build_suite_cached_single_flight_under_threads():
+    """Racing threads must all observe the *same* suite object."""
+    from repro.engine import engine as engine_module
+
+    params = Parameters(duty_cycle=0.123456)
+    with engine_module._SUITE_LOCK:
+        engine_module._SUITE_CACHE.pop(params, None)
+    suites = _hammer(lambda: build_suite_cached(params))
+    assert all(suite is suites[0] for suite in suites)
+    assert suites[0] == params.build_suite()
+
+
+def test_default_engine_singleton_under_threads():
+    reset_default_engine()
+    try:
+        engines = _hammer(default_engine)
+        assert all(engine is engines[0] for engine in engines)
+    finally:
+        reset_default_engine()
+
+
+def test_shared_engine_hammered_from_threads(dnn_comparator):
+    """Concurrent evaluate calls on one engine stay correct and race-free."""
+    engine = EvaluationEngine()
+    scenarios = [
+        Scenario(num_apps=n, app_lifetime_years=1.0, volume=2_000)
+        for n in range(1, 17)
+    ]
+    expected = tuple(dnn_comparator.compare(s) for s in scenarios)
+
+    def worker():
+        return engine.evaluate_many(dnn_comparator, scenarios)
+
+    for results in _hammer(worker, threads=12):
+        assert results == expected
+    # Every thread saw the same 16 cells; they were computed at most once
+    # per racing wave, never corrupted (16 <= computed <= 16 * threads).
+    assert engine.rows_computed >= 16
+    assert engine.cache_stats.hits + engine.cache_stats.misses == 12 * 16
+
+
+def test_store_hammered_by_mixed_batch_and_object_readers(dnn_comparator):
+    """Batch gathers and object materialisation race on one store."""
+    engine = EvaluationEngine(cache_size=64)  # small: forces evictions
+    values = list(range(1, 33))
+    reference = sweep_batch(dnn_comparator, BASE, "num_apps", values,
+                            engine=EvaluationEngine())
+
+    def batch_worker():
+        result = sweep_batch(dnn_comparator, BASE, "num_apps", values,
+                             engine=engine)
+        np.testing.assert_array_equal(result.ratios, reference.ratios)
+        return True
+
+    def object_worker():
+        scenario = BASE.with_num_apps(5)
+        return engine.evaluate(dnn_comparator, scenario).summary()
+
+    outputs = _hammer(
+        lambda: (batch_worker(), object_worker()), threads=8
+    )
+    expected = dnn_comparator.compare(BASE.with_num_apps(5)).summary()
+    for _, summary in outputs:
+        assert summary == expected

@@ -1,0 +1,439 @@
+"""Tests for the array-backed sharded result store.
+
+Covers digest stability (the scalar fold must agree with the vectorised
+column fold bit-for-bit, and with itself across processes), shard
+routing and eviction, hit/miss accounting, ``.npz`` persistence
+round-trips, and the engine-level guarantee that store-served batches
+are bit-identical to freshly computed ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scenario import Scenario
+from repro.engine import (
+    EvaluationEngine,
+    ScenarioBatch,
+    ShardedResultStore,
+    batch_digests,
+    comparator_digest,
+    pair_digest,
+)
+from repro.engine.store import (
+    FLOAT_COLS,
+    INT_COLS,
+    materialise_comparison,
+    pack_comparison,
+)
+from repro.errors import ParameterError
+
+
+# ----------------------------------------------------------------------
+# Digests
+# ----------------------------------------------------------------------
+
+
+def test_scalar_and_column_digests_agree(dnn_comparator):
+    scenarios = tuple(
+        Scenario(
+            num_apps=n,
+            app_lifetime_years=0.5 * n,
+            volume=1_000 * n,
+            evaluation_years=None if n % 2 else 10.0,
+            app_size_mgates=None if n % 3 else 5.0,
+            enforce_chip_lifetime=bool(n % 2),
+        )
+        for n in range(1, 9)
+    )
+    batch = ScenarioBatch.from_scenarios(scenarios)
+    lo, hi = batch_digests(dnn_comparator, batch)
+    for i, scenario in enumerate(scenarios):
+        assert pair_digest(dnn_comparator, scenario) == (int(lo[i]), int(hi[i]))
+
+
+def test_ragged_rows_digest_via_scalar_fold(dnn_comparator):
+    ragged = Scenario(num_apps=2, app_lifetime_years=[1.0, 2.0], volume=10)
+    uniform = Scenario(num_apps=2, app_lifetime_years=1.0, volume=10)
+    batch = ScenarioBatch.from_scenarios((ragged, uniform))
+    lo, hi = batch_digests(dnn_comparator, batch)
+    assert (int(lo[0]), int(hi[0])) == pair_digest(dnn_comparator, ragged)
+    assert (int(lo[1]), int(hi[1])) == pair_digest(dnn_comparator, uniform)
+    assert (int(lo[0]), int(hi[0])) != (int(lo[1]), int(hi[1]))
+
+
+def test_digest_accepts_float_volumes_like_the_scalar_models(dnn_comparator):
+    """``Scenario`` tolerates float volumes (only ``>= 1`` is checked,
+    and the CLI parses ``--volume`` as float); the digest must fold them
+    without raising, treat integral floats as their int spelling, and
+    keep *fractional* volumes distinct — the int64 batch columns cannot
+    represent them, so they are kernel-uncovered and must never collide
+    in the store."""
+    import dataclasses
+
+    base = Scenario(num_apps=5, app_lifetime_years=2.0, volume=1_000_000)
+    integral_float = dataclasses.replace(base, volume=1.0e6)
+    assert pair_digest(dnn_comparator, integral_float) == pair_digest(
+        dnn_comparator, base
+    )
+
+    low = dataclasses.replace(base, volume=1000.2)
+    high = dataclasses.replace(base, volume=1000.8)
+    assert pair_digest(dnn_comparator, low) != pair_digest(dnn_comparator, high)
+    assert pair_digest(dnn_comparator, low) != pair_digest(
+        dnn_comparator, dataclasses.replace(base, volume=1000)
+    )
+
+    engine = EvaluationEngine()
+    first = engine.evaluate(dnn_comparator, low)
+    second = engine.evaluate(dnn_comparator, high)
+    assert first == dnn_comparator.compare(low)
+    assert second == dnn_comparator.compare(high)
+    assert first.ratio != second.ratio  # the old collision served one result
+
+
+def test_fractional_volume_takes_the_exact_scalar_path(dnn_comparator):
+    """The int64 volume column would truncate 1000.7 -> 1000; such rows
+    must be kernel-uncovered and produce exact scalar results on the
+    batch path too."""
+    import dataclasses
+
+    fractional = dataclasses.replace(
+        Scenario(num_apps=2, app_lifetime_years=1.0, volume=1000), volume=1000.7
+    )
+    batch = ScenarioBatch.from_scenarios((fractional,) * 2)
+    assert not batch.covered.any()
+    engine = EvaluationEngine()
+    result = engine.evaluate_batch(dnn_comparator, batch)
+    direct = dnn_comparator.compare(fractional)
+    assert result.comparison(0, fractional) == direct
+    assert float(result.ratios[0]) == direct.ratio
+
+
+def test_digest_normalises_lifetime_spellings(dnn_comparator):
+    scalar = Scenario(num_apps=3, app_lifetime_years=2.0, volume=10)
+    expanded = Scenario(num_apps=3, app_lifetime_years=[2.0, 2.0, 2.0], volume=10)
+    assert pair_digest(dnn_comparator, scalar) == pair_digest(
+        dnn_comparator, expanded
+    )
+
+
+def test_digest_distinguishes_fields(dnn_comparator, small_scenario):
+    import dataclasses
+
+    base = pair_digest(dnn_comparator, small_scenario)
+    for changed in (
+        small_scenario.with_num_apps(small_scenario.num_apps + 1),
+        small_scenario.with_volume(small_scenario.volume + 1),
+        small_scenario.with_lifetime(small_scenario.lifetimes[0] + 0.25),
+        dataclasses.replace(small_scenario, evaluation_years=9.0),
+        dataclasses.replace(small_scenario, app_size_mgates=2.0),
+        dataclasses.replace(small_scenario, enforce_chip_lifetime=True),
+    ):
+        assert pair_digest(dnn_comparator, changed) != base
+
+
+def test_comparator_digest_is_stable_and_distinct(dnn_comparator):
+    """The comparator seed must survive interpreter restarts.
+
+    ``hash()`` is salted per process; the BLAKE2b-over-pickle digest is
+    not.  The constant below was produced by an independent Python
+    process — a digest change means persisted caches silently go cold.
+    """
+    import dataclasses
+
+    from repro.operation.model import OperationModel
+
+    a = comparator_digest(dnn_comparator)
+    assert a == comparator_digest(dnn_comparator)
+    perturbed = dataclasses.replace(
+        dnn_comparator,
+        suite=dnn_comparator.suite.with_overrides(
+            operation=OperationModel(energy_source="coal")
+        ),
+    )
+    assert comparator_digest(perturbed) != a
+
+
+# ----------------------------------------------------------------------
+# Store semantics
+# ----------------------------------------------------------------------
+
+
+def _rows(keys):
+    """Synthetic packed rows whose values encode their key."""
+    lo = np.array(keys, dtype=np.uint64)
+    hi = lo ^ np.uint64(0xDEADBEEF)
+    floats = np.arange(len(keys) * FLOAT_COLS, dtype=np.float64).reshape(
+        len(keys), FLOAT_COLS
+    ) + lo[:, None].astype(np.float64)
+    ints = np.arange(len(keys) * INT_COLS, dtype=np.int64).reshape(
+        len(keys), INT_COLS
+    ) + lo[:, None].astype(np.int64)
+    return lo, hi, floats, ints
+
+
+def test_store_put_get_roundtrip_bit_identical():
+    store = ShardedResultStore(capacity=32, shards=4)
+    lo, hi, floats, ints = _rows(range(10))
+    store.put_batch(lo, hi, floats, ints)
+    hits, got_f, got_i = store.get_batch(lo, hi)
+    assert hits.all()
+    np.testing.assert_array_equal(got_f, floats)
+    np.testing.assert_array_equal(got_i, ints)
+    stats = store.stats()
+    assert stats.hits == 10 and stats.misses == 0 and stats.size == 10
+
+
+def test_store_counts_misses_then_hits():
+    store = ShardedResultStore(capacity=16, shards=2)
+    lo, hi, floats, ints = _rows(range(4))
+    hits, _, _ = store.get_batch(lo, hi)
+    assert not hits.any()
+    store.put_batch(lo, hi, floats, ints)
+    hits, _, _ = store.get_batch(lo, hi)
+    assert hits.all()
+    stats = store.stats()
+    assert stats.misses == 4 and stats.hits == 4
+    assert stats.hit_rate == pytest.approx(0.5)
+    assert stats.maxsize == 16
+
+
+def test_store_high_word_mismatch_is_a_miss():
+    """A low-word collision must degrade to a miss, never a wrong row."""
+    store = ShardedResultStore(capacity=8, shards=1)
+    lo, hi, floats, ints = _rows([7])
+    store.put_batch(lo, hi, floats, ints)
+    wrong_hi = hi ^ np.uint64(1)
+    hits, _, _ = store.get_batch(lo, wrong_hi)
+    assert not hits.any()
+    hits, _, _ = store.get_batch(lo, hi)
+    assert hits.all()
+
+
+def test_store_eviction_keeps_size_bounded_and_recency():
+    store = ShardedResultStore(capacity=8, shards=2)
+    for start in range(0, 32, 4):
+        lo, hi, floats, ints = _rows(range(start, start + 4))
+        store.put_batch(lo, hi, floats, ints)
+    assert store.stats().size <= 8
+    # The most recent batch must have survived every eviction round.
+    lo, hi, floats, ints = _rows(range(28, 32))
+    hits, got_f, _ = store.get_batch(lo, hi)
+    assert hits.all()
+    np.testing.assert_array_equal(got_f, floats)
+    # The oldest batch was evicted.
+    lo, hi, _, _ = _rows(range(0, 4))
+    hits, _, _ = store.get_batch(lo, hi)
+    assert not hits.any()
+
+
+def test_store_clamps_shards_to_capacity():
+    store = ShardedResultStore(capacity=4, shards=16)
+    assert store.n_shards == 4
+    lo, hi, floats, ints = _rows(range(4))
+    store.put_batch(lo, hi, floats, ints)
+    assert store.stats().size == 4
+
+
+def test_store_capacity_zero_disables_storage():
+    store = ShardedResultStore(capacity=0, shards=8)
+    lo, hi, floats, ints = _rows(range(3))
+    store.put_batch(lo, hi, floats, ints)
+    hits, _, _ = store.get_batch(lo, hi)
+    assert not hits.any()
+    stats = store.stats()
+    assert stats.size == 0 and stats.misses == 3  # disabled still counts
+
+
+def test_store_validates_arguments():
+    with pytest.raises(ParameterError):
+        ShardedResultStore(capacity=-1)
+    with pytest.raises(ParameterError):
+        ShardedResultStore(shards=0)
+
+
+def test_store_clear_resets_everything():
+    store = ShardedResultStore(capacity=8, shards=2)
+    lo, hi, floats, ints = _rows(range(4))
+    store.put_batch(lo, hi, floats, ints)
+    store.get_batch(lo, hi)
+    store.clear()
+    stats = store.stats()
+    assert stats.size == 0 and stats.hits == 0 and stats.misses == 0
+    hits, _, _ = store.get_batch(lo, hi)
+    assert not hits.any()
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+
+
+def test_store_save_load_roundtrip_bit_identical(tmp_path):
+    store = ShardedResultStore(capacity=64, shards=4)
+    lo, hi, floats, ints = _rows(range(20))
+    # Non-trivial float payloads: negative, subnormal-ish, huge.
+    floats[:, 0] = np.linspace(-1.0e300, 1.0e-300, 20)
+    store.put_batch(lo, hi, floats, ints)
+    path = store.save(tmp_path / "warmth.npz")
+
+    loaded = ShardedResultStore(capacity=64, shards=7)  # re-sharded on load
+    assert loaded.load(path) == 20
+    hits, got_f, got_i = loaded.get_batch(lo, hi)
+    assert hits.all()
+    np.testing.assert_array_equal(got_f, floats)
+    np.testing.assert_array_equal(got_i, ints)
+    stats = loaded.stats()
+    # Loading is not a lookup: only the verification pass counts.
+    assert stats.hits == 20 and stats.misses == 0 and stats.size == 20
+
+
+def test_store_overflow_save_load_keeps_most_recent(tmp_path):
+    """Fill past capacity, round-trip, and verify eviction + counters."""
+    store = ShardedResultStore(capacity=8, shards=2)
+    for start in range(0, 24, 4):
+        lo, hi, floats, ints = _rows(range(start, start + 4))
+        store.put_batch(lo, hi, floats, ints)
+    assert store.stats().size <= 8
+    path = store.save(tmp_path / "overflow.npz")
+
+    loaded = ShardedResultStore(capacity=8, shards=2)
+    n = loaded.load(path)
+    assert n == store.stats().size
+    lo, hi, floats, ints = _rows(range(20, 24))
+    hits, got_f, got_i = loaded.get_batch(lo, hi)
+    assert hits.all()
+    np.testing.assert_array_equal(got_f, floats)
+    np.testing.assert_array_equal(got_i, ints)
+    stats = loaded.stats()
+    assert stats.hits == 4 and stats.misses == 0
+
+
+def test_store_load_rejects_incompatible_format(tmp_path):
+    path = tmp_path / "bad.npz"
+    with path.open("wb") as handle:
+        np.savez_compressed(
+            handle,
+            meta=np.array([999, FLOAT_COLS, INT_COLS], dtype=np.int64),
+            lo=np.empty(0, np.uint64),
+            hi=np.empty(0, np.uint64),
+            floats=np.empty((0, FLOAT_COLS)),
+            ints=np.empty((0, INT_COLS), np.int64),
+        )
+    with pytest.raises(ParameterError):
+        ShardedResultStore().load(path)
+
+
+# ----------------------------------------------------------------------
+# Pack / materialise round trip
+# ----------------------------------------------------------------------
+
+
+def test_pack_materialise_round_trip(dnn_comparator, small_scenario):
+    direct = dnn_comparator.compare(small_scenario)
+    packed = pack_comparison(direct, dnn_comparator)
+    assert packed is not None
+    rebuilt = materialise_comparison(packed[0], packed[1], small_scenario)
+    assert rebuilt == direct
+    assert rebuilt.ratio == direct.ratio
+    assert rebuilt.summary() == direct.summary()
+
+
+def test_pack_comparison_rejects_ragged_lifetimes(dnn_comparator):
+    ragged = Scenario(num_apps=2, app_lifetime_years=[1.0, 2.0], volume=100)
+    result = dnn_comparator.compare(ragged)
+    assert pack_comparison(result, dnn_comparator) is None
+
+
+# ----------------------------------------------------------------------
+# Engine-level store behaviour
+# ----------------------------------------------------------------------
+
+
+def test_engine_warm_batch_bit_identical_to_cold(dnn_comparator):
+    from repro.analysis.heatmap import pairwise_heatmap_batch
+
+    engine = EvaluationEngine()
+    args = (
+        dnn_comparator,
+        Scenario(num_apps=5, app_lifetime_years=2.0, volume=1_000_000),
+        "num_apps", tuple(range(1, 13)), "lifetime", (0.5, 1.0, 2.0, 3.0),
+    )
+    cold = pairwise_heatmap_batch(*args, engine=engine)
+    computed = engine.rows_computed
+    warm = pairwise_heatmap_batch(*args, engine=engine)
+    np.testing.assert_array_equal(warm.ratios, cold.ratios)
+    assert engine.rows_computed == computed  # warm run recomputed nothing
+    assert engine.cache_stats.hits >= 48
+
+
+def test_engine_batch_path_deduplicates_within_batch(dnn_comparator):
+    engine = EvaluationEngine()
+    scenarios = tuple(
+        Scenario(num_apps=n, app_lifetime_years=1.0, volume=1_000)
+        for n in (1, 2, 3, 1, 2, 3, 1, 2, 3)
+    )
+    result = engine.evaluate_batch(dnn_comparator, scenarios)
+    assert result.size == 9
+    assert engine.rows_computed == 3
+    np.testing.assert_array_equal(result.ratios[:3], result.ratios[3:6])
+
+
+def test_engine_object_and_batch_paths_share_warmth(dnn_comparator):
+    scenarios = [
+        Scenario(num_apps=n, app_lifetime_years=1.0, volume=5_000)
+        for n in range(1, 13)
+    ]
+    engine = EvaluationEngine()
+    objects = engine.evaluate_many(dnn_comparator, scenarios)  # object path
+    computed = engine.rows_computed
+    batch = engine.evaluate_batch(dnn_comparator, scenarios)  # batch path
+    assert engine.rows_computed == computed  # served from shared warmth
+    for i, (scenario, obj) in enumerate(zip(scenarios, objects)):
+        assert batch.comparison(i, scenario) == obj
+
+
+def test_engine_cache_file_round_trip(tmp_path, dnn_comparator):
+    from repro.analysis.sweep import sweep_batch
+
+    base = Scenario(num_apps=5, app_lifetime_years=2.0, volume=1_000_000)
+    values = list(range(1, 33))
+    path = tmp_path / "engine-warmth.npz"
+
+    first = EvaluationEngine(cache_file=path)  # file absent: starts cold
+    cold = sweep_batch(dnn_comparator, base, "num_apps", values, engine=first)
+    assert first.rows_computed == len(values)
+    first.save_cache()
+
+    second = EvaluationEngine(cache_file=path)  # warm from disk
+    warm = sweep_batch(dnn_comparator, base, "num_apps", values, engine=second)
+    assert second.rows_computed == 0
+    np.testing.assert_array_equal(warm.ratios, cold.ratios)
+    np.testing.assert_array_equal(warm.fpga_totals, cold.fpga_totals)
+    np.testing.assert_array_equal(warm.asic_totals, cold.asic_totals)
+    # Object callers materialise from the persisted columns bit-identically.
+    direct = dnn_comparator.compare(base.with_num_apps(7))
+    assert second.evaluate(dnn_comparator, base.with_num_apps(7)) == direct
+
+
+def test_engine_save_cache_requires_a_path(dnn_comparator):
+    engine = EvaluationEngine()
+    with pytest.raises(ParameterError):
+        engine.save_cache()
+
+
+def test_engine_ragged_scenarios_use_object_cache(dnn_comparator):
+    ragged = Scenario(num_apps=2, app_lifetime_years=[1.0, 2.0], volume=100)
+    engine = EvaluationEngine()
+    first = engine.evaluate(dnn_comparator, ragged)
+    second = engine.evaluate(dnn_comparator, ragged)
+    assert first == second == dnn_comparator.compare(ragged)
+    stats = engine.cache_stats
+    assert stats.misses == 1 and stats.hits == 1
+
+
+def test_engine_cache_shards_validation():
+    with pytest.raises(ParameterError):
+        EvaluationEngine(cache_shards=0)
