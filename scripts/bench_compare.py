@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Diff freshly emitted BENCH_*.json against the committed baselines.
+
+The benchmark emitters (``benchmarks/test_bench_vector.py``,
+``benchmarks/test_bench_serving.py``, ...) overwrite
+``benchmarks/BENCH_*.json`` in place on every run; the committed
+trajectory anchors live in ``benchmarks/baselines/``.  This script
+compares every throughput metric against its baseline with a
+``--threshold`` (default 25%) regression floor, in two tiers:
+
+* **dimensionless ``*speedup*`` ratios** (vector vs scalar, concurrent
+  vs serialized) are machine-portable — a regression beyond the
+  threshold **fails**;
+* **absolute ``*_per_s`` rates** are reciprocal wall-clock and track
+  the machine as much as the code — a regression beyond the threshold
+  is printed as a **warning** only, so a slower laptop or a loaded CI
+  runner cannot fail the gate while the ratio tier still catches real
+  hot-path regressions.
+
+Usage:
+    python scripts/bench_compare.py [--threshold 0.25]
+    python scripts/bench_compare.py --update-baselines   # re-anchor
+
+``scripts/check.sh`` runs the comparison after the benchmark emitters,
+so a hot-path regression fails the local gate before it ships.  After
+an intentional perf change, re-anchor with ``--update-baselines`` and
+commit the refreshed baselines together with the change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+BASELINE_DIR = BENCH_DIR / "baselines"
+
+#: Keys that are never throughput metrics even if they match patterns.
+_EXCLUDED_SUFFIXES = ("_gate",)
+
+
+def _is_throughput_key(key: str) -> bool:
+    """Higher-is-better metric selector (rates and speedup ratios)."""
+    if any(key.endswith(suffix) for suffix in _EXCLUDED_SUFFIXES):
+        return False
+    return key.endswith("_per_s") or "speedup" in key
+
+
+def _is_gating_key(path: str) -> bool:
+    """Whether a regression in this metric fails (vs warns).
+
+    Only dimensionless speedup ratios gate — absolute ``*_per_s``
+    rates are machine-relative and warn only.
+    """
+    return "speedup" in path.rsplit(".", 1)[-1]
+
+
+def _collect_metrics(node: object, prefix: str = "") -> dict[str, float]:
+    """Flatten a bench JSON tree into ``path -> value`` throughput metrics."""
+    metrics: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, (dict, list)):
+                metrics.update(_collect_metrics(value, path))
+            elif isinstance(value, (int, float)) and _is_throughput_key(key):
+                metrics[path] = float(value)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            metrics.update(_collect_metrics(value, f"{prefix}[{index}]"))
+    return metrics
+
+
+def compare_file(
+    fresh_path: Path, baseline_path: Path, threshold: float
+) -> tuple[list[str], list[str], list[str]]:
+    """Compare one bench file: ``(report_lines, regressions, warnings)``."""
+    fresh = _collect_metrics(json.loads(fresh_path.read_text()))
+    baseline = _collect_metrics(json.loads(baseline_path.read_text()))
+    lines: list[str] = []
+    regressions: list[str] = []
+    warnings: list[str] = []
+    for path in sorted(baseline):
+        base_value = baseline[path]
+        fresh_value = fresh.get(path)
+        if fresh_value is None:
+            regressions.append(
+                f"{fresh_path.name}: metric {path!r} disappeared "
+                f"(baseline {base_value:g})"
+            )
+            continue
+        ratio = fresh_value / base_value if base_value else float("inf")
+        marker = " "
+        if base_value > 0 and fresh_value < base_value * (1.0 - threshold):
+            message = (
+                f"{fresh_path.name}: {path} regressed to {fresh_value:g} "
+                f"from {base_value:g} ({ratio:.2f}x, "
+                f"floor {1.0 - threshold:.2f}x)"
+            )
+            if _is_gating_key(path):
+                marker = "!"
+                regressions.append(message)
+            else:
+                marker = "~"
+                warnings.append(message + " [machine-relative rate: warning]")
+        lines.append(
+            f"  {marker} {path:<60} {base_value:>12g} -> {fresh_value:>12g} "
+            f"({ratio:.2f}x)"
+        )
+    for path in sorted(set(fresh) - set(baseline)):
+        lines.append(
+            f"  + {path:<60} {'new':>12} -> {fresh[path]:>12g}"
+        )
+    return lines, regressions, warnings
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="maximum tolerated fractional throughput drop (default 0.25)",
+    )
+    parser.add_argument(
+        "--update-baselines", action="store_true",
+        help="copy the fresh BENCH_*.json files over the baselines",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_files = sorted(BENCH_DIR.glob("BENCH_*.json"))
+    if not fresh_files:
+        print("bench_compare: no benchmarks/BENCH_*.json emitted", file=sys.stderr)
+        return 1
+
+    if args.update_baselines:
+        BASELINE_DIR.mkdir(parents=True, exist_ok=True)
+        for path in fresh_files:
+            shutil.copy2(path, BASELINE_DIR / path.name)
+            print(f"bench_compare: re-anchored baselines/{path.name}")
+        return 0
+
+    all_regressions: list[str] = []
+    all_warnings: list[str] = []
+    for path in fresh_files:
+        baseline_path = BASELINE_DIR / path.name
+        if not baseline_path.exists():
+            print(
+                f"bench_compare: no baseline for {path.name} — run "
+                f"'python scripts/bench_compare.py --update-baselines' "
+                f"and commit benchmarks/baselines/",
+                file=sys.stderr,
+            )
+            all_regressions.append(f"{path.name}: missing baseline")
+            continue
+        print(f"== {path.name} vs baselines/{path.name} ==")
+        lines, regressions, warnings = compare_file(
+            path, baseline_path, args.threshold
+        )
+        print("\n".join(lines))
+        all_regressions.extend(regressions)
+        all_warnings.extend(warnings)
+
+    for warning in all_warnings:
+        print(f"bench_compare: warning: {warning}", file=sys.stderr)
+    if all_regressions:
+        print(
+            f"\nbench_compare: {len(all_regressions)} throughput "
+            f"regression(s) beyond {args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for regression in all_regressions:
+            print(f"  - {regression}", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: all throughput metrics within {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

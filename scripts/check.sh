@@ -7,15 +7,20 @@
 #
 # The smoke run executes every engine bench once (--benchmark-disable),
 # including the warm-vs-cold speedup assertion, the vector-kernel
-# >= 10x gate, and the warm-store gate (warm_cache_s <= 2x
-# cold_vector_s on the 10k-cell grid), so a perf regression in the hot
-# evaluation path fails here before it ships.  The serving bench drives
-# the async micro-batching front-end (1 vs 8 concurrent clients, cold
-# vs persisted-warm store) and gates >= 4x aggregate throughput for
-# coalesced concurrent clients over serialized dispatch.  Both benches
-# emit JSON trajectories (benchmarks/BENCH_engine.json,
-# benchmarks/BENCH_serving.json), which this script surfaces so the
-# perf history is visible run over run.
+# >= 10x heatmap gate, the columnar Monte-Carlo >= 50x gate, the
+# gated 1M-draw Monte-Carlo budget, and the warm-store gate
+# (warm_cache_s <= 2x cold_vector_s on the 10k-cell grid), so a perf
+# regression in the hot evaluation path fails here before it ships.
+# The serving bench drives the async micro-batching front-end (1 vs 8
+# concurrent clients, cold vs persisted-warm store) and gates >= 4x
+# aggregate throughput for coalesced concurrent clients over windowed
+# serialized dispatch plus near-eager latency for the adaptive window.
+# Both benches emit JSON trajectories (benchmarks/BENCH_engine.json,
+# benchmarks/BENCH_serving.json), which this script surfaces and then
+# diffs against the committed anchors in benchmarks/baselines/ via
+# scripts/bench_compare.py (a >25% regression in a speedup ratio
+# fails; machine-relative *_per_s rates warn only; re-anchor
+# intentional perf changes with --update-baselines).
 
 set -euo pipefail
 
@@ -57,6 +62,10 @@ else
     echo "error: benchmarks/BENCH_serving.json was not emitted" >&2
     exit 1
 fi
+
+echo
+echo "== bench trajectory vs committed baselines =="
+python scripts/bench_compare.py
 
 if [[ "${1:-}" == "--full-bench" ]]; then
     echo

@@ -3,11 +3,19 @@
 from repro.analysis.breakdown import ComponentBreakdown, breakdown_table
 from repro.analysis.crossover import Crossover, find_crossovers
 from repro.analysis.heatmap import HeatmapResult, pairwise_heatmap
-from repro.analysis.montecarlo import MonteCarloResult, ParameterDistribution, monte_carlo
+from repro.analysis.montecarlo import (
+    ColumnSamples,
+    MonteCarloResult,
+    ParameterDistribution,
+    monte_carlo,
+    monte_carlo_batch,
+    sample_value_columns,
+)
 from repro.analysis.sensitivity import SensitivityResult, tornado
 from repro.analysis.sweep import SweepResult, sweep
 
 __all__ = [
+    "ColumnSamples",
     "ComponentBreakdown",
     "Crossover",
     "HeatmapResult",
@@ -18,7 +26,9 @@ __all__ = [
     "breakdown_table",
     "find_crossovers",
     "monte_carlo",
+    "monte_carlo_batch",
     "pairwise_heatmap",
+    "sample_value_columns",
     "sweep",
     "tornado",
 ]

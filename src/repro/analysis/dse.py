@@ -245,13 +245,16 @@ def explore_batch(
     """Array-land :func:`explore`: the grid runs as one kernel batch.
 
     Grid enumeration and suite memoisation match :func:`explore`, but
-    evaluation goes through the vector kernel's multi-comparator path —
-    each configuration's suite becomes one model-parameter row — so no
-    ``ComparisonResult`` is materialised per point.  The returned
-    :class:`DseResult` carries the same :class:`DesignPoint` objects
-    (totals/ratios within ``rtol <= 1e-12`` of :func:`explore`); grid
-    points bypass the engine's sharded result store, whose digests are
-    keyed per suite (use :func:`explore` when warmth should be shared).
+    evaluation goes through the parameter-space pipeline — each
+    configuration's suite becomes one model-parameter row of a
+    :class:`~repro.engine.vector.ParameterBatch`, the sub-models are
+    vectorised from the columns, and rows are cached in the engine's
+    sharded store under vectorised column-fold digests — so no
+    ``ComparisonResult`` is materialised per point and re-exploring a
+    grid (or overlapping grids sharing configurations) is served from
+    warmth.  The returned :class:`DseResult` carries the same
+    :class:`DesignPoint` objects (totals/ratios within
+    ``rtol <= 1e-12`` of :func:`explore`).
     """
     eng, all_overrides, pairs = _grid_pairs(domain, scenario, grid, base, engine)
     batch = eng.evaluate_pairs_batch(pairs)

@@ -9,7 +9,7 @@ probability that the FPGA is the greener platform.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.comparison import PlatformComparator
 from repro.core.scenario import Scenario
 from repro.engine import EvaluationEngine, resolve_engine
+from repro.engine.vector import ParameterBatch, ScenarioBatch, VectorizedEvaluator
 from repro.errors import ParameterError
 
 
@@ -30,6 +31,15 @@ class ParameterDistribution:
         apply: Callback ``(comparator, value) -> PlatformComparator``
             returning a comparator with the knob set to ``value``.
         kind: ``"uniform"`` or ``"loguniform"`` sampling over the range.
+        apply_column: Optional vectorised twin of ``apply``: callback
+            ``(params, values) -> None`` writing the knob's parameter
+            columns of a whole draw batch (one
+            :meth:`~repro.engine.vector.ParameterBatch.set_col` call per
+            affected column).  When every distribution of a Monte-Carlo
+            study provides one, :func:`monte_carlo_batch` runs fully
+            columnar — no per-draw comparator objects exist at all.  The
+            callback must perturb exactly what ``apply`` perturbs
+            (results are cross-checked to ``rtol <= 1e-12`` in tests).
     """
 
     name: str
@@ -37,6 +47,7 @@ class ParameterDistribution:
     high: float
     apply: Callable[[PlatformComparator, float], PlatformComparator]
     kind: str = "uniform"
+    apply_column: "Callable[[ParameterBatch, np.ndarray], None] | None" = None
 
     def __post_init__(self) -> None:
         if self.high < self.low:
@@ -52,6 +63,108 @@ class ParameterDistribution:
             return float(np.exp(rng.uniform(np.log(self.low), np.log(self.high))))
         return float(rng.uniform(self.low, self.high))
 
+    def column_from_uniform(self, u: np.ndarray) -> np.ndarray:
+        """Map unit-interval draws onto this distribution, vectorised.
+
+        Applies the same affine (or log-affine) transform NumPy's
+        ``Generator.uniform`` applies to its underlying unit doubles, so
+        a column built from ``rng.random(n)`` is bit-identical to ``n``
+        sequential :meth:`sample` calls on the same generator state.
+        """
+        u = np.asarray(u, dtype=np.float64)
+        if self.kind == "loguniform":
+            log_low, log_high = np.log(self.low), np.log(self.high)
+            return np.exp(log_low + (log_high - log_low) * u)
+        return self.low + (self.high - self.low) * u
+
+    def sample_column(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` values as one column (consumes ``n`` unit doubles).
+
+        Bit-identical to ``n`` sequential :meth:`sample` calls for a
+        single distribution; studies over *several* distributions must
+        sample draw-major via :func:`sample_value_columns` to preserve
+        the legacy per-draw RNG consumption order.
+        """
+        return self.column_from_uniform(rng.random(n))
+
+
+def sample_value_columns(
+    distributions: Sequence[ParameterDistribution],
+    rng: np.random.Generator,
+    n: int,
+) -> list[np.ndarray]:
+    """Sample every distribution as a column, draw-major.
+
+    Consumes the generator exactly like the historical per-draw loop
+    (draw 0 samples every distribution in order, then draw 1, ...), so
+    seeded columnar runs reproduce the scalar path's draws bit-for-bit
+    — one matrix fill instead of ``n x len(distributions)`` scalar
+    calls.  Returns one value column per distribution, in order.
+    """
+    u = rng.random((n, len(distributions)))
+    return [
+        dist.column_from_uniform(u[:, j])
+        for j, dist in enumerate(distributions)
+    ]
+
+
+class ColumnSamples(Sequence):
+    """Per-draw sample dicts, materialised lazily from value columns.
+
+    Behaves like the tuple-of-dicts the scalar path records (length,
+    indexing, slicing, equality against any sequence of mappings) while
+    storing only the underlying NumPy columns — a million-draw study
+    carries a few arrays, not a million dicts.
+    """
+
+    __slots__ = ("_columns",)
+
+    def __init__(self, columns: Mapping[str, np.ndarray]) -> None:
+        self._columns = dict(columns)
+
+    @property
+    def columns(self) -> dict[str, np.ndarray]:
+        """The name -> value-column mapping behind the sequence."""
+        return self._columns
+
+    def __len__(self) -> int:
+        if not self._columns:
+            return 0
+        return int(next(iter(self._columns.values())).shape[0])
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return tuple(
+                self[i] for i in range(*index.indices(len(self)))
+            )
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return {
+            name: float(column[index])
+            for name, column in self._columns.items()
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ColumnSamples):
+            return self._columns.keys() == other._columns.keys() and all(
+                np.array_equal(self._columns[k], other._columns[k])
+                for k in self._columns
+            )
+        if isinstance(other, Sequence) and not isinstance(other, (str, bytes)):
+            return len(self) == len(other) and all(
+                self[i] == other[i] for i in range(len(self))
+            )
+        return NotImplemented
+
+    __hash__ = None  # mutable columns; mirror list/dict semantics
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnSamples(n={len(self)}, names={sorted(self._columns)})"
+        )
+
 
 @dataclass(frozen=True)
 class MonteCarloResult:
@@ -61,11 +174,17 @@ class MonteCarloResult:
     :func:`monte_carlo_batch`) carries the totals-based per-draw winner,
     which stays correct even where the ratio's sign stops tracking the
     greener platform (credit-negative ASIC totals).
+
+    ``samples`` is a per-draw sequence of ``{knob: value}`` dicts — an
+    eager tuple on the object path, a lazy :class:`ColumnSamples` view
+    on the columnar path.  Columnar results additionally expose the raw
+    value columns via ``sample_columns`` for array-land consumers.
     """
 
     ratios: np.ndarray
-    samples: tuple[dict[str, float], ...]
+    samples: Sequence[dict[str, float]]
     winners: np.ndarray | None = None
+    sample_columns: "Mapping[str, np.ndarray] | None" = None
 
     @property
     def n_samples(self) -> int:
@@ -134,6 +253,15 @@ class MonteCarloResult:
         }
 
 
+def _validate_study(
+    distributions: Sequence[ParameterDistribution], n_samples: int
+) -> None:
+    if n_samples < 1:
+        raise ParameterError("n_samples must be >= 1")
+    if not distributions:
+        raise ParameterError("at least one ParameterDistribution is required")
+
+
 def _draw_pairs(
     comparator: PlatformComparator,
     scenario: Scenario,
@@ -147,10 +275,7 @@ def _draw_pairs(
     so the RNG consumption order — the reproducibility contract between
     them — can never drift apart.
     """
-    if n_samples < 1:
-        raise ParameterError("n_samples must be >= 1")
-    if not distributions:
-        raise ParameterError("at least one ParameterDistribution is required")
+    _validate_study(distributions, n_samples)
     rng = np.random.default_rng(seed)
     samples: list[dict[str, float]] = []
     pairs: list[tuple[PlatformComparator, Scenario]] = []
@@ -210,18 +335,56 @@ def monte_carlo_batch(
     """Array-land :func:`monte_carlo`: the draws run as one kernel batch.
 
     Sampling (RNG consumption order included) is identical to
-    :func:`monte_carlo`, but the perturbed comparators are evaluated
-    through the vector kernel's multi-comparator path — every draw's
-    suite is decomposed into model-parameter columns and the sub-models
-    themselves are vectorised, so no per-draw lifecycle objects or
-    ``ComparisonResult`` materialisation occur.  Ratios agree with the
-    scalar path to ``rtol <= 1e-12``; draws bypass the engine's sharded
-    result store — per-draw suites never repeat, so digesting them would
-    cost more than it saves (use :func:`monte_carlo` when cache warmth
-    matters more than throughput).
+    :func:`monte_carlo` — seeded columnar runs reproduce the scalar
+    draws bit-for-bit — but evaluation is columnar end to end:
+
+    * When every distribution provides an ``apply_column`` callback
+      (and the kernel covers the scenario), the draws are sampled
+      straight into value columns, written onto a base-plus-overrides
+      :class:`~repro.engine.vector.ParameterBatch`, and evaluated
+      through :meth:`EvaluationEngine.evaluate_param_batch` — no
+      per-draw comparator objects, no per-row extraction, no per-row
+      digests.  Huge batches are chunked across cores by the engine,
+      and batches that fit the sharded store are cached under
+      vectorised column-fold digests (a re-run of the same seeded study
+      is pure gather).
+    * Otherwise each draw's perturbed comparator is materialised and
+      decomposed into parameter columns per row (the compatibility
+      path) — still one fused kernel batch.
+
+    Ratios agree with the scalar path to ``rtol <= 1e-12`` either way.
+    Columnar results carry :class:`ColumnSamples` (lazy per-draw dicts)
+    plus the raw ``sample_columns`` arrays.
     """
-    samples, pairs = _draw_pairs(comparator, scenario, distributions,
-                                 n_samples, seed)
-    batch = resolve_engine(engine).evaluate_pairs_batch(pairs)
-    return MonteCarloResult(ratios=batch.ratios, samples=samples,
-                            winners=batch.winners)
+    eng = resolve_engine(engine)
+    columnar = (
+        eng.vectorize
+        and distributions
+        and all(d.apply_column is not None for d in distributions)
+        and VectorizedEvaluator.covers(scenario)
+    )
+    if not columnar:
+        samples, pairs = _draw_pairs(comparator, scenario, distributions,
+                                     n_samples, seed)
+        batch = eng.evaluate_pairs_batch(pairs)
+        return MonteCarloResult(ratios=batch.ratios, samples=samples,
+                                winners=batch.winners)
+
+    _validate_study(distributions, n_samples)
+    rng = np.random.default_rng(seed)
+    value_columns = sample_value_columns(distributions, rng, n_samples)
+    params = ParameterBatch.from_comparator(comparator, n_samples)
+    for dist, values in zip(distributions, value_columns):
+        dist.apply_column(params, values)
+    batch = ScenarioBatch.tile(scenario, n_samples)
+    result = eng.evaluate_param_batch(params, batch)
+    columns = {
+        dist.name: values
+        for dist, values in zip(distributions, value_columns)
+    }
+    return MonteCarloResult(
+        ratios=result.ratios,
+        samples=ColumnSamples(columns),
+        winners=result.winners,
+        sample_columns=columns,
+    )

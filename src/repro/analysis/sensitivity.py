@@ -74,16 +74,22 @@ def tornado(
     """One-at-a-time sensitivity of the ratio to each knob's range.
 
     The baseline and every knob's low/high endpoint are assessed as one
-    batch through ``engine`` (shared default when not given), so the
-    baseline — and any endpoints coinciding with Monte-Carlo draws or
-    other analyses — come from the cache.
+    array-land batch through ``engine``
+    (:meth:`~repro.engine.EvaluationEngine.evaluate_pairs_batch`):
+    endpoints become parameter-space rows evaluated by the vector
+    kernels — no per-endpoint ``ComparisonResult`` objects — and cached
+    in the sharded store under extraction-mode row digests, so a
+    repeated tornado over the same knobs and scenario is served from
+    warmth.  Ratios agree with the scalar object path to
+    ``rtol <= 1e-12``.
     """
     pairs: list[tuple[PlatformComparator, Scenario]] = [(comparator, scenario)]
     for dist in distributions:
         pairs.append((dist.apply(comparator, dist.low), scenario))
         pairs.append((dist.apply(comparator, dist.high), scenario))
-    comparisons = resolve_engine(engine).evaluate_pairs(pairs)
-    baseline = comparisons[0].ratio
+    batch = resolve_engine(engine).evaluate_pairs_batch(pairs)
+    ratios = batch.ratios
+    baseline = float(ratios[0])
     entries = []
     for index, dist in enumerate(distributions):
         entries.append(
@@ -91,8 +97,8 @@ def tornado(
                 name=dist.name,
                 low_value=dist.low,
                 high_value=dist.high,
-                ratio_at_low=comparisons[1 + 2 * index].ratio,
-                ratio_at_high=comparisons[2 + 2 * index].ratio,
+                ratio_at_low=float(ratios[1 + 2 * index]),
+                ratio_at_high=float(ratios[2 + 2 * index]),
             )
         )
     return SensitivityResult(baseline_ratio=baseline, entries=tuple(entries))

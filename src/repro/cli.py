@@ -7,6 +7,9 @@ Subcommands:
   and print its report (optionally exporting CSVs).
 * ``greenfpga compare --domain dnn --apps 5 --lifetime 2 --volume 1e6`` —
   one-off FPGA-vs-ASIC comparison.
+* ``greenfpga mc --draws 1000000`` — columnar Monte-Carlo over the
+  Table 1 uncertainty ranges (the parameter-space pipeline: draws are
+  sampled straight into NumPy columns, no per-draw objects).
 * ``greenfpga serve-bench [--clients N]`` — measure async serving
   throughput (micro-batched concurrent clients vs serialized dispatch).
 
@@ -84,6 +87,19 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--apps", type=int, default=5, help="number of applications")
     compare.add_argument("--lifetime", type=float, default=2.0, help="app lifetime, years")
     compare.add_argument("--volume", type=float, default=1.0e6, help="units per app")
+
+    mc = sub.add_parser(
+        "mc",
+        help="columnar Monte-Carlo over the Table 1 uncertainty ranges",
+    )
+    mc.add_argument("--domain", default="dnn", choices=list(DOMAIN_NAMES))
+    mc.add_argument("--draws", type=int, default=100_000,
+                    help="Monte-Carlo draws (columns, not objects)")
+    mc.add_argument("--seed", type=int, default=2024, help="RNG seed")
+    mc.add_argument("--apps", type=int, default=5, help="number of applications")
+    mc.add_argument("--lifetime", type=float, default=2.0,
+                    help="app lifetime, years")
+    mc.add_argument("--volume", type=float, default=1.0e6, help="units per app")
 
     serve = sub.add_parser(
         "serve-bench",
@@ -163,6 +179,47 @@ def _cmd_compare(domain: str, apps: int, lifetime: float, volume: float) -> int:
     return 0
 
 
+def _cmd_mc(
+    domain: str,
+    draws: int,
+    seed: int,
+    apps: int,
+    lifetime: float,
+    volume: float,
+) -> int:
+    import time
+
+    from repro.analysis.montecarlo import monte_carlo_batch
+    from repro.experiments.ext_uncertainty import distributions
+
+    scenario = Scenario(
+        num_apps=apps, app_lifetime_years=lifetime, volume=int(volume)
+    )
+    comparator = PlatformComparator.for_domain(domain)
+    start = time.perf_counter()
+    result = monte_carlo_batch(
+        comparator, scenario, distributions(), n_samples=draws, seed=seed,
+        engine=default_engine(),
+    )
+    elapsed = time.perf_counter() - start
+    rows = [
+        {"metric": name, "value": f"{value:.6g}"}
+        for name, value in result.summary().items()
+    ]
+    print(format_table(
+        rows,
+        title=(
+            f"{domain}: {draws} Monte-Carlo draws over Table 1 ranges "
+            f"(seed {seed})"
+        ),
+    ))
+    print(
+        f"\n{draws} draws in {elapsed:.3f} s "
+        f"({draws / elapsed:,.0f} draws/s, columnar parameter-space pipeline)"
+    )
+    return 0
+
+
 def _cmd_serve_bench(
     clients: int,
     requests: int,
@@ -190,8 +247,10 @@ def _cmd_serve_bench(
         ),
     ))
     print(
-        f"\nwarm concurrent vs serialized dispatch: "
-        f"{report['speedup_concurrent_vs_serialized_warm']:.2f}x  "
+        f"\nwarm concurrent vs windowed serialized dispatch: "
+        f"{report['speedup_concurrent_vs_windowed_serialized_warm']:.2f}x  "
+        f"adaptive vs eager serialized: "
+        f"{report['adaptive_serialized_over_eager_warm']:.2f}x  "
         f"(persisted entries: {report['persisted_entries']}, "
         f"warm rows recomputed: {report['warm_concurrent_rows_recomputed']})"
     )
@@ -208,6 +267,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         code = _cmd_run(args.experiment, args.csv_dir)
     elif args.command == "compare":
         code = _cmd_compare(args.domain, args.apps, args.lifetime, args.volume)
+    elif args.command == "mc":
+        code = _cmd_mc(
+            args.domain, args.draws, args.seed, args.apps, args.lifetime,
+            args.volume,
+        )
     elif args.command == "serve-bench":
         code = _cmd_serve_bench(
             args.clients, args.requests, args.cells, args.window_ms,

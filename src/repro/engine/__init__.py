@@ -10,6 +10,7 @@ from repro.engine.cache import CacheStats, LruCache
 from repro.engine.engine import (
     DEFAULT_CACHE_SHARDS,
     MIN_VECTOR_BATCH,
+    PARAM_CHUNK_ROWS,
     EvaluationEngine,
     build_suite_cached,
     configure_default_engine,
@@ -25,9 +26,17 @@ from repro.engine.store import (
     comparator_key,
     evaluation_key,
     pair_digest,
+    param_batch_digests,
+    param_digest,
+    param_row_digest,
     scenario_key,
 )
-from repro.engine.vector import BatchResult, ScenarioBatch, VectorizedEvaluator
+from repro.engine.vector import (
+    BatchResult,
+    ParameterBatch,
+    ScenarioBatch,
+    VectorizedEvaluator,
+)
 
 __all__ = [
     "AsyncEvaluationEngine",
@@ -37,6 +46,8 @@ __all__ = [
     "EvaluationEngine",
     "LruCache",
     "MIN_VECTOR_BATCH",
+    "PARAM_CHUNK_ROWS",
+    "ParameterBatch",
     "ScenarioBatch",
     "ShardedResultStore",
     "VectorizedEvaluator",
@@ -48,6 +59,9 @@ __all__ = [
     "default_engine",
     "evaluation_key",
     "pair_digest",
+    "param_batch_digests",
+    "param_digest",
+    "param_row_digest",
     "reset_default_engine",
     "resolve_engine",
     "scenario_key",

@@ -31,10 +31,15 @@ from __future__ import annotations
 
 import atexit
 import dataclasses
+import os
 import pickle
 import threading
 from collections.abc import Iterable, Sequence
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from pathlib import Path
 
 import numpy as np
@@ -57,9 +62,18 @@ from repro.engine.store import (  # noqa: F401 (keys re-exported for compat)
     pack_comparison,
     pack_fallback_row,
     pair_digest,
+    param_batch_digests,
+    param_digest,
+    param_row_digest,
     scenario_key,
 )
-from repro.engine.vector import BatchResult, ScenarioBatch, VectorizedEvaluator
+from repro.engine.vector import (
+    BatchResult,
+    ParameterBatch,
+    ScenarioBatch,
+    VectorizedEvaluator,
+)
+from repro.engine.vector.evaluator import _patch_fallback_rows
 from repro.engine.vector.kernels import ratio_kernel, winner_kernel
 from repro.errors import ParameterError
 
@@ -73,6 +87,16 @@ MIN_VECTOR_BATCH = 8
 
 #: Default shard count of the result store.
 DEFAULT_CACHE_SHARDS = 8
+
+#: Rows per chunk of the parameter-batch dispatch.  Batches above this
+#: are split into per-worker column slices (zero-copy NumPy views) and
+#: composed on a thread pool — the heavy array kernels release the GIL —
+#: which also bounds peak temporary memory for million-row batches.
+PARAM_CHUNK_ROWS = 131_072
+
+#: Hard cap on parameter-dispatch threads (beyond this the kernels are
+#: memory-bandwidth bound and extra threads only add contention).
+MAX_PARAM_THREADS = 8
 
 
 #: A scenario routes through the packed array store exactly when the
@@ -572,21 +596,151 @@ class EvaluationEngine:
     ) -> BatchResult:
         """Assess many (comparator, scenario) pairs, staying in array-land.
 
-        Every row may carry its own suite (Monte-Carlo draws, DSE
-        grids); the kernel extracts model parameters into columns and
-        vectorises the sub-models themselves.  Rows bypass the result
-        store — per-draw suites never repeat, so digesting them would
-        cost more than it saves.  Parity with the scalar path is
-        ``rtol <= 1e-12``.
+        Every row may carry its own suite (DSE grids, tornado
+        endpoints, legacy Monte-Carlo callers); the pairs are columnised
+        into a :class:`ParameterBatch` and routed through
+        :meth:`evaluate_param_batch`, so the sub-models are vectorised
+        from extracted parameter columns and rows are cached in the
+        sharded store under vectorised column-fold digests (batches
+        larger than the store bypass it).  Parity with the scalar path
+        is ``rtol <= 1e-12``.
         """
-        if self.vectorize:
-            pair_list = list(pairs)
-            self._note_computed(len(pair_list))
-            return self._vector.evaluate_pairs_batch(pair_list)
         pair_list = list(pairs)
-        return BatchResult.from_results(
-            self.evaluate_pairs(pair_list), [c for c, _ in pair_list]
+        if not self.vectorize:
+            return BatchResult.from_results(
+                self.evaluate_pairs(pair_list), [c for c, _ in pair_list]
+            )
+        params = ParameterBatch.from_comparators([c for c, _ in pair_list])
+        batch = ScenarioBatch.from_scenarios(tuple(s for _, s in pair_list))
+        return self.evaluate_param_batch(params, batch)
+
+    def evaluate_param_batch(
+        self,
+        params: ParameterBatch,
+        scenarios: "ScenarioBatch | Iterable[Scenario]",
+    ) -> BatchResult:
+        """Assess parameter-space rows, columnar end to end.
+
+        The workhorse of the parameter-space pipeline: Monte-Carlo
+        draws, DSE grids and tornado endpoints all reduce to a
+        :class:`ParameterBatch` against a :class:`ScenarioBatch`.
+
+        * Fully covered batches that fit the result store are keyed by
+          vectorised column-fold digests
+          (:func:`~repro.engine.store.param_batch_digests`) — warm rows
+          are answered by the store's batched gather, misses run
+          through the kernels and populate it, so a re-run of the same
+          seeded study is pure gather.
+        * Batches larger than the store (or with kernel-uncovered
+          scenario rows) bypass it; uncovered rows are patched through
+          the scalar path when the batch carries comparator objects.
+        * Huge batches are split into per-worker column slices
+          (:data:`PARAM_CHUNK_ROWS` rows each, zero-copy views) and
+          composed on a thread pool — NumPy releases the GIL in the
+          kernels, so chunks genuinely run multi-core.
+
+        With ``vectorize=False`` the rows are evaluated through the
+        scalar object path (requires an extraction-mode batch carrying
+        its comparators) and columnised, so callers see one API.
+        """
+        batch = (
+            scenarios
+            if isinstance(scenarios, ScenarioBatch)
+            else ScenarioBatch.from_scenarios(tuple(scenarios))
         )
+        if params.size != batch.size:
+            raise ParameterError(
+                f"parameter batch has {params.size} rows, "
+                f"scenario batch has {batch.size}"
+            )
+        if not self.vectorize:
+            if params.comparators is None:
+                raise ParameterError(
+                    "vectorize=False needs a comparator-backed "
+                    "ParameterBatch (from_comparators)"
+                )
+            pair_list = [
+                (c, batch.scenario_at(i))
+                for i, c in enumerate(params.comparators)
+            ]
+            return BatchResult.from_results(
+                self.evaluate_pairs(pair_list), list(params.comparators)
+            )
+
+        use_store = (
+            0 < batch.size <= self._store.capacity
+            and batch.all_covered
+            and params.digestable
+        )
+        if not use_store:
+            result = self._compute_param_chunks(params, batch)
+            self._note_computed(batch.size)
+            if not batch.all_covered:
+                if params.comparators is None:
+                    raise ParameterError(
+                        "kernel-uncovered scenario rows need a "
+                        "comparator-backed ParameterBatch"
+                    )
+                _patch_fallback_rows(result, batch, params.comparators)
+            return result
+
+        lo, hi = param_batch_digests(params, batch)
+        hits, floats, ints = self._store.get_batch(lo, hi)
+        miss = np.nonzero(~hits)[0]
+        if miss.size:
+            computed = self._compute_param_chunks(
+                params.take(miss), batch.take(miss)
+            )
+            self._note_computed(int(miss.size))
+            comp_f, comp_i = pack_batch_rows(computed, np.arange(miss.size))
+            self._store.put_batch(lo[miss], hi[miss], comp_f, comp_i)
+            floats[miss] = comp_f
+            ints[miss] = comp_i
+        return self._assemble_batch(batch, floats, ints, {})
+
+    def _compute_param_chunks(
+        self, params: ParameterBatch, batch: ScenarioBatch
+    ) -> BatchResult:
+        """Kernel-evaluate a parameter batch, chunked and multi-core.
+
+        Small batches run as one kernel call.  Larger ones are split
+        into :data:`PARAM_CHUNK_ROWS`-row column slices; slices are
+        NumPy views (and base-mode broadcast columns are shared), so
+        splitting copies no row data.  Chunks are composed concurrently
+        on a thread pool unless ``workers=1`` pinned the engine to
+        sequential execution; results are concatenated in row order, so
+        chunking never changes values.
+        """
+        n = batch.size
+        if n <= PARAM_CHUNK_ROWS:
+            return self._vector.evaluate_param_batch(params, batch)
+        ranges = [
+            (start, min(start + PARAM_CHUNK_ROWS, n))
+            for start in range(0, n, PARAM_CHUNK_ROWS)
+        ]
+
+        def piece(bounds: tuple[int, int]) -> BatchResult:
+            start, stop = bounds
+            return self._vector.evaluate_param_batch(
+                params.slice_rows(start, stop), batch.slice_rows(start, stop)
+            )
+
+        threads = min(
+            len(ranges),
+            self.workers or (os.cpu_count() or 1),
+            MAX_PARAM_THREADS,
+        )
+        if threads <= 1:
+            parts = [piece(bounds) for bounds in ranges]
+        else:
+            # A per-call pool sized to the computed bound: chunked
+            # dispatch only triggers for 100k+-row batches, so pool
+            # startup is noise, and a `workers` pin is always honoured.
+            with ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="repro-vector"
+            ) as pool:
+                parts = list(pool.map(piece, ranges))
+        return BatchResult.concat(parts)
 
     def _pool_get(self) -> ProcessPoolExecutor:
         """The engine's worker pool, started lazily and reused per batch."""

@@ -70,11 +70,16 @@ class AsyncEvaluationEngine:
             comparator; ``0`` still coalesces whatever arrives within
             one event-loop pass.
         eager_single: Dispatch a lone queued request immediately instead
-            of holding it for the window.  ``False`` (the default) is
-            standard micro-batching — even a single request waits, in
-            case a fusable burst is moments away — which maximises
-            aggregate throughput under concurrency; ``True`` trades
-            that for minimum latency on sparse traffic.
+            of holding it for the window, unconditionally.  Implied by
+            the default adaptive window; keep for explicit
+            latency-pinned configurations.
+        adaptive_window: Auto-eager when the queue is idle (the
+            default): a request that is *alone* after the enqueue pass —
+            no other pending clients to fuse with — skips the window,
+            so a serialized client pays per-dispatch cost only, while
+            any concurrent burst (two or more pending) still gets the
+            full window and fuses.  ``False`` restores the
+            unconditional window, the classic micro-batching trade.
         workers: Threads of the dispatch pool running the CPU-bound
             kernel/gather work (NumPy releases the GIL for the heavy
             array operations).
@@ -92,6 +97,7 @@ class AsyncEvaluationEngine:
         *,
         batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
         eager_single: bool = False,
+        adaptive_window: bool = True,
         workers: int = 4,
     ) -> None:
         if batch_window_s < 0.0:
@@ -104,6 +110,7 @@ class AsyncEvaluationEngine:
         self._owns_engine = engine is None
         self.batch_window_s = batch_window_s
         self.eager_single = eager_single
+        self.adaptive_window = adaptive_window
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
@@ -116,6 +123,8 @@ class AsyncEvaluationEngine:
         self.batches_fused = 0
         #: Requests that rode in a fused dispatch.
         self.requests_coalesced = 0
+        #: Windows skipped for idle-queue lone requests (adaptive/eager).
+        self.windows_skipped = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -264,8 +273,11 @@ class AsyncEvaluationEngine:
 
         The leading ``sleep(0)`` lets every already-runnable submitter
         enqueue before the round is sized; the batching window then
-        collects the rest of the burst (skipped for a lone request when
-        :attr:`eager_single` is set).  Flush rounds run sequentially, so
+        collects the rest of the burst.  A request still alone after
+        that pass has no concurrent peers to fuse with, so the adaptive
+        window (and ``eager_single``) dispatches it immediately instead
+        of charging it the window — a burst of two or more always waits
+        the window out and fuses.  Flush rounds run sequentially, so
         everything computed in round K is in the store before round K+1
         is fused — concurrent clients asking for the same cells across
         rounds always hit warmth.
@@ -277,7 +289,10 @@ class AsyncEvaluationEngine:
         try:
             while self._pending:
                 await asyncio.sleep(0)
-                if len(self._pending) > 1 or not self.eager_single:
+                lone = len(self._pending) == 1
+                if lone and (self.adaptive_window or self.eager_single):
+                    self.windows_skipped += 1
+                else:
                     await asyncio.sleep(self.batch_window_s)
                 pending, self._pending = self._pending, []
                 try:
@@ -393,26 +408,30 @@ def serving_benchmark(
     `requests_per_client` sweep requests of ``cells_per_request`` cells):
 
     * ``cold_serialized_1`` — fresh store, one client awaiting each
-      request in turn through the micro-batching server (standard
-      windowed dispatch, the baseline mode);
+      request in turn through the micro-batching server (the default
+      adaptive window: lone requests dispatch eagerly);
     * ``cold_concurrent_N`` — fresh store, ``clients`` concurrent
       clients coalesced by the micro-batcher;
     * ``warm_serialized_1`` / ``warm_concurrent_N`` — the same two
       modes against a store loaded from the ``.npz`` the cold phase
       persisted (``cache_file``; a throwaway file when not given);
-    * ``warm_serialized_1_eager`` — transparency reference: the same
-      serialized drive with ``eager_single=True`` (no window held for
-      lone requests), separating the window's latency contribution
-      from per-dispatch overhead in the headline speedup.
+    * ``warm_serialized_1_windowed`` — reference: the same serialized
+      drive with ``adaptive_window=False``, i.e. the classic
+      unconditional window every micro-batching server charges lone
+      requests.  The concurrent-speedup gate compares against this
+      phase, since it is the dispatch mode concurrency amortises;
+    * ``warm_serialized_1_eager`` — reference: ``eager_single=True``
+      (window never held for lone requests).  The adaptive-window gate
+      compares ``warm_serialized_1`` against this phase — adaptive
+      dispatch must serve an idle-queue serialized client at
+      near-eager latency.
 
     Returns a JSON-ready dict with per-phase elapsed seconds and
-    scenarios/sec plus the warm concurrent-vs-serialized speedup — the
-    number the ``BENCH_serving.json`` gate tracks.  A serialized client
-    pays the batching window per request by design (the server holds
-    even a lone request for one window, like any micro-batching
-    server); concurrent clients amortise both the window and the
-    per-dispatch overhead across a fused batch, which is exactly the
-    trade the gate quantifies.
+    scenarios/sec plus two headline ratios the ``BENCH_serving.json``
+    gates track: coalesced concurrent clients vs windowed serialized
+    dispatch (the micro-batching win), and adaptive serialized vs eager
+    serialized (the idle-queue window penalty, which the adaptive
+    window exists to remove).
     """
     comparator = PlatformComparator.for_domain(domain)
     total_requests = clients * requests_per_client
@@ -437,15 +456,30 @@ def serving_benchmark(
         *,
         load: bool,
         eager_single: bool = False,
+        adaptive_window: bool = True,
+        repeats: int = 1,
     ) -> tuple[float, EvaluationEngine]:
-        engine = EvaluationEngine()
-        if load:
-            engine.load_cache(cache_path)
-        async with AsyncEvaluationEngine(
-            engine, batch_window_s=batch_window_s, eager_single=eager_single
-        ) as served:
-            elapsed = await _drive(served, comparator, jobs)
-        return elapsed, engine
+        """One timed drive; ``repeats > 1`` keeps the fastest run.
+
+        Timing noise is strictly additive, so min-of-N is the right
+        estimator for the latency-*ratio* gates (adaptive vs eager) —
+        each warm repeat rebuilds the engine from the same ``.npz``, so
+        no repeat sees extra warmth.
+        """
+        best = float("inf")
+        engine = None
+        for _ in range(repeats):
+            engine = EvaluationEngine()
+            if load:
+                engine.load_cache(cache_path)
+            async with AsyncEvaluationEngine(
+                engine,
+                batch_window_s=batch_window_s,
+                eager_single=eager_single,
+                adaptive_window=adaptive_window,
+            ) as served:
+                best = min(best, await _drive(served, comparator, jobs))
+        return best, engine
 
     async def run_all() -> dict:
         cold_1_s, _ = await phase(serialized_jobs(), load=False)
@@ -455,9 +489,12 @@ def serving_benchmark(
         )
         warm_engine.save_cache(cache_path)
         persisted = warm_engine.cache_stats.size
-        warm_1_s, _ = await phase(serialized_jobs(), load=True)
+        warm_1_s, _ = await phase(serialized_jobs(), load=True, repeats=3)
+        warm_1_windowed_s, _ = await phase(
+            serialized_jobs(), load=True, adaptive_window=False
+        )
         warm_1_eager_s, _ = await phase(
-            serialized_jobs(), load=True, eager_single=True
+            serialized_jobs(), load=True, eager_single=True, repeats=3
         )
         warm_n_s, warm_n_engine = await phase(
             _client_jobs(clients, requests_per_client, cells_per_request),
@@ -485,14 +522,15 @@ def serving_benchmark(
                 "cold_serialized_1": entry(cold_1_s),
                 f"cold_concurrent_{clients}": entry(cold_n_s),
                 "warm_serialized_1": entry(warm_1_s),
+                "warm_serialized_1_windowed": entry(warm_1_windowed_s),
                 "warm_serialized_1_eager": entry(warm_1_eager_s),
                 f"warm_concurrent_{clients}": entry(warm_n_s),
             },
-            "speedup_concurrent_vs_serialized_warm": round(
-                warm_1_s / warm_n_s, 2
+            "speedup_concurrent_vs_windowed_serialized_warm": round(
+                warm_1_windowed_s / warm_n_s, 2
             ),
-            "speedup_concurrent_vs_eager_serialized_warm": round(
-                warm_1_eager_s / warm_n_s, 2
+            "adaptive_serialized_over_eager_warm": round(
+                warm_1_s / warm_1_eager_s, 2
             ),
         }
 

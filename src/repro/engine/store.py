@@ -54,7 +54,12 @@ from repro.core.fpga_model import FpgaAssessment
 from repro.core.lifecycle import CarbonFootprint
 from repro.core.scenario import Scenario
 from repro.engine.cache import CacheStats, LruCache
-from repro.engine.vector import BatchResult, ScenarioBatch, VectorizedEvaluator
+from repro.engine.vector import (
+    BatchResult,
+    ParameterBatch,
+    ScenarioBatch,
+    VectorizedEvaluator,
+)
 from repro.engine.vector.kernels import chip_generations
 from repro.errors import ParameterError
 
@@ -202,6 +207,29 @@ def pair_digest(comparator: PlatformComparator, scenario: Scenario) -> tuple[int
     return lo, hi
 
 
+def _fold_scenario_columns(
+    lo: np.ndarray, hi: np.ndarray, batch: ScenarioBatch
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold the six scenario columns into ``(lo, hi)``, vectorised.
+
+    The column twin of the uniform branch of :func:`pair_digest`; shared
+    by the scenario-space and parameter-space batch digests so the fold
+    order can never drift between them.
+    """
+    columns = (
+        batch.num_apps.astype(np.uint64),
+        np.ascontiguousarray(batch.lifetime, dtype=np.float64).view(np.uint64),
+        batch.volume.astype(np.uint64),
+        _optional_column_bits(batch.evaluation_years),
+        _optional_column_bits(batch.app_size_mgates),
+        batch.enforce_chip_lifetime.astype(np.uint64),
+    )
+    for column in columns:
+        lo = _mix_columns(lo, column)
+        hi = _mix_columns(hi, column)
+    return lo, hi
+
+
 def batch_digests(
     comparator: PlatformComparator, batch: ScenarioBatch
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -216,17 +244,7 @@ def batch_digests(
     seed_lo, seed_hi = comparator_digest(comparator)
     lo = np.full(n, seed_lo, dtype=np.uint64)
     hi = np.full(n, seed_hi, dtype=np.uint64)
-    columns = (
-        batch.num_apps.astype(np.uint64),
-        np.ascontiguousarray(batch.lifetime, dtype=np.float64).view(np.uint64),
-        batch.volume.astype(np.uint64),
-        _optional_column_bits(batch.evaluation_years),
-        _optional_column_bits(batch.app_size_mgates),
-        batch.enforce_chip_lifetime.astype(np.uint64),
-    )
-    for column in columns:
-        lo = _mix_columns(lo, column)
-        hi = _mix_columns(hi, column)
+    lo, hi = _fold_scenario_columns(lo, hi, batch)
     if not batch.all_covered:
         if batch.scenarios is None:  # pragma: no cover - defensive
             raise ParameterError("uncovered batch rows need Scenario objects")
@@ -234,6 +252,140 @@ def batch_digests(
             row_lo, row_hi = pair_digest(comparator, batch.scenarios[int(i)])
             lo[i] = row_lo
             hi[i] = row_hi
+    return lo, hi
+
+
+# ----------------------------------------------------------------------
+# Parameter-space digests (the ParameterBatch key contract)
+# ----------------------------------------------------------------------
+
+#: Namespace seed of extraction-mode parameter rows (no base comparator
+#: to seed from); BLAKE2b of a fixed tag, stable across processes.
+_PARAM_SEED_RAW = hashlib.blake2b(
+    b"repro-param-space-v1", digest_size=16
+).digest()
+PARAM_SPACE_SEED = (
+    int.from_bytes(_PARAM_SEED_RAW[:8], "little"),
+    int.from_bytes(_PARAM_SEED_RAW[8:], "little"),
+)
+
+
+def param_digest(
+    base: PlatformComparator,
+    scenario: Scenario,
+    overrides: "dict[int, float]",
+) -> tuple[int, int]:
+    """Scalar digest of one base-mode parameter row.
+
+    Seeds from :func:`pair_digest` of the *base* comparator and folds
+    each overridden column as ``(column index, value bits)`` in index
+    order — so a row with *no* overrides digests identically to the
+    plain scenario-space key of ``(base, scenario)`` and shares its
+    cached result on purpose.  The vectorised twin is
+    :func:`param_batch_digests`; this scalar fold bit-reproduces it.
+    """
+    lo, hi = pair_digest(base, scenario)
+    for index in sorted(overrides):
+        for value in (int(index), _float_bits(float(overrides[index]))):
+            lo = _mix_scalar(lo, value)
+            hi = _mix_scalar(hi, value)
+    return lo, hi
+
+
+def param_row_digest(
+    row: "tuple[float, ...] | np.ndarray", scenario: Scenario
+) -> tuple[int, int]:
+    """Scalar digest of one extraction-mode parameter row.
+
+    Folds the scenario fields then every model-parameter column in
+    registry order over the fixed :data:`PARAM_SPACE_SEED`; the
+    vectorised twin is :func:`param_batch_digests`.  Only covered
+    (uniform-lifetime, integral-volume) scenarios are representable.
+    """
+    lifetimes = scenario.lifetimes
+    if any(t != lifetimes[0] for t in lifetimes) or (
+        scenario.volume != int(scenario.volume)
+    ):
+        raise ParameterError(
+            "parameter-row digests require uniform lifetimes and an "
+            "integral volume (kernel-covered scenarios)"
+        )
+    lo, hi = PARAM_SPACE_SEED
+    values = [
+        int(scenario.num_apps),
+        _float_bits(lifetimes[0]),
+        int(scenario.volume),
+        _optional_bits(scenario.evaluation_years),
+        _optional_bits(scenario.app_size_mgates),
+        int(scenario.enforce_chip_lifetime),
+    ]
+    values.extend(_float_bits(float(v)) for v in row)
+    for value in values:
+        lo = _mix_scalar(lo, value)
+        hi = _mix_scalar(hi, value)
+    return lo, hi
+
+
+def param_batch_digests(
+    params: "ParameterBatch", batch: ScenarioBatch
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised 128-bit digests of parameter-space rows.
+
+    One splitmix-style fold per *column* — zero per-row hashing work —
+    bit-reproduced by the scalar folds:
+
+    * base-mode batches (:meth:`ParameterBatch.from_comparator`) seed
+      from the base comparator's digest, fold the scenario columns,
+      then fold each override column as ``(index, bits)`` in index
+      order — the twin of :func:`param_digest`;
+    * extraction-mode batches (:meth:`ParameterBatch.from_comparators`)
+      seed from :data:`PARAM_SPACE_SEED` and fold every parameter
+      column in registry order — the twin of :func:`param_row_digest`.
+
+    Every row must be kernel-covered (the scenario columns cannot
+    represent ragged lifetimes or fractional volumes).
+    """
+    from repro.engine.vector.params import N_PARAM_COLS
+
+    if params.size != batch.size:
+        raise ParameterError(
+            f"parameter batch has {params.size} rows, "
+            f"scenario batch has {batch.size}"
+        )
+    if not batch.all_covered:
+        raise ParameterError(
+            "parameter-space digests require fully covered scenario rows"
+        )
+    n = batch.size
+    if params.base is not None:
+        seed_lo, seed_hi = comparator_digest(params.base)
+        folds: list[np.ndarray] = []
+        for index in sorted(params.overrides):
+            folds.append(np.full(1, index, dtype=np.uint64))
+            folds.append(
+                np.ascontiguousarray(
+                    params.overrides[index], dtype=np.float64
+                ).view(np.uint64)
+            )
+    elif len(params.columns) == N_PARAM_COLS:
+        seed_lo, seed_hi = PARAM_SPACE_SEED
+        folds = [
+            np.ascontiguousarray(params.col(i), dtype=np.float64).view(
+                np.uint64
+            )
+            for i in range(N_PARAM_COLS)
+        ]
+    else:
+        raise ParameterError(
+            "parameter batch is not digestable: needs a base comparator "
+            "or a full column set"
+        )
+    lo = np.full(n, seed_lo, dtype=np.uint64)
+    hi = np.full(n, seed_hi, dtype=np.uint64)
+    lo, hi = _fold_scenario_columns(lo, hi, batch)
+    for bits in folds:
+        lo = _mix_columns(lo, bits)
+        hi = _mix_columns(hi, bits)
     return lo, hi
 
 

@@ -10,6 +10,7 @@ from repro.engine.vector.evaluator import (
     VectorizedEvaluator,
     comparator_constants,
 )
+from repro.engine.vector.params import N_PARAM_COLS, ParameterBatch, extract_row
 from repro.engine.vector.kernels import (
     YIELD_MODEL_CODES,
     design_project_kg,
@@ -27,8 +28,11 @@ from repro.engine.vector.kernels import (
 
 __all__ = [
     "BatchResult",
+    "N_PARAM_COLS",
+    "ParameterBatch",
     "ScenarioBatch",
     "SideConstants",
+    "extract_row",
     "VectorizedEvaluator",
     "YIELD_MODEL_CODES",
     "comparator_constants",

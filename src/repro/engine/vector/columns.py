@@ -19,6 +19,7 @@ A :class:`ScenarioBatch` can be built two ways:
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -96,6 +97,45 @@ class ScenarioBatch:
         )
 
     @classmethod
+    def tile(cls, scenario: Scenario, n: int) -> "ScenarioBatch":
+        """Columnise one scenario ``n`` times (no per-row object work).
+
+        The scenario axis of parameter-space batches: a Monte-Carlo run
+        perturbs model parameters under one fixed deployment, so its
+        scenario columns are constant.  Covered (uniform-lifetime,
+        integral-volume) scenarios tile without keeping any ``Scenario``
+        objects; uncovered ones keep the originating object per row so
+        the scalar fallback still works.
+        """
+        if n < 1:
+            raise ParameterError(f"tile needs n >= 1, got {n}")
+        lifetimes = scenario.lifetimes
+        uniform = (
+            all(t == lifetimes[0] for t in lifetimes)
+            and scenario.volume == int(scenario.volume)
+        )
+        return cls(
+            num_apps=np.full(n, scenario.num_apps, dtype=np.int64),
+            volume=np.full(n, scenario.volume, dtype=np.int64),
+            lifetime=np.full(n, lifetimes[0], dtype=np.float64),
+            evaluation_years=np.full(
+                n,
+                np.nan if scenario.evaluation_years is None
+                else scenario.evaluation_years,
+            ),
+            app_size_mgates=np.full(
+                n,
+                np.nan if scenario.app_size_mgates is None
+                else scenario.app_size_mgates,
+            ),
+            enforce_chip_lifetime=np.full(
+                n, scenario.enforce_chip_lifetime, dtype=bool
+            ),
+            covered=np.full(n, uniform, dtype=bool),
+            scenarios=None if uniform else (scenario,) * n,
+        )
+
+    @classmethod
     def from_scenarios(cls, scenarios: Sequence[Scenario]) -> "ScenarioBatch":
         """Columnise existing ``Scenario`` objects.
 
@@ -107,30 +147,10 @@ class ScenarioBatch:
         first = scenarios[0] if scenarios else None
         if n > 1 and all(s is first for s in scenarios):
             # Multi-comparator batches (Monte-Carlo, DSE) reuse one
-            # scenario object across every row — columnise it once.
-            lifetimes = first.lifetimes
-            uniform = (
-                all(t == lifetimes[0] for t in lifetimes)
-                and first.volume == int(first.volume)
-            )
-            return cls(
-                num_apps=np.full(n, first.num_apps, dtype=np.int64),
-                volume=np.full(n, first.volume, dtype=np.int64),
-                lifetime=np.full(n, lifetimes[0], dtype=np.float64),
-                evaluation_years=np.full(
-                    n,
-                    np.nan if first.evaluation_years is None else first.evaluation_years,
-                ),
-                app_size_mgates=np.full(
-                    n,
-                    np.nan if first.app_size_mgates is None else first.app_size_mgates,
-                ),
-                enforce_chip_lifetime=np.full(
-                    n, first.enforce_chip_lifetime, dtype=bool
-                ),
-                covered=np.full(n, uniform, dtype=bool),
-                scenarios=scenarios,
-            )
+            # scenario object across every row — columnise it once and
+            # keep the originating objects for the scalar fallback.
+            batch = cls.tile(first, n)
+            return dataclasses.replace(batch, scenarios=scenarios)
         num_apps = np.empty(n, dtype=np.int64)
         volume = np.empty(n, dtype=np.int64)
         lifetime = np.empty(n, dtype=np.float64)
@@ -250,6 +270,26 @@ class ScenarioBatch:
             ),
             covered=np.concatenate([b.covered for b in batches]),
             scenarios=None,
+        )
+
+    def slice_rows(self, start: int, stop: int) -> "ScenarioBatch":
+        """Row-range view ``[start, stop)`` (NumPy views, no copy).
+
+        Used by the engine's chunked parameter-batch dispatch to hand
+        each worker its own column slices of one huge batch.
+        """
+        rows = slice(start, stop)
+        return ScenarioBatch(
+            num_apps=self.num_apps[rows],
+            volume=self.volume[rows],
+            lifetime=self.lifetime[rows],
+            evaluation_years=self.evaluation_years[rows],
+            app_size_mgates=self.app_size_mgates[rows],
+            enforce_chip_lifetime=self.enforce_chip_lifetime[rows],
+            covered=self.covered[rows],
+            scenarios=(
+                None if self.scenarios is None else self.scenarios[start:stop]
+            ),
         )
 
     def take(self, indices: np.ndarray) -> "ScenarioBatch":

@@ -39,7 +39,6 @@ from repro.data.reports import DesignHouseReport, get_report
 from repro.data.warm import WarmFactors, get_material
 from repro.engine.vector.columns import ScenarioBatch
 from repro.engine.vector.kernels import (
-    YIELD_MODEL_CODES,
     chip_generations,
     design_project_kg,
     eol_per_chip_kg,
@@ -51,8 +50,10 @@ from repro.engine.vector.kernels import (
     repeat_add,
     winner_kernel,
 )
-from repro.manufacturing.yield_model import YieldModel
-from repro.units import gwh_to_kwh, watts_to_kw
+from repro.engine.vector import params as P
+from repro.engine.vector.params import ParameterBatch
+from repro.errors import ParameterError
+from repro.units import watts_to_kw
 
 
 #: ArrayLike scalar-or-column type for per-side constants.
@@ -143,234 +144,84 @@ def comparator_constants(
 
 
 # ----------------------------------------------------------------------
-# Multi-comparator parameter extraction
+# Parameter-space side constants (columnar)
 # ----------------------------------------------------------------------
 
-# Column indices of the extracted model-parameter matrix (one row per
-# comparator).  Shared suite knobs first, then the FPGA and ASIC sides.
-(
-    _MFG_FAB_CI, _MFG_ABATE, _MFG_EDGE, _MFG_SCRIBE, _MFG_RHO,
-    _MFG_YIELD_CODE, _MFG_CHARGE,
-    _PKG_SUB, _PKG_ASM_KWH, _PKG_ASM_CI, _PKG_FANOUT, _PKG_BASE_KG,
-    _PKG_MASS_CM2, _PKG_BASE_MASS,
-    _EOL_DELTA, _EOL_DISCARD, _EOL_CREDIT, _EOL_TRANSPORT,
-    _DES_ANNUAL_KWH, _DES_CI, _DES_AVG_GATES, _DES_BETA,
-    _OP_CI, _OP_DUTY, _OP_IDLE, _OP_PUE,
-    _AD_CI, _AD_CONFIG_KW,
-    _F_AREA, _F_POWER, _F_LIFE, _F_CAPACITY, _F_GATES,
-    _F_EPA, _F_GPA, _F_MPA_NEW, _F_MPA_REC, _F_DEFECT, _F_LINE_YIELD,
-    _F_WAFER_D, _F_TEAM_YEARS, _F_DEV_KG, _F_CHPU,
-    _A_AREA, _A_POWER, _A_LIFE, _A_GATES,
-    _A_EPA, _A_GPA, _A_MPA_NEW, _A_MPA_REC, _A_DEFECT, _A_LINE_YIELD,
-    _A_WAFER_D, _A_TEAM_YEARS, _A_DEV_KG, _A_CHPU,
-) = range(57)
-_N_COLS = 57
-
-
-# The per-sub-model extractors below are memoised on the (frozen,
-# hashable) model objects themselves: a Monte-Carlo draw typically
-# perturbs one or two sub-models, so the other five rows' worth of
-# attribute walking and registry lookups collapse into cache hits.
-
-
-@functools.lru_cache(maxsize=1024)
-def _mfg_cols(mfg) -> tuple[float, ...]:
-    fab = mfg.fab
-    return (
-        fab.carbon_intensity_kg_per_kwh,
-        fab.gas_abatement,
-        fab.edge_exclusion_mm,
-        fab.scribe_mm,
-        mfg.recycled_fraction,
-        float(YIELD_MODEL_CODES[YieldModel.coerce(mfg.yield_model)]),
-        float(mfg.charge_wafer_waste),
-    )
-
-
-@functools.lru_cache(maxsize=1024)
-def _pkg_cols(pkg) -> tuple[float, ...]:
-    return (
-        pkg.substrate_kg_per_cm2,
-        pkg.assembly_kwh_per_package,
-        carbon_intensity_kg_per_kwh(pkg.assembly_energy_source),
-        pkg.fanout_factor,
-        pkg.base_kg_per_package,
-        pkg.mass_g_per_cm2,
-        pkg.base_mass_g,
-    )
-
-
-@functools.lru_cache(maxsize=1024)
-def _eol_cols(eol) -> tuple[float, ...]:
-    material = (
-        eol.material
-        if isinstance(eol.material, WarmFactors)
-        else get_material(eol.material)
-    )
-    return (
-        eol.recycled_fraction,
-        material.discard_kg_per_kg,
-        material.recycle_credit_kg_per_kg,
-        eol.transport_kg_per_kg,
-    )
-
-
-@functools.lru_cache(maxsize=1024)
-def _design_cols(design) -> tuple[float, ...]:
-    report = (
-        design.report
-        if isinstance(design.report, DesignHouseReport)
-        else get_report(design.report)
-    )
-    return (
-        gwh_to_kwh(report.annual_energy_gwh)
-        * design.overhead_factor
-        * design.allocation,
-        design.carbon_intensity(),
-        report.avg_gates_per_chip_mgates,
-        design.gate_scaling_beta,
-    )
-
-
-@functools.lru_cache(maxsize=1024)
-def _op_cols(operation) -> tuple[float, ...]:
-    profile = operation.profile
-    return (
-        carbon_intensity_kg_per_kwh(operation.energy_source),
-        profile.duty_cycle,
-        profile.idle_fraction_of_peak,
-        profile.pue,
-    )
-
-
-@functools.lru_cache(maxsize=1024)
-def _appdev_cols(appdev, fpga_effort, asic_effort) -> tuple[float, ...]:
-    """``(ad_ci, config_kw, fpga_dev_kg, fpga_chpu, asic_dev_kg, asic_chpu)``."""
-    intensity = carbon_intensity_kg_per_kwh(appdev.energy_source)
-    farm_kw = watts_to_kw(appdev.farm_power_w)
-    return (
-        intensity,
-        watts_to_kw(appdev.config_power_w),
-        farm_kw * fpga_effort.per_application_hours() * intensity,
-        fpga_effort.config_hours_per_unit,
-        farm_kw * asic_effort.per_application_hours() * intensity,
-        asic_effort.config_hours_per_unit,
-    )
-
-
-@functools.lru_cache(maxsize=1024)
-def _fpga_device_cols(device) -> tuple[float, ...]:
-    node = device.node
-    return (
-        device.area_mm2,
-        device.peak_power_w,
-        device.chip_lifetime_years,
-        device.logic_capacity_mgates,
-        device.area_mm2 * node.gate_density_mgates_per_mm2,
-        node.epa_kwh_per_cm2,
-        node.gpa_kg_per_cm2,
-        node.mpa_new_kg_per_cm2,
-        node.mpa_recycled_kg_per_cm2,
-        node.defect_density_per_cm2,
-        node.line_yield,
-        node.wafer_diameter_mm,
-    )
-
-
-@functools.lru_cache(maxsize=1024)
-def _asic_device_cols(device) -> tuple[float, ...]:
-    node = device.node
-    return (
-        device.area_mm2,
-        device.peak_power_w,
-        device.chip_lifetime_years,
-        device.logic_gates_mgates,
-        node.epa_kwh_per_cm2,
-        node.gpa_kg_per_cm2,
-        node.mpa_new_kg_per_cm2,
-        node.mpa_recycled_kg_per_cm2,
-        node.defect_density_per_cm2,
-        node.line_yield,
-        node.wafer_diameter_mm,
-    )
-
-
-def _extract_row(comparator: PlatformComparator) -> tuple[float, ...]:
-    """Flatten one comparator into a model-parameter row.
-
-    Pure attribute reads and registry lookups — no footprint math — and
-    memoised per sub-model, so a 10k-draw Monte-Carlo batch spends a few
-    microseconds per row here and the heavy arithmetic happens once,
-    vectorised, in the kernels.
-    """
-    suite = comparator.suite
-    ad = _appdev_cols(suite.appdev, suite.fpga_effort, suite.asic_effort)
-    return (
-        _mfg_cols(suite.manufacturing)
-        + _pkg_cols(suite.packaging)
-        + _eol_cols(suite.eol)
-        + _design_cols(suite.design)
-        + _op_cols(suite.operation)
-        + ad[:2]
-        + _fpga_device_cols(comparator.fpga_device)
-        + (suite.fpga_team.project_years, ad[2], ad[3])
-        + _asic_device_cols(comparator.asic_device)
-        + (suite.asic_team.project_years, ad[4], ad[5])
-    )
+# The model-parameter column registry and extraction live in
+# :mod:`repro.engine.vector.params`; this module only composes columns.
 
 
 def _kernel_side_constants(
-    m: np.ndarray, *, fpga_side: bool
+    p: ParameterBatch, *, fpga_side: bool
 ) -> SideConstants:
-    """Per-chip constant columns for one side, via the array kernels."""
+    """Per-chip constant columns for one side, via the array kernels.
+
+    Columns come from a :class:`ParameterBatch`, so each one is either a
+    per-row array or a length-1 broadcast value.  Sub-models whose
+    inputs are all broadcast values produce broadcast constants — a
+    Monte-Carlo batch perturbing only the operational intensity computes
+    manufacturing/packaging/EOL/design once, not per draw.  The
+    manufacturing kernel masks rows internally, so its inputs are
+    broadcast to a common shape first.
+    """
     if fpga_side:
-        area = m[:, _F_AREA]
-        power = m[:, _F_POWER]
-        life = m[:, _F_LIFE]
-        gates = m[:, _F_GATES]
-        epa, gpa = m[:, _F_EPA], m[:, _F_GPA]
-        mpa_new, mpa_rec = m[:, _F_MPA_NEW], m[:, _F_MPA_REC]
-        defect, line_yield = m[:, _F_DEFECT], m[:, _F_LINE_YIELD]
-        wafer_d = m[:, _F_WAFER_D]
-        team_years = m[:, _F_TEAM_YEARS]
-        dev_kg = m[:, _F_DEV_KG]
-        chpu = m[:, _F_CHPU]
-        capacity = m[:, _F_CAPACITY]
+        area = p.col(P.F_AREA)
+        power = p.col(P.F_POWER)
+        life = p.col(P.F_LIFE)
+        gates = p.col(P.F_GATES)
+        epa, gpa = p.col(P.F_EPA), p.col(P.F_GPA)
+        mpa_new, mpa_rec = p.col(P.F_MPA_NEW), p.col(P.F_MPA_REC)
+        defect, line_yield = p.col(P.F_DEFECT), p.col(P.F_LINE_YIELD)
+        wafer_d = p.col(P.F_WAFER_D)
+        team_years = p.col(P.F_TEAM_YEARS)
+        dev_kg = p.col(P.F_DEV_KG)
+        chpu = p.col(P.F_CHPU)
+        capacity = p.col(P.F_CAPACITY)
     else:
-        area = m[:, _A_AREA]
-        power = m[:, _A_POWER]
-        life = m[:, _A_LIFE]
-        gates = m[:, _A_GATES]
-        epa, gpa = m[:, _A_EPA], m[:, _A_GPA]
-        mpa_new, mpa_rec = m[:, _A_MPA_NEW], m[:, _A_MPA_REC]
-        defect, line_yield = m[:, _A_DEFECT], m[:, _A_LINE_YIELD]
-        wafer_d = m[:, _A_WAFER_D]
-        team_years = m[:, _A_TEAM_YEARS]
-        dev_kg = m[:, _A_DEV_KG]
-        chpu = m[:, _A_CHPU]
+        area = p.col(P.A_AREA)
+        power = p.col(P.A_POWER)
+        life = p.col(P.A_LIFE)
+        gates = p.col(P.A_GATES)
+        epa, gpa = p.col(P.A_EPA), p.col(P.A_GPA)
+        mpa_new, mpa_rec = p.col(P.A_MPA_NEW), p.col(P.A_MPA_REC)
+        defect, line_yield = p.col(P.A_DEFECT), p.col(P.A_LINE_YIELD)
+        wafer_d = p.col(P.A_WAFER_D)
+        team_years = p.col(P.A_TEAM_YEARS)
+        dev_kg = p.col(P.A_DEV_KG)
+        chpu = p.col(P.A_CHPU)
         capacity = None
 
-    mfg = manufacturing_per_die_kg(
+    (
+        b_area, b_epa, b_gpa, b_mpa_new, b_mpa_rec, b_defect, b_line_yield,
+        b_wafer_d, b_fab_ci, b_abate, b_edge, b_scribe, b_rho, b_yield,
+        b_charge,
+    ) = np.broadcast_arrays(
         area, epa, gpa, mpa_new, mpa_rec, defect, line_yield, wafer_d,
-        m[:, _MFG_FAB_CI], m[:, _MFG_ABATE], m[:, _MFG_EDGE],
-        m[:, _MFG_SCRIBE], m[:, _MFG_RHO], m[:, _MFG_YIELD_CODE],
-        m[:, _MFG_CHARGE] != 0.0,
+        p.col(P.MFG_FAB_CI), p.col(P.MFG_ABATE), p.col(P.MFG_EDGE),
+        p.col(P.MFG_SCRIBE), p.col(P.MFG_RHO), p.col(P.MFG_YIELD_CODE),
+        p.col(P.MFG_CHARGE),
+    )
+    mfg = manufacturing_per_die_kg(
+        b_area, b_epa, b_gpa, b_mpa_new, b_mpa_rec, b_defect, b_line_yield,
+        b_wafer_d, b_fab_ci, b_abate, b_edge, b_scribe, b_rho, b_yield,
+        b_charge != 0.0,
     )
     pkg, mass_g = packaging_per_chip(
-        area, m[:, _PKG_SUB], m[:, _PKG_ASM_KWH], m[:, _PKG_ASM_CI],
-        m[:, _PKG_FANOUT], m[:, _PKG_BASE_KG], m[:, _PKG_MASS_CM2],
-        m[:, _PKG_BASE_MASS],
+        area, p.col(P.PKG_SUB), p.col(P.PKG_ASM_KWH), p.col(P.PKG_ASM_CI),
+        p.col(P.PKG_FANOUT), p.col(P.PKG_BASE_KG), p.col(P.PKG_MASS_CM2),
+        p.col(P.PKG_BASE_MASS),
     )
     eol = eol_per_chip_kg(
-        mass_g, m[:, _EOL_DELTA], m[:, _EOL_DISCARD], m[:, _EOL_CREDIT],
-        m[:, _EOL_TRANSPORT],
+        mass_g, p.col(P.EOL_DELTA), p.col(P.EOL_DISCARD),
+        p.col(P.EOL_CREDIT), p.col(P.EOL_TRANSPORT),
     )
     design = design_project_kg(
-        gates, m[:, _DES_ANNUAL_KWH], team_years, m[:, _DES_CI],
-        m[:, _DES_AVG_GATES], m[:, _DES_BETA],
+        gates, p.col(P.DES_ANNUAL_KWH), team_years, p.col(P.DES_CI),
+        p.col(P.DES_AVG_GATES), p.col(P.DES_BETA),
     )
     op = operation_per_chip_year_kg(
-        power, m[:, _OP_DUTY], m[:, _OP_IDLE], m[:, _OP_PUE], m[:, _OP_CI]
+        power, p.col(P.OP_DUTY), p.col(P.OP_IDLE), p.col(P.OP_PUE),
+        p.col(P.OP_CI),
     )
     return SideConstants(
         design_kg=design,
@@ -380,9 +231,9 @@ def _kernel_side_constants(
         per_chip_embodied_kg=(mfg + pkg) + eol,
         op_per_chip_year_kg=op,
         appdev_dev_kg=dev_kg,
-        appdev_config_kw=m[:, _AD_CONFIG_KW],
+        appdev_config_kw=p.col(P.AD_CONFIG_KW),
         appdev_config_hours_per_unit=chpu,
-        appdev_intensity=m[:, _AD_CI],
+        appdev_intensity=p.col(P.AD_CI),
         chip_lifetime_years=life,
         capacity_mgates=capacity,
     )
@@ -506,6 +357,52 @@ class BatchResult:
                 for i, r in self.fallback.items()
                 if start <= i < stop
             },
+        )
+
+    @classmethod
+    def concat(cls, parts: "Sequence[BatchResult]") -> "BatchResult":
+        """Fuse per-chunk results into one (row order = input order).
+
+        The row-wise inverse of :meth:`slice_rows`, used by the engine's
+        chunked parameter-batch dispatch; fallback rows are re-keyed by
+        their chunk offsets.
+        """
+        if not parts:
+            raise ParameterError("concat requires at least one BatchResult")
+        if len(parts) == 1:
+            return parts[0]
+
+        def cat(field_name: str) -> np.ndarray:
+            return np.concatenate([getattr(r, field_name) for r in parts])
+
+        def cat_components(field_name: str) -> dict[str, np.ndarray]:
+            keys = getattr(parts[0], field_name).keys()
+            return {
+                k: np.concatenate([getattr(r, field_name)[k] for r in parts])
+                for k in keys
+            }
+
+        fallback: dict[int, ComparisonResult] = {}
+        offset = 0
+        for part in parts:
+            for i, result in part.fallback.items():
+                fallback[offset + i] = result
+            offset += part.size
+        return cls(
+            ratios=cat("ratios"),
+            winners=cat("winners"),
+            fpga_totals=cat("fpga_totals"),
+            asic_totals=cat("asic_totals"),
+            fpga_components=cat_components("fpga_components"),
+            asic_components=cat_components("asic_components"),
+            fpga_per_chip_embodied_kg=cat("fpga_per_chip_embodied_kg"),
+            asic_per_chip_embodied_kg=cat("asic_per_chip_embodied_kg"),
+            n_fpga=cat("n_fpga"),
+            fpga_generations=cat("fpga_generations"),
+            asic_generations=cat("asic_generations"),
+            num_apps=cat("num_apps"),
+            asic_app_components=cat_components("asic_app_components"),
+            fallback=fallback,
         )
 
     @classmethod
@@ -767,6 +664,32 @@ class VectorizedEvaluator:
         result = _compose(fpga_side, asic_side, batch)
         return _patch_fallback_rows(result, batch, comparator)
 
+    def evaluate_param_batch(
+        self, params: ParameterBatch, batch: ScenarioBatch
+    ) -> BatchResult:
+        """Assess parameter-space rows against scenario rows, columnar.
+
+        The per-chip constants are computed through the array kernels
+        straight from the parameter columns — no comparator objects, no
+        per-row extraction.  Broadcast (length-1) parameter columns keep
+        unperturbed sub-models scalar; per-row columns vectorise them.
+        Parity with the scalar object path is ``rtol <= 1e-12``.
+
+        Rows the kernel does not cover are composed anyway (their
+        values are garbage); callers owning comparator objects must
+        patch them via the scalar fallback — the engine's
+        :meth:`~repro.engine.engine.EvaluationEngine.evaluate_param_batch`
+        does this when the batch carries comparators.
+        """
+        if params.size != batch.size:
+            raise ParameterError(
+                f"parameter batch has {params.size} rows, "
+                f"scenario batch has {batch.size}"
+            )
+        fpga_side = _kernel_side_constants(params, fpga_side=True)
+        asic_side = _kernel_side_constants(params, fpga_side=False)
+        return _compose(fpga_side, asic_side, batch)
+
     def evaluate_pairs_batch(
         self,
         pairs: Iterable[tuple[PlatformComparator, Scenario]],
@@ -782,10 +705,6 @@ class VectorizedEvaluator:
         pair_list = list(pairs)
         comparators = [c for c, _ in pair_list]
         batch = ScenarioBatch.from_scenarios(tuple(s for _, s in pair_list))
-        matrix = np.array(
-            [_extract_row(c) for c in comparators], dtype=np.float64
-        ).reshape(len(pair_list), _N_COLS)
-        fpga_side = _kernel_side_constants(matrix, fpga_side=True)
-        asic_side = _kernel_side_constants(matrix, fpga_side=False)
-        result = _compose(fpga_side, asic_side, batch)
+        params = ParameterBatch.from_comparators(comparators)
+        result = self.evaluate_param_batch(params, batch)
         return _patch_fallback_rows(result, batch, comparators)

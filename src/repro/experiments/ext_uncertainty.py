@@ -18,11 +18,14 @@ from repro.core.scenario import Scenario
 from repro.core.suite import ModelSuite
 from repro.design.model import DesignModel
 from repro.engine import resolve_engine
+from repro.engine.vector import params as pcols
+from repro.engine.vector.params import design_cols, eol_cols, mfg_cols
 from repro.eol.model import EolModel
 from repro.experiments.base import ExperimentReport
 from repro.manufacturing.act import ManufacturingModel
 from repro.operation.energy import OperatingProfile
 from repro.operation.model import OperationModel
+from repro.units import g_per_kwh_to_kg_per_kwh
 
 BASELINE = Scenario(num_apps=5, app_lifetime_years=2.0, volume=1_000_000)
 N_SAMPLES = 300
@@ -68,16 +71,74 @@ def _set_design_intensity(comparator, value):
     return _with_suite(comparator, design=DesignModel(energy_source=value))
 
 
+# Columnar twins of the apply callbacks above: each writes exactly the
+# parameter columns its object twin perturbs (the object callbacks
+# rebuild whole sub-models, so defaulted sibling knobs are re-pinned to
+# the rebuilt model's defaults, keeping the two paths draw-identical).
+
+
+def _use_intensity_cols(params, values):
+    params.set_col(pcols.OP_CI, g_per_kwh_to_kg_per_kwh(values))
+
+
+def _duty_cols(params, values):
+    profile = OperatingProfile()  # _set_duty resets idle/PUE to defaults
+    params.set_col(pcols.OP_DUTY, values)
+    params.set_col(pcols.OP_IDLE, profile.idle_fraction_of_peak)
+    params.set_col(pcols.OP_PUE, profile.pue)
+
+
+def _rho_cols(params, values):
+    defaults = mfg_cols(ManufacturingModel())  # rho's siblings reset too
+    for index, value in zip(
+        (pcols.MFG_FAB_CI, pcols.MFG_ABATE, pcols.MFG_EDGE, pcols.MFG_SCRIBE,
+         pcols.MFG_RHO, pcols.MFG_YIELD_CODE, pcols.MFG_CHARGE),
+        defaults,
+    ):
+        params.set_col(index, value)
+    params.set_col(pcols.MFG_RHO, values)
+
+
+def _delta_cols(params, values):
+    defaults = eol_cols(EolModel())
+    for index, value in zip(
+        (pcols.EOL_DELTA, pcols.EOL_DISCARD, pcols.EOL_CREDIT,
+         pcols.EOL_TRANSPORT),
+        defaults,
+    ):
+        params.set_col(index, value)
+    params.set_col(pcols.EOL_DELTA, values)
+
+
+def _design_intensity_cols(params, values):
+    defaults = design_cols(DesignModel(energy_source=1.0))
+    params.set_col(pcols.DES_ANNUAL_KWH, defaults[0])
+    params.set_col(pcols.DES_CI, g_per_kwh_to_kg_per_kwh(values))
+    params.set_col(pcols.DES_AVG_GATES, defaults[2])
+    params.set_col(pcols.DES_BETA, defaults[3])
+
+
 def distributions() -> list[ParameterDistribution]:
-    """Table 1-range distributions for the uncertainty study."""
+    """Table 1-range distributions for the uncertainty study.
+
+    Every knob carries both the object ``apply`` callback and its
+    columnar ``apply_column`` twin, so :func:`monte_carlo_batch` runs
+    fully columnar — draws are sampled straight into parameter columns
+    and no per-draw comparator objects exist.
+    """
     return [
         ParameterDistribution("use_intensity_g_per_kwh", 30.0, 700.0,
-                              _set_use_intensity, kind="loguniform"),
-        ParameterDistribution("duty_cycle", 0.05, 0.95, _set_duty),
-        ParameterDistribution("recycled_material_rho", 0.0, 1.0, _set_rho),
-        ParameterDistribution("eol_recycled_delta", 0.0, 1.0, _set_delta),
+                              _set_use_intensity, kind="loguniform",
+                              apply_column=_use_intensity_cols),
+        ParameterDistribution("duty_cycle", 0.05, 0.95, _set_duty,
+                              apply_column=_duty_cols),
+        ParameterDistribution("recycled_material_rho", 0.0, 1.0, _set_rho,
+                              apply_column=_rho_cols),
+        ParameterDistribution("eol_recycled_delta", 0.0, 1.0, _set_delta,
+                              apply_column=_delta_cols),
         ParameterDistribution("design_intensity_g_per_kwh", 30.0, 700.0,
-                              _set_design_intensity, kind="loguniform"),
+                              _set_design_intensity, kind="loguniform",
+                              apply_column=_design_intensity_cols),
     ]
 
 

@@ -283,6 +283,52 @@ def test_eager_single_skips_the_window(dnn_comparator):
     np.testing.assert_array_equal(result.ratios, sync.ratios)
 
 
+def test_adaptive_window_auto_eager_when_queue_idle(dnn_comparator):
+    """The default adaptive window must not charge an idle-queue lone
+    client the batching window — serialized requests dispatch eagerly."""
+
+    async def main():
+        async with AsyncEvaluationEngine(batch_window_s=30.0) as served:
+            results = []
+            for _ in range(3):  # serialized client: always alone
+                results.append(await asyncio.wait_for(
+                    served.sweep_batch(
+                        dnn_comparator, BASE, "num_apps", [1, 2, 3]
+                    ),
+                    timeout=5.0,  # would need ~90s if windows were held
+                ))
+            return results, served.windows_skipped
+
+    results, windows_skipped = asyncio.run(main())
+    assert windows_skipped >= 3
+    sync = sweep_batch(dnn_comparator, BASE, "num_apps", [1, 2, 3],
+                       engine=EvaluationEngine())
+    for result in results:
+        np.testing.assert_array_equal(result.ratios, sync.ratios)
+
+
+def test_adaptive_window_still_fuses_concurrent_bursts(dnn_comparator):
+    """Two or more pending requests must still wait the window and fuse
+    under the adaptive default."""
+    engine = EvaluationEngine()
+
+    async def main():
+        async with AsyncEvaluationEngine(
+            engine, batch_window_s=0.005
+        ) as served:
+            await asyncio.gather(*(
+                served.sweep_batch(dnn_comparator, BASE, "num_apps",
+                                   list(range(1, 11)))
+                for _ in range(4)
+            ))
+            return served
+
+    served = asyncio.run(main())
+    assert served.batches_fused >= 1
+    assert served.requests_coalesced >= 2
+    assert engine.rows_computed == 10  # fused burst computed once
+
+
 # ----------------------------------------------------------------------
 # Engine concurrency: shared singletons hammered from threads
 # ----------------------------------------------------------------------
