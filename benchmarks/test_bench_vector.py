@@ -1,11 +1,12 @@
 """Bench: the vector kernel against the scalar per-point path.
 
 Measures the headline workloads — a cold 100x100 heatmap grid, a
-10k-draw Monte-Carlo run and a gated 1M-draw Monte-Carlo run — against
-the scalar object path and the warm store, and emits
-``benchmarks/BENCH_engine.json`` so the perf trajectory is tracked from
-run to run (``scripts/check.sh`` surfaces it and
-``scripts/bench_compare.py`` diffs it against the committed baseline).
+10k-draw Monte-Carlo run, a gated 1M-draw Monte-Carlo run and the gated
+*streaming* ``monte_carlo_100M`` workload — against the scalar object
+path and the warm store, and emits ``benchmarks/BENCH_engine.json`` so
+the perf trajectory is tracked from run to run (``scripts/check.sh``
+surfaces it and ``scripts/bench_compare.py`` diffs it against the
+committed baseline, including the per-workload peak-RSS budgets).
 
 Gates:
 
@@ -16,7 +17,20 @@ Gates:
   scalar path by >= 50x;
 * the warm store-served grid must cost at most 2x the cold vector run
   (the warm-path inversion the sharded store exists to fix);
-* the 1M-draw Monte-Carlo must complete within its wall-clock budget.
+* the 1M-draw Monte-Carlo must complete within its wall-clock budget;
+* the streaming ``monte_carlo_100M`` workload must finish within its
+  time budget **under its peak-RSS budget (< 2 GB for the whole
+  process tree)**, its summary must match the materialized 1M-draw
+  path (exact win-probability/counters, ``rtol <= 1e-12`` moments,
+  sketch-tolerance quantiles), and — on >= 4-core machines running the
+  full scale — 4 streaming workers must beat 1 by >= 2x.
+
+``BENCH_QUICK`` scales the gated workloads for laptop/tier-1 runs:
+unset or ``1`` runs the streaming workload at 1M draws (~100x down, so
+``scripts/check.sh`` stays under a minute); ``BENCH_QUICK=0`` runs the
+full 100M-draw workload and the 1->4 worker scaling measurement
+(``scripts/check.sh --full-bench``).  The emitted JSON records the
+actual ``draws`` and the ``quick`` flag.
 
 Every timed path must agree with the scalar reference to
 ``rtol=1e-12`` (bit-identically where asserted), so speedups can never
@@ -27,6 +41,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import time
 from pathlib import Path
 
@@ -34,16 +49,25 @@ import numpy as np
 import pytest
 
 from repro.analysis.heatmap import pairwise_heatmap, pairwise_heatmap_batch
-from repro.analysis.montecarlo import ParameterDistribution, monte_carlo, monte_carlo_batch
+from repro.analysis.montecarlo import (
+    ParameterDistribution,
+    monte_carlo,
+    monte_carlo_batch,
+    monte_carlo_stream,
+)
 from repro.core.comparison import PlatformComparator
 from repro.core.scenario import Scenario
-from repro.engine import EvaluationEngine
+from repro.engine import EvaluationEngine, PeakRssSampler
 from repro.engine.vector import params as pcols
 from repro.experiments.ext_uncertainty import distributions as table1_distributions
 from repro.operation.model import OperationModel
 from repro.units import g_per_kwh_to_kg_per_kwh
 
 BENCH_JSON = Path(__file__).parent / "BENCH_engine.json"
+
+#: BENCH_QUICK=0 runs gated workloads at full scale; anything else (or
+#: unset) scales them ~100x down so tier-1/laptop runs stay fast.
+BENCH_QUICK = os.environ.get("BENCH_QUICK", "1") != "0"
 
 BASELINE = Scenario(num_apps=5, app_lifetime_years=2.0, volume=1_000_000)
 
@@ -53,6 +77,10 @@ LIFETIME_VALUES = tuple(float(t) for t in np.linspace(0.5, 3.0, 100))
 
 N_MC_DRAWS = 10_000
 N_MC_1M_DRAWS = 1_000_000
+
+#: The streaming workload: 100M draws at full scale, ~100x down under
+#: BENCH_QUICK (the default for tier-1 and plain check.sh runs).
+N_MC_STREAM_DRAWS = N_MC_1M_DRAWS if BENCH_QUICK else 100_000_000
 
 #: The speedup floor the vector kernel must clear on the heatmap grid.
 MIN_SPEEDUP = 10.0
@@ -67,6 +95,27 @@ MIN_MC_SPEEDUP = 50.0
 #: knobs perturbed per draw).  Measures ~2 s on one container core;
 #: the budget keeps the gate robust on slow shared machines.
 MAX_MC_1M_S = 30.0
+
+#: Wall-clock budget of the streaming Monte-Carlo workload.  Full
+#: scale covers a worst-case sequential 100M run (~450k draws/s on one
+#: core) with margin; quick scale covers spawn-pool startup plus a 1M
+#: stream on a slow laptop.
+MAX_MC_STREAM_S = 60.0 if BENCH_QUICK else 900.0
+
+#: Peak process-tree RSS budget of the streaming workload: the whole
+#: point of the reduction pipeline is that 100M draws fit in the same
+#: bounded footprint as 100k.  scripts/bench_compare.py re-checks the
+#: emitted peak against this budget (+25% headroom) on every run.
+MC_STREAM_RSS_BUDGET_MB = 2048.0
+
+#: Streaming workers for the gated workload (multi-core by default,
+#: capped at the 4 workers the scaling gate talks about).
+STREAM_WORKERS = min(4, os.cpu_count() or 1)
+
+#: 4 workers must beat 1 by this factor on the full-scale workload
+#: (only measurable with >= 4 physical cores; recorded, and gated,
+#: when the measurement ran).
+MIN_STREAM_SCALING = 2.0
 
 #: The warm-path gate: serving the 10k-cell grid from the sharded store
 #: must cost at most twice a cold vector run.  Before the array-backed
@@ -198,6 +247,65 @@ def test_vector_speedup_and_emit_bench_json(comparator):
     assert mc_1m.n_samples == N_MC_1M_DRAWS
     assert 0.0 <= mc_1m.fpga_win_probability <= 1.0
 
+    # ------------------------------------------------------------------
+    # Workload D: the gated streaming Monte-Carlo ("monte_carlo_100M").
+    # Fused sample->evaluate->reduce in bounded memory, multi-core by
+    # default; 100M draws at full scale, 1M under BENCH_QUICK.
+    # ------------------------------------------------------------------
+    with EvaluationEngine(cache_size=0) as stream_engine:
+        t0 = time.perf_counter()
+        with PeakRssSampler() as stream_rss:
+            mc_stream = monte_carlo_stream(
+                comparator, BASELINE, table1_distributions(),
+                n_samples=N_MC_STREAM_DRAWS, seed=2024,
+                engine=stream_engine, workers=STREAM_WORKERS,
+            )
+        mc_stream_s = time.perf_counter() - t0
+
+        # Streaming-vs-materialized fidelity, against the 1M-draw
+        # materialized run above.  At quick scale the gated run *is*
+        # the same seeded 1M study, so the comparison is direct; at
+        # full scale a separate 1M streaming run keeps it seed-exact.
+        if N_MC_STREAM_DRAWS == N_MC_1M_DRAWS:
+            mc_stream_1m = mc_stream
+        else:
+            mc_stream_1m = monte_carlo_stream(
+                comparator, BASELINE, table1_distributions(),
+                n_samples=N_MC_1M_DRAWS, seed=2024,
+                engine=stream_engine, workers=STREAM_WORKERS,
+            )
+
+        # 1 -> N worker scaling, measurable only at full scale on a
+        # machine that actually has the cores (spawn startup would
+        # dominate the quick workload).
+        stream_scaling = None
+        if not BENCH_QUICK and STREAM_WORKERS >= 4:
+            t0 = time.perf_counter()
+            mc_stream_seq = monte_carlo_stream(
+                comparator, BASELINE, table1_distributions(),
+                n_samples=N_MC_STREAM_DRAWS, seed=2024,
+                engine=stream_engine, workers=1,
+            )
+            stream_scaling = (time.perf_counter() - t0) / mc_stream_s
+            assert mc_stream_seq.summary() == mc_stream.summary()
+
+    assert mc_stream_1m.n_samples == mc_1m.n_samples
+    assert mc_stream_1m.fpga_win_probability == mc_1m.fpga_win_probability
+    assert mc_stream_1m.n_non_finite == mc_1m.n_non_finite
+    np.testing.assert_allclose(
+        mc_stream_1m.ratio_mean, mc_1m.summary()["ratio_mean"],
+        rtol=1e-12, atol=0.0,
+    )
+    stream_q = mc_stream_1m.quantiles((0.05, 0.5, 0.95))
+    mat_q = mc_1m.quantiles((0.05, 0.5, 0.95))
+    for q in (0.05, 0.5, 0.95):
+        # Bottom-k sketch tolerance: ~0.2% rank error at the default k
+        # maps to well under 2% in ratio value on this distribution.
+        assert abs(stream_q[q] - mat_q[q]) <= 0.02 * abs(mat_q[q]), (
+            f"streaming p{int(q * 100):02d} {stream_q[q]:.6f} drifted "
+            f"beyond sketch tolerance of materialized {mat_q[q]:.6f}"
+        )
+
     heatmap_speedup = heatmap_cold_scalar_s / heatmap_cold_vector_s
     mc_speedup = mc_cold_scalar_s / mc_cold_vector_s
 
@@ -232,6 +340,21 @@ def test_vector_speedup_and_emit_bench_json(comparator):
                 "cold_vector_s": round(mc_1m_s, 4),
                 "draws_per_s": round(N_MC_1M_DRAWS / mc_1m_s, 1),
             },
+            "monte_carlo_100M": {
+                "draws": N_MC_STREAM_DRAWS,
+                "quick": BENCH_QUICK,
+                "knobs": len(table1_distributions()),
+                "workers": STREAM_WORKERS,
+                "elapsed_s": round(mc_stream_s, 4),
+                "time_budget_s": MAX_MC_STREAM_S,
+                "draws_per_s": round(N_MC_STREAM_DRAWS / mc_stream_s, 1),
+                "peak_rss_mb": round(stream_rss.peak_mb, 1),
+                "rss_budget_mb": MC_STREAM_RSS_BUDGET_MB,
+                **(
+                    {"scaling_1_to_4_workers": round(stream_scaling, 2)}
+                    if stream_scaling is not None else {}
+                ),
+            },
         },
     }, indent=2) + "\n")
 
@@ -254,6 +377,20 @@ def test_vector_speedup_and_emit_bench_json(comparator):
         f"1M-draw Monte-Carlo took {mc_1m_s:.1f}s "
         f"(budget {MAX_MC_1M_S:g}s)"
     )
+    assert mc_stream_s <= MAX_MC_STREAM_S, (
+        f"streaming {N_MC_STREAM_DRAWS}-draw Monte-Carlo took "
+        f"{mc_stream_s:.1f}s (budget {MAX_MC_STREAM_S:g}s)"
+    )
+    assert stream_rss.peak_mb <= MC_STREAM_RSS_BUDGET_MB, (
+        f"streaming Monte-Carlo peaked at {stream_rss.peak_mb:.0f} MB RSS "
+        f"(budget {MC_STREAM_RSS_BUDGET_MB:g} MB): the out-of-core "
+        f"pipeline is materializing rows again"
+    )
+    if stream_scaling is not None:
+        assert stream_scaling >= MIN_STREAM_SCALING, (
+            f"streaming 1->{STREAM_WORKERS} worker scaling only "
+            f"{stream_scaling:.2f}x (gate {MIN_STREAM_SCALING:g}x)"
+        )
 
 
 def test_bench_vector_heatmap_10k(benchmark, comparator):

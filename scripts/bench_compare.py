@@ -17,6 +17,13 @@ compares every throughput metric against its baseline with a
   runner cannot fail the gate while the ratio tier still catches real
   hot-path regressions.
 
+Additionally, every workload that declares a peak-RSS budget
+(``peak_rss_mb`` + ``rss_budget_mb``, e.g. the streaming
+``monte_carlo_100M`` workload) is checked against that budget with the
+same threshold of headroom — exceeding it **fails**, baseline or not:
+the streaming pipeline's bounded-memory contract is a gate, not a
+trajectory.
+
 Usage:
     python scripts/bench_compare.py [--threshold 0.25]
     python scripts/bench_compare.py --update-baselines   # re-anchor
@@ -72,6 +79,61 @@ def _collect_metrics(node: object, prefix: str = "") -> dict[str, float]:
         for index, value in enumerate(node):
             metrics.update(_collect_metrics(value, f"{prefix}[{index}]"))
     return metrics
+
+
+def _collect_rss_checks(
+    node: object, prefix: str = ""
+) -> list[tuple[str, float, float]]:
+    """Find ``(path, peak_rss_mb, rss_budget_mb)`` workload entries.
+
+    Any dict that declares both keys opts into the peak-RSS gate —
+    currently the streaming ``monte_carlo_100M`` workload, whose whole
+    contract is bounded memory.
+    """
+    checks: list[tuple[str, float, float]] = []
+    if isinstance(node, dict):
+        if "peak_rss_mb" in node and "rss_budget_mb" in node:
+            checks.append(
+                (prefix or ".", float(node["peak_rss_mb"]),
+                 float(node["rss_budget_mb"]))
+            )
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            checks.extend(_collect_rss_checks(value, path))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            checks.extend(_collect_rss_checks(value, f"{prefix}[{index}]"))
+    return checks
+
+
+def check_rss_budgets(
+    fresh_path: Path, threshold: float
+) -> tuple[list[str], list[str]]:
+    """Peak-RSS vs declared budget: ``(report_lines, violations)``.
+
+    A workload exceeding its declared budget by more than ``threshold``
+    (the same fraction as the throughput gate, 25% by default) fails —
+    memory blow-ups are regressions exactly like throughput drops.
+    Checked against the *fresh* file alone, so the gate holds even
+    before a baseline exists.
+    """
+    lines: list[str] = []
+    violations: list[str] = []
+    for path, peak, budget in _collect_rss_checks(
+        json.loads(fresh_path.read_text())
+    ):
+        ceiling = budget * (1.0 + threshold)
+        marker = "!" if peak > ceiling else " "
+        lines.append(
+            f"  {marker} {path + '.peak_rss_mb':<60} "
+            f"{peak:>12g} / budget {budget:g} MB"
+        )
+        if peak > ceiling:
+            violations.append(
+                f"{fresh_path.name}: {path} peak RSS {peak:g} MB exceeds "
+                f"its {budget:g} MB budget by more than {threshold:.0%}"
+            )
+    return lines, violations
 
 
 def compare_file(
@@ -144,6 +206,11 @@ def main(argv: "list[str] | None" = None) -> int:
     all_regressions: list[str] = []
     all_warnings: list[str] = []
     for path in fresh_files:
+        rss_lines, rss_violations = check_rss_budgets(path, args.threshold)
+        if rss_lines:
+            print(f"== {path.name} peak-RSS budgets ==")
+            print("\n".join(rss_lines))
+        all_regressions.extend(rss_violations)
         baseline_path = BASELINE_DIR / path.name
         if not baseline_path.exists():
             print(

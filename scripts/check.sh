@@ -3,13 +3,21 @@
 #
 # Usage: scripts/check.sh [--full-bench]
 #   --full-bench  additionally run the engine benchmarks with timing
-#                 statistics (slower; default is one smoke iteration).
+#                 statistics, at FULL gated scale (BENCH_QUICK=0): the
+#                 streaming monte_carlo_100M workload runs its real
+#                 100M draws plus the 1->4 worker scaling measurement
+#                 (slower; default is one quick smoke iteration).
 #
-# The smoke run executes every engine bench once (--benchmark-disable),
-# including the warm-vs-cold speedup assertion, the vector-kernel
-# >= 10x heatmap gate, the columnar Monte-Carlo >= 50x gate, the
-# gated 1M-draw Monte-Carlo budget, and the warm-store gate
-# (warm_cache_s <= 2x cold_vector_s on the 10k-cell grid), so a perf
+# The smoke run executes every engine bench once (--benchmark-disable)
+# under BENCH_QUICK=1 (unless the caller pinned it), which scales the
+# gated streaming workload ~100x down so this script stays under a
+# minute on laptops.  Gates exercised either way: the warm-vs-cold
+# speedup assertion, the vector-kernel >= 10x heatmap gate, the
+# columnar Monte-Carlo >= 50x gate, the gated 1M-draw Monte-Carlo
+# budget, the warm-store gate (warm_cache_s <= 2x cold_vector_s on the
+# 10k-cell grid), and the streaming monte_carlo_100M workload's
+# time + peak-RSS (< 2 GB process tree) budgets with
+# streaming-vs-materialized summary parity — so a perf or memory
 # regression in the hot evaluation path fails here before it ships.
 # The serving bench drives the async micro-batching front-end (1 vs 8
 # concurrent clients, cold vs persisted-warm store) and gates >= 4x
@@ -19,7 +27,8 @@
 # benchmarks/BENCH_serving.json), which this script surfaces and then
 # diffs against the committed anchors in benchmarks/baselines/ via
 # scripts/bench_compare.py (a >25% regression in a speedup ratio
-# fails; machine-relative *_per_s rates warn only; re-anchor
+# fails; machine-relative *_per_s rates warn only; workloads that
+# declare an RSS budget fail when they exceed it by >25%; re-anchor
 # intentional perf changes with --update-baselines).
 
 set -euo pipefail
@@ -27,6 +36,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+# Quick gated workloads by default; see --full-bench below.
+export BENCH_QUICK="${BENCH_QUICK:-1}"
 
 echo "== tier-1: unit + integration tests =="
 python -m pytest tests -x -q \
@@ -69,8 +80,9 @@ python scripts/bench_compare.py
 
 if [[ "${1:-}" == "--full-bench" ]]; then
     echo
-    echo "== engine benchmarks (full statistics) =="
-    python -m pytest benchmarks/test_bench_engine.py benchmarks/test_bench_vector.py \
+    echo "== engine benchmarks (full statistics, full gated scale) =="
+    BENCH_QUICK=0 python -m pytest benchmarks/test_bench_engine.py \
+        benchmarks/test_bench_vector.py \
         benchmarks/test_bench_serving.py -x -q
 fi
 

@@ -7,8 +7,11 @@ from repro.analysis.montecarlo import (
     ColumnSamples,
     MonteCarloResult,
     ParameterDistribution,
+    StreamingMonteCarloResult,
     monte_carlo,
     monte_carlo_batch,
+    monte_carlo_reduction,
+    monte_carlo_stream,
     sample_value_columns,
 )
 from repro.analysis.sensitivity import SensitivityResult, tornado
@@ -22,11 +25,14 @@ __all__ = [
     "MonteCarloResult",
     "ParameterDistribution",
     "SensitivityResult",
+    "StreamingMonteCarloResult",
     "SweepResult",
     "breakdown_table",
     "find_crossovers",
     "monte_carlo",
     "monte_carlo_batch",
+    "monte_carlo_reduction",
+    "monte_carlo_stream",
     "pairwise_heatmap",
     "sample_value_columns",
     "sweep",

@@ -11,7 +11,8 @@ the Pareto front over user-chosen objectives.
 from __future__ import annotations
 
 import itertools
-from collections.abc import Iterator, Mapping, Sequence
+import math
+from collections.abc import Callable, Iterator, Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.config import Parameters
@@ -19,6 +20,15 @@ from repro.core.comparison import PlatformComparator
 from repro.core.scenario import Scenario
 from repro.devices.catalog import DomainSpec, get_domain
 from repro.engine import EvaluationEngine, resolve_engine
+from repro.engine.engine import build_suite_cached
+from repro.engine.vector import (
+    ParameterBatch,
+    ParetoReducer,
+    ScenarioBatch,
+    StreamingReduction,
+    TopKReducer,
+    VectorizedEvaluator,
+)
 from repro.errors import ParameterError
 
 
@@ -116,9 +126,50 @@ def _dominates(a: tuple[float, ...], b: tuple[float, ...]) -> bool:
 
 @dataclass(frozen=True)
 class DseResult:
-    """All evaluated design points, ranked by greenest outcome."""
+    """All evaluated design points, ranked by greenest outcome.
+
+    ``streamed=True`` marks a result built by the streaming reduction
+    path: ``points`` then holds only the top-k greenest configurations
+    united with the full Pareto front over
+    ``(fpga_total_kg, asic_total_kg)`` — :meth:`best` and
+    :meth:`pareto_front` *for those default objectives* are exact
+    against the materialized grid, while :meth:`ranked` and fronts over
+    other objectives see the kept subset only.
+    """
 
     points: tuple[DesignPoint, ...]
+    streamed: bool = False
+
+    @classmethod
+    def from_stream(
+        cls,
+        top: TopKReducer,
+        pareto: ParetoReducer,
+        overrides_at: Callable[[int], Mapping],
+    ) -> "DseResult":
+        """The streaming-backed constructor.
+
+        Rebuilds :class:`DesignPoint` objects for the union of the
+        top-k and Pareto-front rows (deduplicated by grid index, in
+        index order), resolving each kept row's overrides through
+        ``overrides_at`` — only the kept points ever exist as objects.
+        The global front over the default objectives survives the
+        truncation exactly: every kept-but-dominated point is dominated
+        by a front member, which is also kept.
+        """
+        rows: dict[int, dict] = {}
+        for row in top.rows() + pareto.rows():
+            rows.setdefault(row["index"], row)
+        points = tuple(
+            DesignPoint(
+                overrides=FrozenOverrides(overrides_at(index)),
+                fpga_total_kg=rows[index]["fpga_total_kg"],
+                asic_total_kg=rows[index]["asic_total_kg"],
+                ratio=rows[index]["ratio"],
+            )
+            for index in sorted(rows)
+        )
+        return cls(points=points, streamed=True)
 
     def best(self) -> DesignPoint:
         """The configuration with the lowest best-platform CFP."""
@@ -156,6 +207,66 @@ class DseResult:
                 front.append(point)
                 front_values.append(vals)
         return front
+
+
+class GridChunkSource:
+    """Chunkwise enumeration of a DSE grid — no materialized grid.
+
+    The streaming twin of :func:`_grid_pairs`: combination ``i`` of the
+    row-major grid (last axis fastest, matching
+    :func:`itertools.product`) is decoded on demand by mixed-radix
+    arithmetic, so a chunk materialises only its own comparators and
+    parameter rows.  Picklable by construction (domain spec, scenario,
+    grid values, base parameters), so spawn workers enumerate and
+    evaluate their spans independently; suite construction is memoised
+    per process through :func:`build_suite_cached`.
+    """
+
+    __slots__ = ("n", "spec", "scenario", "names", "values", "base")
+
+    def __init__(
+        self,
+        spec: DomainSpec,
+        scenario: Scenario,
+        grid: Mapping[str, Sequence[object]],
+        base: Parameters,
+    ) -> None:
+        if not grid:
+            raise ParameterError("grid must not be empty")
+        self.spec = spec
+        self.scenario = scenario
+        self.names = tuple(grid)
+        self.values = tuple(tuple(grid[name]) for name in self.names)
+        if any(not axis for axis in self.values):
+            raise ParameterError("grid axes must not be empty")
+        self.n = math.prod(len(axis) for axis in self.values)
+        self.base = base
+
+    def overrides_at(self, index: int) -> dict[str, object]:
+        """Grid combination ``index`` in axis order (last axis fastest)."""
+        digits: list[object] = []
+        for axis in reversed(self.values):
+            index, digit = divmod(index, len(axis))
+            digits.append(axis[digit])
+        return dict(zip(self.names, reversed(digits)))
+
+    def chunk(self, start: int, stop: int) -> tuple[ParameterBatch, ScenarioBatch]:
+        fpga_device = self.spec.fpga_device()
+        asic_device = self.spec.asic_device()
+        comparators = [
+            PlatformComparator(
+                fpga_device=fpga_device,
+                asic_device=asic_device,
+                suite=build_suite_cached(
+                    self.base.with_overrides(**self.overrides_at(i))
+                ),
+            )
+            for i in range(start, stop)
+        ]
+        return (
+            ParameterBatch.from_comparators(comparators),
+            ScenarioBatch.tile(self.scenario, stop - start),
+        )
 
 
 def _grid_pairs(
@@ -241,6 +352,11 @@ def explore_batch(
     grid: Mapping[str, Sequence[object]],
     base: Parameters | None = None,
     engine: EvaluationEngine | None = None,
+    *,
+    reduce: "StreamingReduction | bool | None" = None,
+    chunk_rows: "int | None" = None,
+    top_k: int = 64,
+    workers: "int | None" = None,
 ) -> DseResult:
     """Array-land :func:`explore`: the grid runs as one kernel batch.
 
@@ -255,7 +371,52 @@ def explore_batch(
     warmth.  The returned :class:`DseResult` carries the same
     :class:`DesignPoint` objects (totals/ratios within
     ``rtol <= 1e-12`` of :func:`explore`).
+
+    With ``reduce=`` (``True`` for the default top-k + Pareto bundle,
+    or a custom :class:`~repro.engine.vector.StreamingReduction` over
+    ``top``/``pareto`` members) the grid *streams*: combinations are
+    enumerated chunk-by-chunk (multi-core by default, spawn workers
+    decoding their own spans), evaluated, and folded into streaming
+    top-k and Pareto-front reducers — never materialising the grid, its
+    comparators, or the result columns, and bypassing the result store.
+    The returned :class:`DseResult` has ``streamed=True`` and holds the
+    top-``top_k`` configurations united with the exact Pareto front
+    over the default objectives (see :meth:`DseResult.from_stream`).
     """
+    if reduce is not None and reduce is not False:
+        eng = resolve_engine(engine)
+        if not eng.vectorize:
+            raise ParameterError("streaming DSE requires vectorize=True")
+        if not VectorizedEvaluator.covers(scenario):
+            raise ParameterError(
+                "streaming DSE requires a kernel-covered scenario "
+                "(uniform per-application lifetimes, integral volume)"
+            )
+        spec = domain if isinstance(domain, DomainSpec) else get_domain(domain)
+        source = GridChunkSource(
+            spec, scenario, grid, base if base is not None else Parameters()
+        )
+        reduction = (
+            reduce if isinstance(reduce, StreamingReduction)
+            else StreamingReduction(
+                {"top": TopKReducer(k=top_k), "pareto": ParetoReducer()}
+            )
+        )
+        missing = {"top", "pareto"} - reduction.reducers.keys()
+        if missing:
+            # Checked before streaming, not at result construction.
+            raise ParameterError(
+                f"streaming DSE reduction is missing members {sorted(missing)}"
+            )
+        # Grid chunks materialise comparator objects (fatter than pure
+        # column rows), so the default chunk is smaller than the
+        # Monte-Carlo streaming default.
+        merged = eng.reduce_stream(
+            source, reduction, chunk_rows=chunk_rows or 8192, workers=workers
+        )
+        return DseResult.from_stream(
+            merged["top"], merged["pareto"], source.overrides_at
+        )
     eng, all_overrides, pairs = _grid_pairs(domain, scenario, grid, base, engine)
     batch = eng.evaluate_pairs_batch(pairs)
     points = tuple(

@@ -17,7 +17,20 @@ import numpy as np
 from repro.core.comparison import PlatformComparator
 from repro.core.scenario import Scenario
 from repro.engine import EvaluationEngine, resolve_engine
-from repro.engine.vector import ParameterBatch, ScenarioBatch, VectorizedEvaluator
+from repro.engine.vector import (
+    DEFAULT_RESERVOIR_K,
+    REDUCE_BLOCK,
+    HistogramReducer,
+    MomentsReducer,
+    MonteCarloChunkSource,
+    ParameterBatch,
+    ReservoirQuantiles,
+    ScenarioBatch,
+    StreamingReduction,
+    VectorizedEvaluator,
+    WinCountReducer,
+    extract_row,
+)
 from repro.errors import ParameterError
 
 
@@ -166,6 +179,34 @@ class ColumnSamples(Sequence):
         )
 
 
+def quantiles_from_sorted(
+    sorted_values: np.ndarray, qs: Sequence[float]
+) -> np.ndarray:
+    """Linear-method quantiles of an already-sorted array, O(len(qs)).
+
+    Reproduces ``np.quantile(values, qs)`` (default ``linear``
+    interpolation) bit-for-bit — including NumPy's ``gamma >= 0.5``
+    lerp rewrite that keeps the result monotone — without the O(n)
+    partition per call, so cached-sort consumers get constant-time
+    quantiles.
+    """
+    q = np.asarray(qs, dtype=np.float64)
+    if q.size and (q.min() < 0.0 or q.max() > 1.0):
+        raise ValueError("Quantiles must be in the range [0, 1]")
+    n = sorted_values.shape[0]
+    virtual = q * (n - 1)
+    previous = np.clip(np.floor(virtual).astype(np.intp), 0, n - 1)
+    following = np.minimum(previous + 1, n - 1)
+    gamma = virtual - previous
+    a = sorted_values[previous]
+    b = sorted_values[following]
+    diff = b - a
+    result = a + diff * gamma
+    fix = gamma >= 0.5
+    result[fix] = b[fix] - diff[fix] * (1.0 - gamma[fix])
+    return result
+
+
 @dataclass(frozen=True)
 class MonteCarloResult:
     """Sampled distribution of the FPGA:ASIC ratio.
@@ -191,10 +232,38 @@ class MonteCarloResult:
         """Number of Monte-Carlo draws."""
         return int(self.ratios.size)
 
+    def _cached(self, name: str, compute) -> np.ndarray:
+        """Lazily computed per-instance cache slot (frozen-safe).
+
+        ``ratios`` is treated as immutable once a result is built, so
+        derived views (the finite subset, its sort) are computed once
+        and reused — ``summary()``/``quantiles()`` on a 100M-draw result
+        cost one sort total, not one per call.
+        """
+        value = self.__dict__.get(name)
+        if value is None:
+            value = compute()
+            object.__setattr__(self, name, value)
+        return value
+
     @property
     def finite_ratios(self) -> np.ndarray:
         """Draws with a finite ratio (degenerate zero-ASIC totals excluded)."""
-        return self.ratios[np.isfinite(self.ratios)]
+        return self._cached(
+            "_finite_ratios", lambda: self.ratios[np.isfinite(self.ratios)]
+        )
+
+    @property
+    def sorted_finite_ratios(self) -> np.ndarray:
+        """The finite draws sorted ascending, computed once and cached.
+
+        Every :meth:`quantiles`/:meth:`summary` call used to re-reduce
+        the full ratio array; with the sort cached they are O(#quantiles)
+        after the first call.  Treat the returned array as read-only.
+        """
+        return self._cached(
+            "_sorted_finite", lambda: np.sort(self.finite_ratios)
+        )
 
     @property
     def n_non_finite(self) -> int:
@@ -229,20 +298,26 @@ class MonteCarloResult:
     def quantiles(self, qs: Sequence[float] = (0.05, 0.25, 0.5, 0.75, 0.95)) -> dict[float, float]:
         """Requested quantiles over the finite ratio draws.
 
+        Values are bit-identical to ``np.quantile`` (linear method) but
+        interpolated from :attr:`sorted_finite_ratios`, so repeated
+        calls never re-sort or re-partition the draw array.
         All-non-finite distributions return ``nan`` for every quantile
         rather than raising.
         """
-        finite = self.finite_ratios
+        finite = self.sorted_finite_ratios
         if finite.size == 0:
             return {float(q): float("nan") for q in qs}
-        values = np.quantile(finite, list(qs))
+        values = quantiles_from_sorted(finite, qs)
         return {float(q): float(v) for q, v in zip(qs, values)}
 
     def summary(self) -> dict[str, float]:
         """Flat summary for reporting (moments over finite draws)."""
         quantiles = self.quantiles()
         finite = self.finite_ratios
-        mean = float(np.mean(finite)) if finite.size else float("nan")
+        mean = (
+            float(self._cached("_ratio_mean", lambda: np.mean(finite)))
+            if finite.size else float("nan")
+        )
         return {
             "n_samples": float(self.n_samples),
             "fpga_win_probability": self.fpga_win_probability,
@@ -251,6 +326,133 @@ class MonteCarloResult:
             "ratio_p50": quantiles[0.5],
             "ratio_p95": quantiles[0.95],
         }
+
+
+@dataclass(frozen=True)
+class StreamingMonteCarloResult:
+    """Bounded-memory summary of a streamed Monte-Carlo study.
+
+    The streaming twin of :class:`MonteCarloResult`: built by
+    :func:`monte_carlo_batch` in ``reduce=`` mode (or
+    :func:`monte_carlo_stream`) from merged
+    :class:`~repro.engine.vector.StreamingReduction` partials, it holds
+    a few counters, the exact online moments and a quantile sketch —
+    never the per-draw ratio array — so a 100M-draw study summarises in
+    the same footprint as a 100k-draw one.
+
+    Fidelity contract versus the materialized path over the same seeded
+    draws: ``n_samples``/``n_non_finite``/``fpga_win_probability`` are
+    *exact* (integer counters), the moments are bit-reproducible across
+    chunk sizes and worker counts and match ``np.mean`` within
+    ``rtol <= 1e-12``, and :meth:`quantiles` are exact while
+    :attr:`quantile_exact` holds (finite draws fit the sketch) and
+    carry ``~sqrt(q(1-q)/quantile_k)`` rank error beyond that.
+    """
+
+    n_samples: int
+    n_finite: int
+    fpga_wins: int
+    ratio_mean: float
+    ratio_var: float
+    ratio_min: float
+    ratio_max: float
+    #: Sorted finite-ratio sample kept by the reservoir sketch.
+    quantile_sample: np.ndarray
+    quantile_exact: bool
+    quantile_k: int
+    #: Optional fixed-bin histogram: ``(counts, edges)`` arrays.
+    histogram: "tuple[np.ndarray, np.ndarray] | None" = None
+
+    @classmethod
+    def from_reduction(
+        cls, reduction: StreamingReduction
+    ) -> "StreamingMonteCarloResult":
+        """Summarise merged ``moments``/``wins``/``quantiles`` reducers.
+
+        The streaming-backed constructor: expects the members built by
+        :func:`monte_carlo_reduction` (an optional ``histogram`` member
+        is carried through when present).
+        """
+        moments = reduction["moments"].moments()
+        wins = reduction["wins"]
+        sketch = reduction["quantiles"]
+        hist = reduction.reducers.get("histogram")
+        return cls(
+            n_samples=wins.n,
+            n_finite=int(moments["n_finite"]),
+            fpga_wins=wins.fpga_wins,
+            ratio_mean=moments["mean"],
+            ratio_var=moments["var"],
+            ratio_min=moments["min"],
+            ratio_max=moments["max"],
+            quantile_sample=sketch.sample(),
+            quantile_exact=sketch.exact,
+            quantile_k=sketch.k,
+            histogram=None if hist is None else (hist.counts.copy(),
+                                                 hist.edges),
+        )
+
+    @property
+    def n_non_finite(self) -> int:
+        """Draws whose ratio is ``+/-inf``/``nan`` (zero ASIC totals)."""
+        return self.n_samples - self.n_finite
+
+    @property
+    def ratio_std(self) -> float:
+        """Standard deviation over finite draws (population)."""
+        return float(np.sqrt(self.ratio_var))
+
+    @property
+    def fpga_win_probability(self) -> float:
+        """Fraction of draws the FPGA won — exact (totals-based counter)."""
+        return self.fpga_wins / self.n_samples
+
+    def quantiles(
+        self, qs: Sequence[float] = (0.05, 0.25, 0.5, 0.75, 0.95)
+    ) -> dict[float, float]:
+        """Requested quantiles over the sketch's finite-ratio sample."""
+        if self.quantile_sample.shape[0] == 0:
+            return {float(q): float("nan") for q in qs}
+        values = quantiles_from_sorted(self.quantile_sample, qs)
+        return {float(q): float(v) for q, v in zip(qs, values)}
+
+    def summary(self) -> dict[str, float]:
+        """Flat summary, same keys as :meth:`MonteCarloResult.summary`."""
+        quantiles = self.quantiles()
+        return {
+            "n_samples": float(self.n_samples),
+            "fpga_win_probability": self.fpga_win_probability,
+            "ratio_mean": self.ratio_mean,
+            "ratio_p05": quantiles[0.05],
+            "ratio_p50": quantiles[0.5],
+            "ratio_p95": quantiles[0.95],
+        }
+
+
+def monte_carlo_reduction(
+    *,
+    seed: int = 2024,
+    quantile_k: int = DEFAULT_RESERVOIR_K,
+    block: int = REDUCE_BLOCK,
+    histogram: "tuple[float, float, int] | None" = None,
+) -> StreamingReduction:
+    """The default reducer bundle of a streamed Monte-Carlo study.
+
+    Exact win counters, block-partial online moments and a
+    deterministic bottom-k quantile sketch (seeded with the study seed,
+    so re-runs reproduce the sketch bit-for-bit); pass
+    ``histogram=(lo, hi, bins)`` to additionally stream a fixed-bin
+    ratio histogram.
+    """
+    reducers: dict = {
+        "moments": MomentsReducer(block=block),
+        "wins": WinCountReducer(),
+        "quantiles": ReservoirQuantiles(k=quantile_k, seed=seed),
+    }
+    if histogram is not None:
+        lo, hi, bins = histogram
+        reducers["histogram"] = HistogramReducer(lo, hi, bins)
+    return StreamingReduction(reducers)
 
 
 def _validate_study(
@@ -324,6 +526,20 @@ def monte_carlo(
     return MonteCarloResult(ratios=ratios, samples=samples, winners=winners)
 
 
+def _columnar_study(
+    engine: EvaluationEngine,
+    scenario: Scenario,
+    distributions: Sequence[ParameterDistribution],
+) -> bool:
+    """Whether the study can run without per-draw comparator objects."""
+    return bool(
+        engine.vectorize
+        and distributions
+        and all(d.apply_column is not None for d in distributions)
+        and VectorizedEvaluator.covers(scenario)
+    )
+
+
 def monte_carlo_batch(
     comparator: PlatformComparator,
     scenario: Scenario,
@@ -331,7 +547,11 @@ def monte_carlo_batch(
     n_samples: int = 500,
     seed: int = 2024,
     engine: EvaluationEngine | None = None,
-) -> MonteCarloResult:
+    *,
+    reduce: "StreamingReduction | bool | None" = None,
+    chunk_rows: "int | None" = None,
+    workers: "int | None" = None,
+) -> "MonteCarloResult | StreamingMonteCarloResult":
     """Array-land :func:`monte_carlo`: the draws run as one kernel batch.
 
     Sampling (RNG consumption order included) is identical to
@@ -355,14 +575,50 @@ def monte_carlo_batch(
     Ratios agree with the scalar path to ``rtol <= 1e-12`` either way.
     Columnar results carry :class:`ColumnSamples` (lazy per-draw dicts)
     plus the raw ``sample_columns`` arrays.
+
+    With ``reduce=`` (``True`` for the default
+    :func:`monte_carlo_reduction`, or a custom
+    :class:`~repro.engine.vector.StreamingReduction` prototype) the
+    study streams instead: draws are generated chunk-by-chunk from
+    seeded per-chunk RNG streams that bit-reproduce this function's
+    sequential draw order, evaluated, and folded into the reducers —
+    never materialising more than ``chunk_rows`` rows per worker, multi-
+    core by default (``workers``), bypassing the result store — and a
+    :class:`StreamingMonteCarloResult` is returned.  Streaming requires
+    the fully columnar path (every distribution with ``apply_column``,
+    a kernel-covered scenario, ``vectorize=True``); anything else
+    raises rather than silently materialising a 100M-row batch.
     """
     eng = resolve_engine(engine)
-    columnar = (
-        eng.vectorize
-        and distributions
-        and all(d.apply_column is not None for d in distributions)
-        and VectorizedEvaluator.covers(scenario)
-    )
+    columnar = _columnar_study(eng, scenario, distributions)
+    if reduce is not None and reduce is not False:
+        if not columnar:
+            raise ParameterError(
+                "streaming Monte-Carlo requires vectorize=True, "
+                "apply_column on every distribution and a kernel-covered "
+                "scenario"
+            )
+        _validate_study(distributions, n_samples)
+        reduction = (
+            reduce if isinstance(reduce, StreamingReduction)
+            else monte_carlo_reduction(seed=seed)
+        )
+        missing = {"moments", "wins", "quantiles"} - reduction.reducers.keys()
+        if missing:
+            # Checked before streaming: discovering this at result
+            # construction would throw away hours of 100M-draw work.
+            raise ParameterError(
+                "streaming Monte-Carlo reduction is missing members "
+                f"{sorted(missing)} (see monte_carlo_reduction)"
+            )
+        source = MonteCarloChunkSource(
+            np.asarray(extract_row(comparator), dtype=np.float64),
+            tuple(distributions), seed, scenario, n_samples,
+        )
+        merged = eng.reduce_stream(
+            source, reduction, chunk_rows=chunk_rows, workers=workers
+        )
+        return StreamingMonteCarloResult.from_reduction(merged)
     if not columnar:
         samples, pairs = _draw_pairs(comparator, scenario, distributions,
                                      n_samples, seed)
@@ -387,4 +643,32 @@ def monte_carlo_batch(
         samples=ColumnSamples(columns),
         winners=result.winners,
         sample_columns=columns,
+    )
+
+
+def monte_carlo_stream(
+    comparator: PlatformComparator,
+    scenario: Scenario,
+    distributions: Sequence[ParameterDistribution],
+    n_samples: int = 500,
+    seed: int = 2024,
+    engine: EvaluationEngine | None = None,
+    *,
+    chunk_rows: "int | None" = None,
+    workers: "int | None" = None,
+    quantile_k: int = DEFAULT_RESERVOIR_K,
+) -> StreamingMonteCarloResult:
+    """Out-of-core :func:`monte_carlo_batch`: bounded memory at any scale.
+
+    Sugar for ``monte_carlo_batch(..., reduce=...)`` with the default
+    reducer bundle sized by ``quantile_k``.  Peak memory is
+    ``O(chunk_rows)`` per worker regardless of ``n_samples``, and the
+    summary is bit-identical for any chunk size and worker count; see
+    :class:`StreamingMonteCarloResult` for the fidelity contract
+    against the materialized path.
+    """
+    return monte_carlo_batch(
+        comparator, scenario, distributions, n_samples=n_samples, seed=seed,
+        engine=engine, chunk_rows=chunk_rows, workers=workers,
+        reduce=monte_carlo_reduction(seed=seed, quantile_k=quantile_k),
     )

@@ -10,6 +10,11 @@ Subcommands:
 * ``greenfpga mc --draws 1000000`` — columnar Monte-Carlo over the
   Table 1 uncertainty ranges (the parameter-space pipeline: draws are
   sampled straight into NumPy columns, no per-draw objects).
+* ``greenfpga mc --draws 100000000 --stream`` — the same study through
+  the streaming reduction pipeline: draws are generated, evaluated and
+  reduced chunk-by-chunk (``--chunk-rows``) on ``--mc-workers`` spawn
+  processes, so any draw count runs in bounded memory; prints draws/s
+  and the peak process-tree RSS.
 * ``greenfpga serve-bench [--clients N]`` — measure async serving
   throughput (micro-batched concurrent clients vs serialized dispatch).
 
@@ -100,6 +105,24 @@ def _build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--lifetime", type=float, default=2.0,
                     help="app lifetime, years")
     mc.add_argument("--volume", type=float, default=1.0e6, help="units per app")
+    mc.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "streaming reduction: draws are generated, evaluated and "
+            "reduced chunk-by-chunk in bounded memory (multi-core by "
+            "default), summarising any draw count without materializing it"
+        ),
+    )
+    mc.add_argument(
+        "--chunk-rows", type=int, default=None, metavar="N",
+        help=(
+            "rows per streamed chunk (bounds peak memory; rounded up to "
+            "the reducer block, 16384 for the default bundle)"
+        ),
+    )
+    mc.add_argument("--mc-workers", type=int, default=None, metavar="N",
+                    help="streaming worker processes (default: all cores)")
 
     serve = sub.add_parser(
         "serve-bench",
@@ -186,36 +209,52 @@ def _cmd_mc(
     apps: int,
     lifetime: float,
     volume: float,
+    stream: bool,
+    chunk_rows: int | None,
+    mc_workers: int | None,
 ) -> int:
     import time
 
     from repro.analysis.montecarlo import monte_carlo_batch
+    from repro.engine.resources import PeakRssSampler
     from repro.experiments.ext_uncertainty import distributions
 
     scenario = Scenario(
         num_apps=apps, app_lifetime_years=lifetime, volume=int(volume)
     )
     comparator = PlatformComparator.for_domain(domain)
+    engine = default_engine()
     start = time.perf_counter()
-    result = monte_carlo_batch(
-        comparator, scenario, distributions(), n_samples=draws, seed=seed,
-        engine=default_engine(),
-    )
+    with PeakRssSampler() as rss:
+        result = monte_carlo_batch(
+            comparator, scenario, distributions(), n_samples=draws, seed=seed,
+            engine=engine, reduce=True if stream else None,
+            chunk_rows=chunk_rows, workers=mc_workers,
+        )
     elapsed = time.perf_counter() - start
     rows = [
         {"metric": name, "value": f"{value:.6g}"}
         for name, value in result.summary().items()
     ]
+    mode = "streaming reduction" if stream else "materialized"
     print(format_table(
         rows,
         title=(
             f"{domain}: {draws} Monte-Carlo draws over Table 1 ranges "
-            f"(seed {seed})"
+            f"(seed {seed}, {mode})"
         ),
     ))
+    if stream:
+        pipeline = (
+            f"streaming reduction, {engine.stream_workers(mc_workers)} "
+            f"worker(s)"
+        )
+    else:
+        pipeline = "columnar parameter-space pipeline"
     print(
         f"\n{draws} draws in {elapsed:.3f} s "
-        f"({draws / elapsed:,.0f} draws/s, columnar parameter-space pipeline)"
+        f"({draws / elapsed:,.0f} draws/s, {pipeline}); "
+        f"peak RSS {rss.peak_mb:,.0f} MB"
     )
     return 0
 
@@ -259,7 +298,14 @@ def _cmd_serve_bench(
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "mc" and not args.stream and (
+        args.chunk_rows is not None or args.mc_workers is not None
+    ):
+        # Without --stream these knobs would be silently ignored and
+        # the run would materialize the full batch single-pipeline.
+        parser.error("--chunk-rows/--mc-workers require --stream")
     _configure_engine(args)
     if args.command == "list":
         code = _cmd_list()
@@ -270,7 +316,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif args.command == "mc":
         code = _cmd_mc(
             args.domain, args.draws, args.seed, args.apps, args.lifetime,
-            args.volume,
+            args.volume, args.stream, args.chunk_rows, args.mc_workers,
         )
     elif args.command == "serve-bench":
         code = _cmd_serve_bench(

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import atexit
 import dataclasses
+import multiprocessing
 import os
 import pickle
 import threading
@@ -75,6 +76,14 @@ from repro.engine.vector import (
 )
 from repro.engine.vector.evaluator import _patch_fallback_rows
 from repro.engine.vector.kernels import ratio_kernel, winner_kernel
+from repro.engine.vector.reducers import StreamingReduction
+from repro.engine.vector.streaming import (
+    MAX_STREAM_WORKERS,
+    ArrayChunkSource,
+    SharedArrayChunkSource,
+    aligned_chunk_rows,
+    run_stream,
+)
 from repro.errors import ParameterError
 
 #: Default chunk size for parallel dispatch — large enough that pickling
@@ -204,6 +213,9 @@ class EvaluationEngine:
         self._vector = VectorizedEvaluator()
         self._store = ShardedResultStore(capacity=cache_size, shards=cache_shards)
         self._pool: ProcessPoolExecutor | None = None
+        self._stream_pool: ProcessPoolExecutor | None = None
+        self._stream_pool_workers = 0
+        self._pool_lock = threading.Lock()
         self._computed_lock = threading.Lock()
         self._rows_computed = 0
         self.cache_file = Path(cache_file) if cache_file is not None else None
@@ -257,10 +269,21 @@ class EvaluationEngine:
         return self._store.load(path)
 
     def close(self) -> None:
-        """Shut down the worker pool (if one was started)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut down the worker pools (if any were started).
+
+        Idempotent and safe under concurrent callers: the pools are
+        detached under a lock, so exactly one caller shuts each down
+        and repeated/racing ``close()`` calls are no-ops.  The engine
+        stays usable afterwards — pools restart lazily on demand.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            stream_pool, self._stream_pool = self._stream_pool, None
+            self._stream_pool_workers = 0
+        if pool is not None:
+            pool.shutdown(wait=True)
+        if stream_pool is not None:
+            stream_pool.shutdown(wait=True)
 
     def __enter__(self) -> "EvaluationEngine":
         return self
@@ -618,7 +641,11 @@ class EvaluationEngine:
         self,
         params: ParameterBatch,
         scenarios: "ScenarioBatch | Iterable[Scenario]",
-    ) -> BatchResult:
+        *,
+        reduce: "StreamingReduction | None" = None,
+        chunk_rows: "int | None" = None,
+        stream_workers: "int | None" = None,
+    ) -> "BatchResult | StreamingReduction":
         """Assess parameter-space rows, columnar end to end.
 
         The workhorse of the parameter-space pipeline: Monte-Carlo
@@ -639,6 +666,17 @@ class EvaluationEngine:
           composed on a thread pool — NumPy releases the GIL in the
           kernels, so chunks genuinely run multi-core.
 
+        With ``reduce=`` a :class:`StreamingReduction` prototype, the
+        batch streams through :meth:`reduce_stream` instead: chunks are
+        evaluated and folded into the reducers without ever holding
+        more than ``chunk_rows`` result rows per worker, the sharded
+        store is bypassed entirely (reduced rows are summarised, not
+        cached), and the *merged reduction* is returned in place of a
+        :class:`BatchResult`.  Multi-worker streaming packs the per-row
+        columns into a shared-memory block once, so spawn workers slice
+        them zero-copy.  Requires ``vectorize=True`` and a fully
+        kernel-covered scenario batch.
+
         With ``vectorize=False`` the rows are evaluated through the
         scalar object path (requires an extraction-mode batch carrying
         its comparators) and columnised, so callers see one API.
@@ -652,6 +690,10 @@ class EvaluationEngine:
             raise ParameterError(
                 f"parameter batch has {params.size} rows, "
                 f"scenario batch has {batch.size}"
+            )
+        if reduce is not None:
+            return self._reduce_param_batch(
+                params, batch, reduce, chunk_rows, stream_workers
             )
         if not self.vectorize:
             if params.comparators is None:
@@ -698,6 +740,44 @@ class EvaluationEngine:
             ints[miss] = comp_i
         return self._assemble_batch(batch, floats, ints, {})
 
+    def _reduce_param_batch(
+        self,
+        params: ParameterBatch,
+        batch: ScenarioBatch,
+        reduction: StreamingReduction,
+        chunk_rows: "int | None",
+        stream_workers: "int | None",
+    ) -> StreamingReduction:
+        """Stream an in-memory batch through :meth:`reduce_stream`."""
+        if not self.vectorize:
+            raise ParameterError(
+                "streaming reduction requires vectorize=True"
+            )
+        if not batch.all_covered:
+            raise ParameterError(
+                "streaming reduction requires kernel-covered scenario rows "
+                "(uniform per-application lifetimes, integral volumes)"
+            )
+        workers = self.stream_workers(stream_workers)
+        # A batch that fits one (aligned) chunk runs as a single
+        # sequential span either way — packing shared memory for it
+        # would be pure copy overhead.
+        single_chunk = batch.size <= aligned_chunk_rows(
+            chunk_rows, reduction.alignment, batch.size
+        )
+        if workers > 1 and not single_chunk:
+            source = SharedArrayChunkSource.pack(params, batch)
+            try:
+                return self.reduce_stream(
+                    source, reduction, chunk_rows=chunk_rows, workers=workers
+                )
+            finally:
+                source.close()
+        return self.reduce_stream(
+            ArrayChunkSource(params, batch), reduction,
+            chunk_rows=chunk_rows, workers=1,
+        )
+
     def _compute_param_chunks(
         self, params: ParameterBatch, batch: ScenarioBatch
     ) -> BatchResult:
@@ -743,10 +823,90 @@ class EvaluationEngine:
         return BatchResult.concat(parts)
 
     def _pool_get(self) -> ProcessPoolExecutor:
-        """The engine's worker pool, started lazily and reused per batch."""
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
+        """The engine's worker pool, started lazily and reused per batch.
+
+        Pinned to the ``spawn`` start method: fork would inherit the
+        parent's suite caches and RNG state, so results (and pool
+        health) could depend on the platform default.  Spawned workers
+        re-import the model stack once per pool, and evaluation is pure,
+        so results are identical under either method — spawn just makes
+        that true by construction everywhere.
+        """
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+            return self._pool
+
+    def _stream_pool_get(self, workers: int) -> ProcessPoolExecutor:
+        """The streaming chunk pool (spawn), resized when workers change.
+
+        A pool whose workers died (OOM-killed mid-stream) is discarded
+        and rebuilt here, so one broken run degrades that run to the
+        sequential fallback without losing parallelism forever.
+        """
+        with self._pool_lock:
+            if self._stream_pool is not None and (
+                self._stream_pool_workers != workers
+                # ProcessPoolExecutor flags itself once a worker dies;
+                # submitting to it would only ever raise BrokenExecutor.
+                or getattr(self._stream_pool, "_broken", False)
+            ):
+                stale, self._stream_pool = self._stream_pool, None
+                stale.shutdown(wait=False)
+            if self._stream_pool is None:
+                self._stream_pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+                self._stream_pool_workers = workers
+            return self._stream_pool
+
+    def stream_workers(self, workers: "int | None" = None) -> int:
+        """Effective streaming worker count (multi-core by default).
+
+        ``workers`` if given, else the engine's ``workers`` pin, else
+        every available core — always capped at
+        :data:`MAX_STREAM_WORKERS` (the kernels go memory-bandwidth
+        bound, and each worker holds a chunk of result columns).
+        """
+        if workers is None:
+            resolved = self.workers or (os.cpu_count() or 1)
+        else:
+            resolved = workers
+        if resolved < 1:
+            raise ParameterError(f"workers must be >= 1, got {resolved}")
+        return min(resolved, MAX_STREAM_WORKERS)
+
+    def reduce_stream(
+        self,
+        source,
+        reduction: StreamingReduction,
+        *,
+        chunk_rows: "int | None" = None,
+        workers: "int | None" = None,
+    ) -> StreamingReduction:
+        """Fold a chunk source through the kernels into ``reduction``.
+
+        The fused sample→evaluate→reduce executor behind the streaming
+        (``reduce=``) modes: never materialises more than one chunk of
+        rows per worker and never touches the result store.  With more
+        than one effective worker the chunks run on the engine's cached
+        ``spawn`` process pool (see
+        :func:`repro.engine.vector.streaming.run_stream` for the span
+        protocol and the sequential fallback); the returned reduction
+        is bit-identical for any chunk size and worker count.
+        """
+        workers = self.stream_workers(workers)
+        pool = self._stream_pool_get(workers) if workers > 1 else None
+        result = run_stream(
+            source, reduction, chunk_rows=chunk_rows, workers=workers,
+            pool=pool,
+        )
+        self._note_computed(int(source.n))
+        return result
 
     def _compute(
         self, pairs: Sequence[tuple[PlatformComparator, Scenario]]

@@ -515,6 +515,10 @@ def serving_benchmark(
             "cells_per_request": cells_per_request,
             "total_scenarios": total_cells,
             "batch_window_s": batch_window_s,
+            # Serving always materialises result rows (clients receive
+            # per-row slices); recorded so BENCH_serving.json stays
+            # comparable if a streaming reducer mode lands here too.
+            "reduce_mode": "materialized",
             "persisted_entries": int(persisted),
             "warm_concurrent_hit_rate": round(float(warm_hit_rate), 4),
             "warm_concurrent_rows_recomputed": int(warm_recomputed),

@@ -11,6 +11,27 @@ from repro.engine.vector.evaluator import (
     comparator_constants,
 )
 from repro.engine.vector.params import N_PARAM_COLS, ParameterBatch, extract_row
+from repro.engine.vector.reducers import (
+    DEFAULT_RESERVOIR_K,
+    REDUCE_BLOCK,
+    HistogramReducer,
+    MomentsReducer,
+    ParetoReducer,
+    ReservoirQuantiles,
+    StreamingReducer,
+    StreamingReduction,
+    TopKReducer,
+    WinCountReducer,
+)
+from repro.engine.vector.streaming import (
+    DEFAULT_STREAM_CHUNK_ROWS,
+    MAX_STREAM_WORKERS,
+    ArrayChunkSource,
+    MonteCarloChunkSource,
+    SharedArrayChunkSource,
+    aligned_chunk_rows,
+    run_stream,
+)
 from repro.engine.vector.kernels import (
     YIELD_MODEL_CODES,
     design_project_kg,
@@ -27,12 +48,29 @@ from repro.engine.vector.kernels import (
 )
 
 __all__ = [
+    "ArrayChunkSource",
     "BatchResult",
+    "DEFAULT_RESERVOIR_K",
+    "DEFAULT_STREAM_CHUNK_ROWS",
+    "HistogramReducer",
+    "MAX_STREAM_WORKERS",
+    "MomentsReducer",
+    "MonteCarloChunkSource",
     "N_PARAM_COLS",
     "ParameterBatch",
+    "ParetoReducer",
+    "REDUCE_BLOCK",
+    "ReservoirQuantiles",
     "ScenarioBatch",
+    "SharedArrayChunkSource",
     "SideConstants",
+    "StreamingReducer",
+    "StreamingReduction",
+    "TopKReducer",
+    "WinCountReducer",
+    "aligned_chunk_rows",
     "extract_row",
+    "run_stream",
     "VectorizedEvaluator",
     "YIELD_MODEL_CODES",
     "comparator_constants",

@@ -1,0 +1,608 @@
+"""Streaming reducers: mergeable chunk reductions over batch results.
+
+The paper's headline claims are *distributional* — FPGA win
+probabilities, ratio quantiles, Pareto frontiers — yet the columnar
+pipeline materialised a full :class:`~repro.engine.vector.BatchResult`
+row per draw, hitting a memory wall near a million draws.  This module
+provides the reduction layer of the fused sample→evaluate→reduce
+streaming path: each reducer consumes one chunk of a
+:class:`BatchResult` at a time, keeps only a bounded summary state, and
+exposes a **mergeable-partials contract** so per-chunk (and per-worker)
+reductions combine into exactly the reduction of the whole stream.
+
+Determinism is part of the contract.  Every reducer here produces
+**bit-identical state for any chunk size and worker count**, provided
+chunk boundaries respect the reducer's :attr:`alignment`:
+
+* :class:`MomentsReducer` — online count/mean/variance/min/max with
+  win-independent Kahan–Neumaier compensation.  Partial sums are kept
+  per fixed *absolute-index block* (``block`` rows each), so a chunking
+  into 8k or 128k rows produces the same block partials; the final
+  cross-block combine walks blocks in index order with a compensated
+  (Neumaier) accumulator.  Merging unions disjoint block partials.
+* :class:`WinCountReducer` — integer win/total counters (exact under
+  any chunking by construction).
+* :class:`HistogramReducer` — fixed-bin counts plus underflow /
+  overflow / non-finite tallies; merging adds counts.
+* :class:`ReservoirQuantiles` — a bottom-k priority sample ("reservoir
+  sketch"): every draw gets a deterministic pseudo-random priority from
+  a splitmix64 hash of its **absolute draw index**, and the sketch
+  keeps the ``k`` smallest priorities.  The kept *set* is therefore a
+  pure function of the stream, independent of chunking, and merging is
+  concatenate-and-recompress.  Quantiles are exact whenever the stream
+  holds at most ``k`` finite values, and carry the usual
+  ``O(1/sqrt(k))`` rank error beyond that.
+* :class:`TopKReducer` / :class:`ParetoReducer` — DSE reductions: the
+  ``k`` best rows by greener-platform total (ties broken by row index)
+  and the streaming non-dominated front over
+  ``(fpga_total, asic_total)``.
+
+:class:`StreamingReduction` bundles named reducers behind one
+``update`` / ``merge`` / ``fresh`` surface; the chunk executors in
+:mod:`repro.engine.vector.streaming` drive it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.engine.vector.evaluator import BatchResult
+from repro.errors import ParameterError
+
+#: Default absolute-index block of :class:`MomentsReducer` partial sums.
+#: Chunk sizes are rounded up to a multiple of the reduction's
+#: alignment, so any chunking shares the same block partials and the
+#: final moments are bit-identical across chunk sizes and worker counts.
+REDUCE_BLOCK = 16_384
+
+#: Default sample size of :class:`ReservoirQuantiles`.  Rank error is
+#: ``~sqrt(q(1-q)/k)`` — about 0.2% at the median for the default — and
+#: streams with at most ``k`` finite values are summarised exactly.
+DEFAULT_RESERVOIR_K = 65_536
+
+
+@runtime_checkable
+class StreamingReducer(Protocol):
+    """One mergeable streaming reduction over batch-result chunks.
+
+    Implementations keep bounded state and obey the mergeable-partials
+    contract: ``fresh()`` partials updated with disjoint chunk ranges
+    and merged (in any order) reach the same state as one reducer fed
+    the whole stream in order, bit-identically, provided every chunk
+    boundary is a multiple of :attr:`alignment`.
+    """
+
+    #: Chunk boundaries must be multiples of this (1 = don't care).
+    alignment: int
+
+    def fresh(self) -> "StreamingReducer":
+        """An empty reducer with this reducer's configuration."""
+        ...
+
+    def update(self, result: BatchResult, offset: int) -> None:
+        """Consume a chunk whose first row has absolute index ``offset``."""
+        ...
+
+    def merge(self, other: "StreamingReducer") -> None:
+        """Fold another partial (over disjoint rows) into this one."""
+        ...
+
+
+def _neumaier_sum(values: Iterable[float]) -> float:
+    """Compensated (Neumaier) sum, deterministic in iteration order."""
+    total = 0.0
+    compensation = 0.0
+    for value in values:
+        t = total + value
+        if abs(total) >= abs(value):
+            compensation += (total - t) + value
+        else:
+            compensation += (value - t) + total
+        total = t
+    return total + compensation
+
+
+class MomentsReducer:
+    """Streaming count/mean/variance/min/max over finite column values.
+
+    Partial sums are kept per fixed absolute-index block (see module
+    docstring), making the state — and therefore the final moments —
+    bit-identical for any block-aligned chunking.  Non-finite values
+    are counted but excluded from the moments, mirroring
+    :attr:`MonteCarloResult.finite_ratios` semantics.
+    """
+
+    __slots__ = ("alignment", "source", "_blocks")
+
+    def __init__(self, source: str = "ratios", block: int = REDUCE_BLOCK) -> None:
+        if block < 1:
+            raise ParameterError(f"block must be >= 1, got {block}")
+        self.alignment = block
+        self.source = source
+        #: block index -> (n_total, n_finite, sum, M2, min, max) where
+        #: M2 is the block's centred sum of squares — kept instead of a
+        #: raw sum of squares so the cross-block (Chan) variance
+        #: combine never catastrophically cancels for large-magnitude,
+        #: tightly clustered columns (e.g. kg totals).
+        self._blocks: dict[int, tuple[int, int, float, float, float, float]] = {}
+
+    def fresh(self) -> "MomentsReducer":
+        return MomentsReducer(source=self.source, block=self.alignment)
+
+    def update(self, result: BatchResult, offset: int) -> None:
+        values = np.asarray(getattr(result, self.source), dtype=np.float64)
+        block = self.alignment
+        if offset % block:
+            raise ParameterError(
+                f"chunk offset {offset} is not aligned to block {block}"
+            )
+        for start in range(0, values.shape[0], block):
+            segment = values[start : start + block]
+            finite = np.isfinite(segment)
+            n_finite = int(np.count_nonzero(finite))
+            masked = np.where(finite, segment, 0.0)
+            total = float(masked.sum())
+            if n_finite:
+                centred = np.where(finite, segment - total / n_finite, 0.0)
+                m2 = float((centred * centred).sum())
+            else:
+                m2 = 0.0
+            key = (offset + start) // block
+            if key in self._blocks:
+                raise ParameterError(f"block {key} reduced twice")
+            self._blocks[key] = (
+                int(segment.shape[0]),
+                n_finite,
+                total,
+                m2,
+                float(segment[finite].min()) if n_finite else math.inf,
+                float(segment[finite].max()) if n_finite else -math.inf,
+            )
+
+    def merge(self, other: "MomentsReducer") -> None:
+        overlap = self._blocks.keys() & other._blocks.keys()
+        if overlap:
+            raise ParameterError(f"merging overlapping blocks {sorted(overlap)}")
+        self._blocks.update(other._blocks)
+
+    # -- finalisation ---------------------------------------------------
+
+    @property
+    def n_total(self) -> int:
+        """Rows seen (finite or not)."""
+        return sum(b[0] for b in self._blocks.values())
+
+    @property
+    def n_finite(self) -> int:
+        """Rows with a finite value."""
+        return sum(b[1] for b in self._blocks.values())
+
+    def moments(self) -> dict[str, float]:
+        """``{n, n_finite, mean, var, std, min, max}`` over finite values.
+
+        The cross-block combine walks blocks in index order — a
+        Neumaier-compensated accumulator for the mean, Chan's parallel
+        M2 update for the variance — so the result is a pure function
+        of the stream contents (independent of chunk size and worker
+        count) and the variance stays accurate even when the spread is
+        many orders of magnitude below the mean.
+        """
+        ordered = [self._blocks[k] for k in sorted(self._blocks)]
+        n = sum(b[0] for b in ordered)
+        n_finite = sum(b[1] for b in ordered)
+        if n_finite == 0:
+            nan = float("nan")
+            return {"n": float(n), "n_finite": 0.0, "mean": nan, "var": nan,
+                    "std": nan, "min": nan, "max": nan}
+        total = _neumaier_sum(b[2] for b in ordered)
+        run_n = 0
+        run_mean = 0.0
+        run_m2 = 0.0
+        for b_n, b_finite, b_sum, b_m2, _, _ in ordered:
+            if b_finite == 0:
+                continue
+            b_mean = b_sum / b_finite
+            merged = run_n + b_finite
+            delta = b_mean - run_mean
+            run_m2 += b_m2 + delta * delta * run_n * b_finite / merged
+            run_mean += delta * b_finite / merged
+            run_n = merged
+        var = max(0.0, run_m2 / n_finite)
+        return {
+            "n": float(n),
+            "n_finite": float(n_finite),
+            "mean": total / n_finite,
+            "var": var,
+            "std": math.sqrt(var),
+            "min": min(b[4] for b in ordered),
+            "max": max(b[5] for b in ordered),
+        }
+
+
+class WinCountReducer:
+    """Exact per-platform win counters (totals-based, like ``winners``)."""
+
+    __slots__ = ("alignment", "n", "fpga_wins")
+
+    def __init__(self) -> None:
+        self.alignment = 1
+        self.n = 0
+        self.fpga_wins = 0
+
+    def fresh(self) -> "WinCountReducer":
+        return WinCountReducer()
+
+    def update(self, result: BatchResult, offset: int) -> None:
+        self.n += int(result.winners.shape[0])
+        self.fpga_wins += int(np.count_nonzero(result.winners == "fpga"))
+
+    def merge(self, other: "WinCountReducer") -> None:
+        self.n += other.n
+        self.fpga_wins += other.fpga_wins
+
+    @property
+    def fpga_win_probability(self) -> float:
+        """Fraction of rows the FPGA won (0 rows -> ``nan``)."""
+        return self.fpga_wins / self.n if self.n else float("nan")
+
+
+class HistogramReducer:
+    """Fixed-bin histogram with underflow/overflow/non-finite tallies.
+
+    Bin edges are ``bins`` equal-width intervals over ``[lo, hi]``
+    (right-closed on the last bin, matching :func:`numpy.histogram`).
+    Merging adds counts, so any chunking yields identical counts.
+    """
+
+    __slots__ = ("alignment", "source", "lo", "hi", "counts",
+                 "underflow", "overflow", "non_finite")
+
+    def __init__(
+        self, lo: float, hi: float, bins: int = 64, source: str = "ratios"
+    ) -> None:
+        if not (math.isfinite(lo) and math.isfinite(hi) and hi > lo):
+            raise ParameterError(f"need finite hi > lo, got [{lo}, {hi}]")
+        if bins < 1:
+            raise ParameterError(f"bins must be >= 1, got {bins}")
+        self.alignment = 1
+        self.source = source
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.counts = np.zeros(bins, dtype=np.int64)
+        self.underflow = 0
+        self.overflow = 0
+        self.non_finite = 0
+
+    def fresh(self) -> "HistogramReducer":
+        return HistogramReducer(self.lo, self.hi, int(self.counts.shape[0]),
+                                source=self.source)
+
+    @property
+    def edges(self) -> np.ndarray:
+        """The ``bins + 1`` bin edges."""
+        return np.linspace(self.lo, self.hi, int(self.counts.shape[0]) + 1)
+
+    def update(self, result: BatchResult, offset: int) -> None:
+        values = np.asarray(getattr(result, self.source), dtype=np.float64)
+        finite = values[np.isfinite(values)]
+        self.non_finite += int(values.shape[0] - finite.shape[0])
+        self.underflow += int(np.count_nonzero(finite < self.lo))
+        self.overflow += int(np.count_nonzero(finite > self.hi))
+        inside = finite[(finite >= self.lo) & (finite <= self.hi)]
+        self.counts += np.histogram(inside, bins=int(self.counts.shape[0]),
+                                    range=(self.lo, self.hi))[0]
+
+    def merge(self, other: "HistogramReducer") -> None:
+        if (other.lo, other.hi, other.counts.shape) != (
+            self.lo, self.hi, self.counts.shape
+        ):
+            raise ParameterError("merging histograms with different bins")
+        self.counts += other.counts
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        self.non_finite += other.non_finite
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finaliser — a bijection on uint64 (no collisions)."""
+    with np.errstate(over="ignore"):  # modular uint64 arithmetic on purpose
+        z = x + np.uint64(0x9E3779B97F4A7C15)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return z ^ (z >> np.uint64(31))
+
+
+class ReservoirQuantiles:
+    """Deterministic bottom-k quantile sketch over finite column values.
+
+    Every row's priority is ``splitmix64(index ^ mix(seed))`` — a pure
+    function of its absolute draw index — and the sketch keeps the
+    ``k`` rows with the smallest priorities (a uniform random sample of
+    the stream).  Because priorities ignore chunk boundaries and
+    splitmix64 is injective (no ties), the kept set is bit-identical
+    for any chunk size and worker count; merging partials is
+    concatenate-and-recompress.  Streams with at most ``k`` finite
+    values are held in full, so small studies get *exact* quantiles.
+    """
+
+    __slots__ = ("alignment", "source", "k", "_seed_mix", "_n_seen",
+                 "_priorities", "_values")
+
+    def __init__(
+        self, k: int = DEFAULT_RESERVOIR_K, seed: int = 0,
+        source: str = "ratios",
+    ) -> None:
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        self.alignment = 1
+        self.source = source
+        self.k = k
+        self._seed_mix = int(_splitmix64(np.uint64(seed & 0xFFFFFFFFFFFFFFFF)))
+        self._n_seen = 0
+        self._priorities = np.empty(0, dtype=np.uint64)
+        self._values = np.empty(0, dtype=np.float64)
+
+    def fresh(self) -> "ReservoirQuantiles":
+        clone = ReservoirQuantiles(k=self.k, source=self.source)
+        clone._seed_mix = self._seed_mix
+        return clone
+
+    @property
+    def n_seen(self) -> int:
+        """Finite values observed so far."""
+        return self._n_seen
+
+    @property
+    def exact(self) -> bool:
+        """Whether the sketch still holds *every* finite value."""
+        return self._n_seen <= self.k
+
+    def _compress(self) -> None:
+        if self._priorities.shape[0] > self.k:
+            keep = np.argpartition(self._priorities, self.k - 1)[: self.k]
+            self._priorities = self._priorities[keep]
+            self._values = self._values[keep]
+
+    def update(self, result: BatchResult, offset: int) -> None:
+        values = np.asarray(getattr(result, self.source), dtype=np.float64)
+        finite = np.isfinite(values)
+        indices = np.nonzero(finite)[0].astype(np.uint64) + np.uint64(offset)
+        priorities = _splitmix64(indices ^ np.uint64(self._seed_mix))
+        self._n_seen += int(indices.shape[0])
+        self._priorities = np.concatenate([self._priorities, priorities])
+        self._values = np.concatenate([self._values, values[finite]])
+        self._compress()
+
+    def merge(self, other: "ReservoirQuantiles") -> None:
+        if other.k != self.k or other._seed_mix != self._seed_mix:
+            raise ParameterError("merging reservoirs with different k/seed")
+        self._n_seen += other._n_seen
+        self._priorities = np.concatenate([self._priorities, other._priorities])
+        self._values = np.concatenate([self._values, other._values])
+        self._compress()
+
+    def sample(self) -> np.ndarray:
+        """The kept values, sorted ascending (a copy)."""
+        return np.sort(self._values)
+
+    def quantiles(self, qs: Sequence[float]) -> dict[float, float]:
+        """Requested quantiles of the sketch (``nan`` when empty).
+
+        Exact while :attr:`exact` holds; otherwise the estimate carries
+        ``~sqrt(q(1-q)/k)`` rank error.
+        """
+        if self._values.shape[0] == 0:
+            return {float(q): float("nan") for q in qs}
+        values = np.quantile(self._values, list(qs))
+        return {float(q): float(v) for q, v in zip(qs, values)}
+
+
+class TopKReducer:
+    """The ``k`` rows with the smallest greener-platform total.
+
+    Keeps ``(index, fpga_total, asic_total, ratio)`` per kept row.
+    Ordering is by ``(min(fpga, asic), index)`` — the index tiebreak
+    makes the kept set and its order deterministic under any chunking.
+    """
+
+    __slots__ = ("alignment", "k", "_indices", "_fpga", "_asic", "_ratios")
+
+    def __init__(self, k: int = 64) -> None:
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        self.alignment = 1
+        self.k = k
+        self._indices = np.empty(0, dtype=np.int64)
+        self._fpga = np.empty(0, dtype=np.float64)
+        self._asic = np.empty(0, dtype=np.float64)
+        self._ratios = np.empty(0, dtype=np.float64)
+
+    def fresh(self) -> "TopKReducer":
+        return TopKReducer(k=self.k)
+
+    def _compress(self) -> None:
+        if self._indices.shape[0] > self.k:
+            key = np.minimum(self._fpga, self._asic)
+            order = np.lexsort((self._indices, key))[: self.k]
+            self._indices = self._indices[order]
+            self._fpga = self._fpga[order]
+            self._asic = self._asic[order]
+            self._ratios = self._ratios[order]
+
+    def update(self, result: BatchResult, offset: int) -> None:
+        n = result.size
+        self._indices = np.concatenate(
+            [self._indices, np.arange(offset, offset + n, dtype=np.int64)]
+        )
+        self._fpga = np.concatenate([self._fpga, result.fpga_totals])
+        self._asic = np.concatenate([self._asic, result.asic_totals])
+        self._ratios = np.concatenate([self._ratios, result.ratios])
+        self._compress()
+
+    def merge(self, other: "TopKReducer") -> None:
+        if other.k != self.k:
+            raise ParameterError("merging top-k reducers with different k")
+        self._indices = np.concatenate([self._indices, other._indices])
+        self._fpga = np.concatenate([self._fpga, other._fpga])
+        self._asic = np.concatenate([self._asic, other._asic])
+        self._ratios = np.concatenate([self._ratios, other._ratios])
+        self._compress()
+
+    def rows(self) -> list[dict[str, float]]:
+        """Kept rows ordered greenest-first (then by index)."""
+        key = np.minimum(self._fpga, self._asic)
+        order = np.lexsort((self._indices, key))
+        return [
+            {
+                "index": int(self._indices[i]),
+                "fpga_total_kg": float(self._fpga[i]),
+                "asic_total_kg": float(self._asic[i]),
+                "ratio": float(self._ratios[i]),
+            }
+            for i in order
+        ]
+
+
+def _pareto_mask(fpga: np.ndarray, asic: np.ndarray,
+                 indices: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows, minimising both totals.
+
+    Domination matches :func:`repro.analysis.dse._dominates`: strictly
+    better somewhere, no worse anywhere — exact coordinate duplicates
+    do not dominate each other and are all kept.  After sorting by
+    ``(fpga, asic)``, any dominator of a row precedes it, so one
+    vectorised pass over the strict running minimum of ``asic`` (and
+    the ``fpga`` of the row that set it) decides every row.
+    """
+    n = fpga.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    nan_rows = np.isnan(fpga) | np.isnan(asic)
+    if nan_rows.any():
+        # NaN never satisfies any comparison, so such rows can neither
+        # dominate nor be dominated — the materialized `_dominates`
+        # keeps them on the front, and the streamed front must match.
+        mask = _pareto_mask(fpga[~nan_rows], asic[~nan_rows],
+                            indices[~nan_rows])
+        result = np.ones(n, dtype=bool)
+        result[~nan_rows] = mask
+        return result
+    order = np.lexsort((indices, asic, fpga))
+    x = fpga[order]
+    y = asic[order]
+    #: Strict prefix minimum of y (earlier rows only).
+    running = np.concatenate(([np.inf], np.minimum.accumulate(y)[:-1]))
+    setter = y < running  # rows that lower the minimum are on the front
+    #: x of the row that set the current minimum (earliest achiever —
+    #: any later equal-y row has x >= it, x being the sort key).
+    setter_pos = np.maximum.accumulate(np.where(setter, np.arange(n), -1))
+    setter_x = np.where(setter_pos >= 0, x[np.maximum(setter_pos, 0)], np.inf)
+    # A non-setter survives only as an exact duplicate of the setter:
+    # y == running min and x == setter x (x < setter_x is impossible).
+    keep_sorted = setter | ((y == running) & (x == setter_x))
+    mask = np.zeros(n, dtype=bool)
+    mask[order] = keep_sorted
+    return mask
+
+
+class ParetoReducer:
+    """Streaming non-dominated front over ``(fpga_total, asic_total)``.
+
+    The front of a union equals the front of the union of fronts, so
+    each update filters the chunk against the running front and merging
+    concatenates two fronts and re-filters — deterministic under any
+    chunking (the front is a pure set function of the stream; rows are
+    reported in index order).
+    """
+
+    __slots__ = ("alignment", "_indices", "_fpga", "_asic", "_ratios")
+
+    def __init__(self) -> None:
+        self.alignment = 1
+        self._indices = np.empty(0, dtype=np.int64)
+        self._fpga = np.empty(0, dtype=np.float64)
+        self._asic = np.empty(0, dtype=np.float64)
+        self._ratios = np.empty(0, dtype=np.float64)
+
+    def fresh(self) -> "ParetoReducer":
+        return ParetoReducer()
+
+    def _refilter(self) -> None:
+        mask = _pareto_mask(self._fpga, self._asic, self._indices)
+        self._indices = self._indices[mask]
+        self._fpga = self._fpga[mask]
+        self._asic = self._asic[mask]
+        self._ratios = self._ratios[mask]
+
+    def update(self, result: BatchResult, offset: int) -> None:
+        n = result.size
+        self._indices = np.concatenate(
+            [self._indices, np.arange(offset, offset + n, dtype=np.int64)]
+        )
+        self._fpga = np.concatenate([self._fpga, result.fpga_totals])
+        self._asic = np.concatenate([self._asic, result.asic_totals])
+        self._ratios = np.concatenate([self._ratios, result.ratios])
+        self._refilter()
+
+    def merge(self, other: "ParetoReducer") -> None:
+        self._indices = np.concatenate([self._indices, other._indices])
+        self._fpga = np.concatenate([self._fpga, other._fpga])
+        self._asic = np.concatenate([self._asic, other._asic])
+        self._ratios = np.concatenate([self._ratios, other._ratios])
+        self._refilter()
+
+    def rows(self) -> list[dict[str, float]]:
+        """Front rows in ascending index order."""
+        order = np.argsort(self._indices)
+        return [
+            {
+                "index": int(self._indices[i]),
+                "fpga_total_kg": float(self._fpga[i]),
+                "asic_total_kg": float(self._asic[i]),
+                "ratio": float(self._ratios[i]),
+            }
+            for i in order
+        ]
+
+
+class StreamingReduction:
+    """A named bundle of reducers driven as one unit.
+
+    The chunk executors call :meth:`update` per chunk and :meth:`merge`
+    per worker partial; :attr:`alignment` is the least common multiple
+    of the member alignments, so one rounded chunk size satisfies every
+    member's determinism contract.
+    """
+
+    __slots__ = ("reducers",)
+
+    def __init__(self, reducers: dict[str, StreamingReducer]) -> None:
+        if not reducers:
+            raise ParameterError("StreamingReduction needs at least one reducer")
+        self.reducers = dict(reducers)
+
+    def __getitem__(self, name: str) -> StreamingReducer:
+        return self.reducers[name]
+
+    @property
+    def alignment(self) -> int:
+        return math.lcm(*(r.alignment for r in self.reducers.values()))
+
+    def fresh(self) -> "StreamingReduction":
+        return StreamingReduction(
+            {name: r.fresh() for name, r in self.reducers.items()}
+        )
+
+    def update(self, result: BatchResult, offset: int) -> None:
+        for reducer in self.reducers.values():
+            reducer.update(result, offset)
+
+    def merge(self, other: "StreamingReduction") -> None:
+        if other.reducers.keys() != self.reducers.keys():
+            raise ParameterError("merging reductions with different members")
+        for name, reducer in self.reducers.items():
+            reducer.merge(other.reducers[name])

@@ -1,0 +1,414 @@
+"""Fused sample→evaluate→reduce chunk execution (out-of-core, multi-core).
+
+The materialized parameter-space pipeline (PR 4) allocates every result
+column for the whole batch — ~30 float64 columns per row — which walls
+out near a million draws.  This module executes parameter-space
+workloads as a stream instead: a **chunk source** produces one
+``(ParameterBatch, ScenarioBatch)`` chunk at a time, the vector kernels
+evaluate it, and a :class:`~repro.engine.vector.reducers.StreamingReduction`
+folds the chunk's :class:`BatchResult` into bounded summary state before
+the next chunk is generated.  Peak memory is ``O(chunk_rows)``, not
+``O(n)`` — a 100M-draw Monte-Carlo fits in the same footprint as a
+128k-draw one.
+
+Chunk sources
+-------------
+
+* :class:`ArrayChunkSource` — zero-copy row slices of an in-memory
+  :class:`ParameterBatch` / :class:`ScenarioBatch` pair (the
+  ``reduce=`` mode of :meth:`EvaluationEngine.evaluate_param_batch`).
+* :class:`SharedArrayChunkSource` — the multi-process spelling: per-row
+  columns are packed once into one
+  :class:`multiprocessing.shared_memory.SharedMemory` block; workers
+  attach by name and slice NumPy views straight out of the block
+  (zero-copy, nothing re-pickled per chunk).
+* :class:`MonteCarloChunkSource` — the fully out-of-core spelling for
+  Monte-Carlo studies: no input columns exist anywhere.  Each chunk
+  *generates* its own draws from a seeded per-chunk RNG stream —
+  ``PCG64(seed)`` advanced by ``start * n_distributions`` draws — which
+  bit-reproduces the sequential draw order of
+  :func:`repro.analysis.montecarlo.sample_value_columns`, so streamed
+  studies sample exactly what the materialized (and legacy scalar)
+  paths sample.
+
+Execution
+---------
+
+:func:`run_stream` drives a reduction over a source either sequentially
+or on a caller-supplied ``ProcessPoolExecutor``: the row range is split
+into one contiguous **span** per worker (span boundaries are multiples
+of the chunk size, chunk sizes are rounded up to the reduction's
+alignment), each worker loops its span chunk-by-chunk into a fresh
+reduction, and the parent merges the per-worker partials in span order.
+The reducers' mergeable-partials contract makes the merged result
+bit-identical to a sequential run for any chunk size and worker count.
+Pool infrastructure failures (unpicklable sources, broken workers)
+fall back to the sequential path — results never change, only speed.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from concurrent.futures import BrokenExecutor, Executor
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.scenario import Scenario
+from repro.engine.vector.columns import ScenarioBatch
+from repro.engine.vector.evaluator import VectorizedEvaluator
+from repro.engine.vector.params import ParameterBatch
+from repro.engine.vector.reducers import StreamingReduction
+from repro.errors import ParameterError
+
+#: Default rows per streamed chunk.  At ~30 result columns of float64
+#: plus kernel temporaries this bounds per-worker peak memory around
+#: 60–80 MB; it is also the chunk size of the materialized pipeline's
+#: thread dispatch, so the two paths share tuning.
+DEFAULT_STREAM_CHUNK_ROWS = 131_072
+
+#: Hard cap on streaming workers (the kernels go memory-bandwidth bound).
+MAX_STREAM_WORKERS = 8
+
+#: One evaluator per process: stateless, shared by every span worker.
+_EVALUATOR = VectorizedEvaluator()
+
+
+def aligned_chunk_rows(chunk_rows: "int | None", alignment: int, n: int) -> int:
+    """The effective chunk size: clamped to ``n``, rounded up to alignment."""
+    chunk = (
+        DEFAULT_STREAM_CHUNK_ROWS if chunk_rows is None else int(chunk_rows)
+    )
+    if chunk < 1:
+        raise ParameterError(f"chunk_rows must be >= 1, got {chunk}")
+    alignment = max(1, int(alignment))
+    chunk = min(chunk, max(1, n))
+    return ((chunk + alignment - 1) // alignment) * alignment
+
+
+# ----------------------------------------------------------------------
+# Chunk sources
+# ----------------------------------------------------------------------
+
+
+class ArrayChunkSource:
+    """Chunk view over an in-memory parameter/scenario batch pair."""
+
+    __slots__ = ("params", "batch", "n")
+
+    def __init__(self, params: ParameterBatch, batch: ScenarioBatch) -> None:
+        if params.size != batch.size:
+            raise ParameterError(
+                f"parameter batch has {params.size} rows, "
+                f"scenario batch has {batch.size}"
+            )
+        self.params = params
+        self.batch = batch
+        self.n = batch.size
+
+    def chunk(self, start: int, stop: int) -> tuple[ParameterBatch, ScenarioBatch]:
+        return (
+            self.params.slice_rows(start, stop),
+            self.batch.slice_rows(start, stop),
+        )
+
+
+class SharedArrayChunkSource:
+    """Multi-process chunk source over one shared-memory column block.
+
+    :meth:`pack` copies every per-row column — parameter overrides and
+    scenario columns — into a single
+    :class:`~multiprocessing.shared_memory.SharedMemory` segment once;
+    broadcast (length-1) columns and the base parameter row travel
+    inline in the pickled source, which is otherwise just the segment
+    name and a column directory.  Workers attach on first use and slice
+    zero-copy NumPy views per chunk, so a span task re-pickles nothing
+    per chunk and no row data is ever copied to a worker.
+
+    The creating process must call :meth:`close` (which unlinks the
+    segment) once streaming is done; :class:`EvaluationEngine` does this
+    in a ``finally`` block.
+    """
+
+    _SCENARIO_FIELDS = (
+        ("num_apps", np.int64),
+        ("volume", np.int64),
+        ("lifetime", np.float64),
+        ("evaluation_years", np.float64),
+        ("app_size_mgates", np.float64),
+        ("enforce_chip_lifetime", np.bool_),
+    )
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._shm_name: str | None = None
+        self._specs: dict[str, tuple[str, int, int]] = {}
+        self._inline: dict[int, np.ndarray] = {}
+        self._base_row: np.ndarray | None = None
+        self._param_keys: tuple[int, ...] = ()
+        self._shm: shared_memory.SharedMemory | None = None
+        self._owner = False
+
+    @classmethod
+    def pack(
+        cls, params: ParameterBatch, batch: ScenarioBatch
+    ) -> "SharedArrayChunkSource":
+        """Copy the pair's per-row columns into one shared block."""
+        if params.size != batch.size:
+            raise ParameterError(
+                f"parameter batch has {params.size} rows, "
+                f"scenario batch has {batch.size}"
+            )
+        if not batch.all_covered:
+            raise ParameterError(
+                "shared-memory streaming requires a fully covered batch"
+            )
+        source = cls()
+        source.n = batch.size
+        source._base_row = (
+            None if params.base_row is None
+            else np.asarray(params.base_row, dtype=np.float64)
+        )
+        source._param_keys = tuple(sorted(params.columns))
+
+        arrays: dict[str, np.ndarray] = {}
+        for key in source._param_keys:
+            column = params.columns[key]
+            if column.shape[0] == 1:
+                source._inline[key] = column.copy()
+            else:
+                arrays[f"p{key}"] = column
+        for name, dtype in cls._SCENARIO_FIELDS:
+            arrays[f"s_{name}"] = np.ascontiguousarray(
+                getattr(batch, name), dtype=dtype
+            )
+
+        total = sum(a.nbytes for a in arrays.values())
+        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        offset = 0
+        for name, array in arrays.items():
+            view = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=shm.buf, offset=offset)
+            view[:] = array
+            source._specs[name] = (array.dtype.str, array.shape[0], offset)
+            offset += array.nbytes
+        source._shm = shm
+        source._shm_name = shm.name
+        source._owner = True
+        return source
+
+    # -- pickling (workers get the name + directory, never the data) ----
+
+    def __getstate__(self) -> dict:
+        return {
+            "n": self.n,
+            "shm_name": self._shm_name,
+            "specs": self._specs,
+            "inline": self._inline,
+            "base_row": self._base_row,
+            "param_keys": self._param_keys,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__()
+        self.n = state["n"]
+        self._shm_name = state["shm_name"]
+        self._specs = state["specs"]
+        self._inline = state["inline"]
+        self._base_row = state["base_row"]
+        self._param_keys = state["param_keys"]
+
+    def _attach(self) -> shared_memory.SharedMemory:
+        # Workers spawned by the engine's pool share the parent's
+        # resource-tracker process, so the attach-side registration is
+        # an idempotent no-op and the parent's unlink cleans up exactly
+        # once — no per-worker unregister gymnastics needed.
+        if self._shm is None:
+            self._shm = shared_memory.SharedMemory(name=self._shm_name)
+        return self._shm
+
+    def _view(self, name: str) -> np.ndarray:
+        dtype, length, offset = self._specs[name]
+        return np.ndarray((length,), dtype=np.dtype(dtype),
+                          buffer=self._attach().buf, offset=offset)
+
+    def chunk(self, start: int, stop: int) -> tuple[ParameterBatch, ScenarioBatch]:
+        m = stop - start
+        columns: dict[int, np.ndarray] = {}
+        for key in self._param_keys:
+            inline = self._inline.get(key)
+            if inline is not None:
+                columns[key] = inline
+            else:
+                columns[key] = self._view(f"p{key}")[start:stop]
+        params = ParameterBatch(
+            m, base_row=self._base_row, columns=columns
+        )
+        fields = {
+            name: self._view(f"s_{name}")[start:stop]
+            for name, _ in self._SCENARIO_FIELDS
+        }
+        batch = ScenarioBatch(
+            covered=np.ones(m, dtype=bool), scenarios=None, **fields
+        )
+        return params, batch
+
+    def close(self) -> None:
+        """Detach; the creating process also unlinks the segment."""
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            shm.close()
+            if self._owner:
+                shm.unlink()
+
+
+class MonteCarloChunkSource:
+    """Chunkwise Monte-Carlo draw generation — no materialized inputs.
+
+    Holds only the study definition: the base comparator's extracted
+    parameter row, the distributions (which must all provide
+    ``apply_column`` — validated by the caller), the seed and the fixed
+    scenario.  ``chunk(start, stop)`` advances a fresh ``PCG64(seed)``
+    by ``start * n_distributions`` draws and samples the chunk's value
+    matrix, bit-reproducing rows ``[start, stop)`` of the sequential
+    draw order (one unit double per value, row-major) that
+    :func:`~repro.analysis.montecarlo.sample_value_columns` consumes.
+    Workers therefore sample their own spans independently with zero
+    coordination and zero shipped data.
+    """
+
+    __slots__ = ("n", "base_row", "distributions", "seed", "scenario")
+
+    def __init__(
+        self,
+        base_row: np.ndarray,
+        distributions: tuple,
+        seed: int,
+        scenario: Scenario,
+        n: int,
+    ) -> None:
+        if n < 1:
+            raise ParameterError(f"n_samples must be >= 1, got {n}")
+        self.n = n
+        self.base_row = np.asarray(base_row, dtype=np.float64)
+        self.distributions = tuple(distributions)
+        self.seed = seed
+        self.scenario = scenario
+
+    def chunk(self, start: int, stop: int) -> tuple[ParameterBatch, ScenarioBatch]:
+        m = stop - start
+        k = len(self.distributions)
+        rng = np.random.default_rng(self.seed)
+        rng.bit_generator.advance(start * k)
+        u = rng.random((m, k))
+        params = ParameterBatch(m, base_row=self.base_row)
+        for j, dist in enumerate(self.distributions):
+            dist.apply_column(params, dist.column_from_uniform(u[:, j]))
+        return params, ScenarioBatch.tile(self.scenario, m)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+def _reduce_span(
+    source,
+    reduction: StreamingReduction,
+    start: int,
+    stop: int,
+    chunk_rows: int,
+) -> StreamingReduction:
+    """Worker body: fold one contiguous row span, chunk by chunk."""
+    for s in range(start, stop, chunk_rows):
+        e = min(s + chunk_rows, stop)
+        params, batch = source.chunk(s, e)
+        reduction.update(_EVALUATOR.evaluate_param_batch(params, batch), s)
+    return reduction
+
+
+def _spans(n: int, chunk_rows: int, workers: int) -> list[tuple[int, int]]:
+    """Split ``[0, n)`` into one chunk-aligned contiguous span per worker."""
+    n_chunks = math.ceil(n / chunk_rows)
+    workers = max(1, min(workers, n_chunks))
+    base, extra = divmod(n_chunks, workers)
+    spans: list[tuple[int, int]] = []
+    chunk_start = 0
+    for w in range(workers):
+        count = base + (1 if w < extra else 0)
+        start = chunk_start * chunk_rows
+        chunk_start += count
+        spans.append((start, min(chunk_start * chunk_rows, n)))
+    return spans
+
+
+def run_stream(
+    source,
+    reduction: StreamingReduction,
+    *,
+    chunk_rows: "int | None" = None,
+    workers: int = 1,
+    pool: "Executor | None" = None,
+) -> StreamingReduction:
+    """Reduce a chunk source, sequentially or on a process pool.
+
+    Returns a **new** reduction (the caller's ``reduction`` is only a
+    prototype).  With ``workers > 1`` and a ``pool``, one span task per
+    worker runs :func:`_reduce_span` over its own fresh partial and the
+    parent merges the partials in span order; infrastructure failures
+    (unpicklable sources/reducers, broken pools) retry sequentially
+    from scratch, so results never depend on the pool.  Model errors
+    raised by the kernels propagate unchanged.
+    """
+    n = int(source.n)
+    if n < 1:
+        raise ParameterError("streaming reduction needs at least one row")
+    chunk = aligned_chunk_rows(chunk_rows, reduction.alignment, n)
+    spans = _spans(n, chunk, workers if pool is not None else 1)
+    if len(spans) > 1 and _picklable(source, reduction):
+        futures = []
+        try:
+            # submit() itself raises BrokenExecutor on a pool whose
+            # workers already died, so it lives inside the fallback too.
+            futures = [
+                pool.submit(_reduce_span, source, reduction.fresh(), start,
+                            stop, chunk)
+                for start, stop in spans
+            ]
+            parts = [future.result() for future in futures]
+        except BrokenExecutor:
+            # A killed/failed worker process: discard the parallel
+            # attempt and stream sequentially — bit-identical by the
+            # reducer contract.
+            for future in futures:
+                future.cancel()
+        except BaseException:
+            # A model error from one span: cancel unstarted siblings so
+            # the (cached, reused) pool is not left grinding through a
+            # doomed run's remaining spans, then propagate unchanged.
+            for future in futures:
+                future.cancel()
+            raise
+        else:
+            merged = reduction.fresh()
+            for part in parts:
+                merged.merge(part)
+            return merged
+    return _reduce_span(source, reduction.fresh(), 0, n, chunk)
+
+
+def _picklable(source, reduction: StreamingReduction) -> bool:
+    """Whether the span tasks can ship to spawn workers at all.
+
+    Probed up-front (the state is small — shared-memory sources pickle
+    a name and a directory, Monte-Carlo sources a study definition) so
+    an unpicklable payload — e.g. distributions applied via lambdas —
+    degrades to the sequential path instead of failing mid-stream, and
+    genuine worker-side model errors are never masked by the fallback.
+    """
+    try:
+        pickle.dumps((source, reduction))
+        return True
+    except Exception:
+        return False

@@ -151,3 +151,54 @@ def test_serve_bench_persists_to_cache_file(tmp_path, capsys):
         assert store.load(cache) == 3 * 10  # the benchmark's cell universe
     finally:
         reset_default_engine()
+
+
+def test_mc_stream_command_prints_throughput_and_rss(capsys):
+    from repro.engine import reset_default_engine
+
+    reset_default_engine()
+    try:
+        assert main([
+            "mc", "--draws", "2000", "--stream", "--chunk-rows", "1024",
+            "--mc-workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "streaming reduction" in out
+        assert "draws/s" in out
+        assert "peak RSS" in out
+        assert "fpga_win_probability" in out
+    finally:
+        reset_default_engine()
+
+
+def test_mc_stream_matches_materialized_summary(capsys):
+    from repro.engine import reset_default_engine
+
+    reset_default_engine()
+    try:
+        assert main(["mc", "--draws", "2000"]) == 0
+        materialized = capsys.readouterr().out
+        assert main(["mc", "--draws", "2000", "--stream",
+                     "--mc-workers", "1"]) == 0
+        streamed = capsys.readouterr().out
+
+        def metric(out: str, name: str) -> str:
+            return next(
+                line.split("|")[1].strip()
+                for line in out.splitlines() if line.startswith(name)
+            )
+
+        # win probability is an exact counter in both modes
+        assert metric(streamed, "fpga_win_probability") == metric(
+            materialized, "fpga_win_probability"
+        )
+    finally:
+        reset_default_engine()
+
+
+def test_mc_stream_knobs_require_stream_flag():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["mc", "--draws", "100", "--mc-workers", "2"])
+    assert excinfo.value.code == 2
+    with pytest.raises(SystemExit):
+        main(["mc", "--draws", "100", "--chunk-rows", "64"])

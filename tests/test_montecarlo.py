@@ -98,3 +98,43 @@ def test_result_type(dnn_comparator, scenario, intensity_dist):
     result = monte_carlo(dnn_comparator, scenario, [intensity_dist], n_samples=3)
     assert isinstance(result, MonteCarloResult)
     assert result.n_samples == 3
+
+
+def test_quantiles_match_numpy_and_handle_non_finite():
+    ratios = np.array([0.5, np.inf, 1.5, np.nan, 2.5, -np.inf, 0.9, 1.1])
+    result = MonteCarloResult(ratios=ratios, samples=({},) * 8)
+    finite = ratios[np.isfinite(ratios)]
+    qs = (0.05, 0.25, 0.5, 0.75, 0.95)
+    expected = {float(q): float(v) for q, v in zip(qs, np.quantile(finite, qs))}
+    assert result.quantiles(qs) == expected
+    assert result.n_non_finite == 3
+
+
+def test_summary_is_constant_time_after_first_call(monkeypatch):
+    """Regression: quantiles()/summary() used to re-reduce the full
+    ratio array per call; the sorted finite draws are now computed once
+    and cached, so repeated summaries do no further O(n) array work."""
+    rng = np.random.default_rng(0)
+    result = MonteCarloResult(
+        ratios=rng.normal(1.5, 0.5, 50_000), samples=({},) * 50_000
+    )
+    counters = {"sort": 0, "quantile": 0}
+    real_sort, real_quantile = np.sort, np.quantile
+
+    def counting_sort(*args, **kwargs):
+        counters["sort"] += 1
+        return real_sort(*args, **kwargs)
+
+    def counting_quantile(*args, **kwargs):
+        counters["quantile"] += 1
+        return real_quantile(*args, **kwargs)
+
+    monkeypatch.setattr(np, "sort", counting_sort)
+    monkeypatch.setattr(np, "quantile", counting_quantile)
+    first = result.summary()
+    assert counters["sort"] == 1  # the one cached sort
+    counters["sort"] = counters["quantile"] = 0
+    for _ in range(25):
+        assert result.summary() == first
+        assert result.quantiles((0.1, 0.9))[0.1] <= first["ratio_p50"]
+    assert counters["sort"] == 0 and counters["quantile"] == 0

@@ -1,0 +1,648 @@
+"""Streaming reduction pipeline: reducers, chunk execution, parity.
+
+The contract under test (see ``repro/engine/vector/reducers.py``):
+streamed reductions are **bit-identical across chunk sizes, worker
+counts and the 1-chunk degenerate case**, match the materialized path
+exactly for integer counters (win probability, non-finite draws),
+within ``rtol <= 1e-12`` for moments, and within documented sketch
+tolerance (exact while the sketch holds every finite value) for
+quantiles — all while never materializing more than one chunk of rows.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.dse import explore_batch
+from repro.analysis.montecarlo import (
+    MonteCarloResult,
+    ParameterDistribution,
+    monte_carlo_batch,
+    monte_carlo_reduction,
+    monte_carlo_stream,
+    quantiles_from_sorted,
+)
+from repro.core.comparison import PlatformComparator
+from repro.core.scenario import Scenario
+from repro.engine import EvaluationEngine
+from repro.engine.vector import (
+    ArrayChunkSource,
+    BatchResult,
+    HistogramReducer,
+    MomentsReducer,
+    MonteCarloChunkSource,
+    ParameterBatch,
+    ParetoReducer,
+    ReservoirQuantiles,
+    ScenarioBatch,
+    SharedArrayChunkSource,
+    StreamingReduction,
+    TopKReducer,
+    WinCountReducer,
+    extract_row,
+    run_stream,
+)
+from repro.engine.vector import params as pcols
+from repro.errors import ParameterError
+from repro.experiments.ext_uncertainty import distributions as table1_distributions
+from repro.operation.model import OperationModel
+from repro.units import g_per_kwh_to_kg_per_kwh
+
+BASELINE = Scenario(num_apps=5, app_lifetime_years=2.0, volume=1_000_000)
+
+
+def _fake_result(
+    ratios: np.ndarray,
+    winners: "np.ndarray | None" = None,
+    fpga: "np.ndarray | None" = None,
+    asic: "np.ndarray | None" = None,
+) -> BatchResult:
+    """A minimal BatchResult carrying only the columns reducers read."""
+    n = ratios.shape[0]
+    zeros = np.zeros(n)
+    ints = np.zeros(n, dtype=np.int64)
+    return BatchResult(
+        ratios=np.asarray(ratios, dtype=np.float64),
+        winners=(
+            winners if winners is not None else np.full(n, "asic", dtype="<U4")
+        ),
+        fpga_totals=zeros if fpga is None else np.asarray(fpga, float),
+        asic_totals=zeros if asic is None else np.asarray(asic, float),
+        fpga_components={},
+        asic_components={},
+        fpga_per_chip_embodied_kg=zeros,
+        asic_per_chip_embodied_kg=zeros,
+        n_fpga=ints,
+        fpga_generations=ints,
+        asic_generations=ints,
+        num_apps=ints,
+    )
+
+
+def _chunked(reducer, values: np.ndarray, chunk: int, **kwargs):
+    """Feed ``values`` through a fresh reducer in ``chunk``-row pieces."""
+    fresh = reducer.fresh()
+    for start in range(0, values.shape[0], chunk):
+        fresh.update(
+            _fake_result(values[start : start + chunk], **kwargs), start
+        )
+    return fresh
+
+
+# ----------------------------------------------------------------------
+# Reducer units
+# ----------------------------------------------------------------------
+
+
+def test_moments_match_numpy_and_count_non_finite():
+    rng = np.random.default_rng(11)
+    values = rng.normal(1.5, 0.4, 5000)
+    values[::97] = np.inf
+    values[::131] = np.nan
+    moments = _chunked(MomentsReducer(block=256), values, 512).moments()
+    finite = values[np.isfinite(values)]
+    assert moments["n"] == 5000
+    assert moments["n_finite"] == finite.size
+    np.testing.assert_allclose(moments["mean"], finite.mean(), rtol=1e-12)
+    np.testing.assert_allclose(moments["std"], finite.std(), rtol=1e-9)
+    assert moments["min"] == finite.min() and moments["max"] == finite.max()
+
+
+def test_moments_variance_survives_large_offset_small_spread():
+    # E[x^2]-E[x]^2 would lose all significant digits here; the
+    # per-block M2 + Chan combine must not.
+    rng = np.random.default_rng(2)
+    values = 1.0e8 + rng.normal(0.0, 1.0e-2, 8192)
+    moments = _chunked(MomentsReducer(block=512), values, 1024).moments()
+    np.testing.assert_allclose(moments["var"], values.var(), rtol=1e-6)
+    np.testing.assert_allclose(moments["std"], values.std(), rtol=1e-6)
+    assert moments["var"] > 0.0
+
+
+def test_moments_bit_identical_across_chunkings_and_merge_order():
+    rng = np.random.default_rng(7)
+    values = rng.normal(size=4096)
+    one = _chunked(MomentsReducer(block=128), values, 4096).moments()
+    for chunk in (128, 256, 1024):
+        assert _chunked(MomentsReducer(block=128), values, chunk).moments() == one
+    # merging partials in any order reaches the same state
+    proto = MomentsReducer(block=128)
+    a = _chunked(proto, values[:1024], 256)
+    b = proto.fresh()
+    for start in range(1024, 4096, 512):
+        b.update(_fake_result(values[start : start + 512]), start)
+    b.merge(a)
+    assert b.moments() == one
+
+
+def test_moments_rejects_unaligned_and_overlapping_chunks():
+    reducer = MomentsReducer(block=64)
+    reducer.update(_fake_result(np.ones(64)), 0)
+    with pytest.raises(ParameterError):
+        reducer.update(_fake_result(np.ones(64)), 32)  # unaligned
+    with pytest.raises(ParameterError):
+        reducer.update(_fake_result(np.ones(64)), 0)  # block reduced twice
+    other = reducer.fresh()
+    other.update(_fake_result(np.ones(64)), 0)
+    with pytest.raises(ParameterError):
+        reducer.merge(other)
+
+
+def test_win_counter_matches_materialized_convention():
+    rng = np.random.default_rng(3)
+    ratios = rng.normal(1.0, 0.5, 2000)
+    ratios[::53] = np.inf
+    winners = np.where(rng.random(2000) < 0.3, "fpga", "asic").astype("<U4")
+    wins = _chunked(WinCountReducer(), ratios, 333, winners=winners)
+    reference = MonteCarloResult(
+        ratios=ratios, samples=({},) * 2000, winners=winners
+    )
+    assert wins.fpga_win_probability == reference.fpga_win_probability
+    moments = _chunked(MomentsReducer(block=1), ratios, 333)
+    assert moments.n_total - moments.n_finite == reference.n_non_finite
+
+
+def test_histogram_matches_numpy_with_out_of_range_tallies():
+    rng = np.random.default_rng(5)
+    values = rng.normal(1.0, 1.0, 3000)
+    values[:7] = np.nan
+    hist = _chunked(HistogramReducer(0.0, 2.0, bins=32), values, 700)
+    finite = values[np.isfinite(values)]
+    inside = finite[(finite >= 0.0) & (finite <= 2.0)]
+    np.testing.assert_array_equal(
+        hist.counts, np.histogram(inside, bins=32, range=(0.0, 2.0))[0]
+    )
+    assert hist.non_finite == 7
+    assert hist.underflow == int(np.count_nonzero(finite < 0.0))
+    assert hist.overflow == int(np.count_nonzero(finite > 2.0))
+    assert hist.counts.sum() + hist.underflow + hist.overflow == finite.size
+
+
+def test_reservoir_exact_below_k_and_deterministic_above():
+    rng = np.random.default_rng(9)
+    values = rng.normal(size=5000)
+    exact = _chunked(ReservoirQuantiles(k=8192, seed=1), values, 611)
+    assert exact.exact
+    qs = (0.05, 0.5, 0.95)
+    expected = {float(q): float(v) for q, v in zip(qs, np.quantile(values, qs))}
+    assert exact.quantiles(qs) == expected
+
+    sketch_a = _chunked(ReservoirQuantiles(k=512, seed=1), values, 613)
+    sketch_b = _chunked(ReservoirQuantiles(k=512, seed=1), values, 2048)
+    assert not sketch_a.exact
+    np.testing.assert_array_equal(sketch_a.sample(), sketch_b.sample())
+    # ~sqrt(q(1-q)/k) rank error: generous 5-sigma bound in value space
+    for q, estimate in sketch_a.quantiles(qs).items():
+        rank_sigma = np.sqrt(q * (1 - q) / 512)
+        lo, hi = np.quantile(values, [max(0.0, q - 5 * rank_sigma),
+                                      min(1.0, q + 5 * rank_sigma)])
+        assert lo <= estimate <= hi
+
+
+def test_topk_and_pareto_match_exhaustive_reference():
+    rng = np.random.default_rng(21)
+    n = 500
+    fpga = rng.uniform(1.0, 10.0, n)
+    asic = rng.uniform(1.0, 10.0, n)
+    asic[100:110] = asic[90:100]  # inject exact coordinate duplicates
+    fpga[100:110] = fpga[90:100]
+    ratios = fpga / asic
+    top = TopKReducer(k=10)
+    front = ParetoReducer()
+    for chunk, reducer in ((64, top), (117, front)):
+        for start in range(0, n, chunk):
+            reducer.update(
+                _fake_result(
+                    ratios[start : start + chunk],
+                    fpga=fpga[start : start + chunk],
+                    asic=asic[start : start + chunk],
+                ),
+                start,
+            )
+    best = np.minimum(fpga, asic)
+    expected_top = sorted(range(n), key=lambda i: (best[i], i))[:10]
+    assert [row["index"] for row in top.rows()] == expected_top
+
+    kept = {row["index"] for row in front.rows()}
+    for i in range(n):
+        dominated = bool(np.any(
+            (fpga <= fpga[i]) & (asic <= asic[i])
+            & ((fpga < fpga[i]) | (asic < asic[i]))
+        ))
+        assert (i not in kept) == dominated, i
+
+
+def test_pareto_keeps_nan_rows_like_materialized_dominates():
+    from repro.analysis.dse import _dominates
+
+    fpga = np.array([1.0, 2.0, np.nan, 3.0, 0.5])
+    asic = np.array([2.0, 1.0, 1.5, np.nan, 3.0])
+    front = ParetoReducer()
+    front.update(_fake_result(fpga / asic, fpga=fpga, asic=asic), 0)
+    kept = {row["index"] for row in front.rows()}
+    for i in range(5):
+        dominated = any(
+            _dominates((fpga[j], asic[j]), (fpga[i], asic[i]))
+            for j in range(5) if j != i
+        )
+        assert (i not in kept) == dominated, i
+    assert {2, 3} <= kept  # NaN rows can never be dominated
+
+
+def test_quantiles_from_sorted_is_bit_identical_to_numpy():
+    rng = np.random.default_rng(13)
+    for n in (1, 2, 5, 1000):
+        values = rng.normal(size=n)
+        qs = np.concatenate([[0.0, 1.0], rng.random(17)])
+        np.testing.assert_array_equal(
+            quantiles_from_sorted(np.sort(values), qs),
+            np.quantile(values, qs),
+        )
+    with pytest.raises(ValueError):
+        quantiles_from_sorted(np.zeros(3), [1.5])
+
+
+# ----------------------------------------------------------------------
+# End-to-end streaming Monte-Carlo
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def comparator(suite):
+    return PlatformComparator.for_domain("dnn", suite)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    with EvaluationEngine(cache_size=0) as eng:
+        yield eng
+
+
+N_DRAWS = 20_000
+
+
+@pytest.fixture(scope="module")
+def materialized(comparator, engine):
+    return monte_carlo_batch(
+        comparator, BASELINE, table1_distributions(), n_samples=N_DRAWS,
+        seed=2024, engine=engine,
+    )
+
+
+def _small_reduction():
+    """A reduction sized so small studies exercise multi-chunk paths."""
+    return monte_carlo_reduction(seed=2024, quantile_k=N_DRAWS, block=512)
+
+
+def test_streaming_matches_materialized_across_chunk_sizes(
+    comparator, engine, materialized
+):
+    reference = None
+    for chunk_rows in (2048, 7168, N_DRAWS):  # N_DRAWS = 1-chunk degenerate
+        stream = monte_carlo_batch(
+            comparator, BASELINE, table1_distributions(), n_samples=N_DRAWS,
+            seed=2024, engine=engine, reduce=_small_reduction(),
+            chunk_rows=chunk_rows, workers=1,
+        )
+        # exact integer counters
+        assert stream.n_samples == materialized.n_samples
+        assert stream.fpga_win_probability == materialized.fpga_win_probability
+        assert stream.n_non_finite == materialized.n_non_finite
+        # moments within 1e-12 of the materialized reference
+        np.testing.assert_allclose(
+            stream.ratio_mean, materialized.summary()["ratio_mean"],
+            rtol=1e-12, atol=0.0,
+        )
+        # the sketch holds every draw here -> quantiles exactly equal
+        assert stream.quantile_exact
+        assert stream.quantiles() == materialized.quantiles()
+        assert set(stream.summary()) == set(materialized.summary())
+        # bit-identical summaries for every chunking
+        if reference is None:
+            reference = stream
+        else:
+            assert stream.summary() == reference.summary()
+            np.testing.assert_array_equal(
+                stream.quantile_sample, reference.quantile_sample
+            )
+
+
+def test_streaming_chunk_source_bit_reproduces_sequential_draws(comparator):
+    dists = tuple(table1_distributions())
+    source = MonteCarloChunkSource(
+        np.asarray(extract_row(comparator)), dists, 2024, BASELINE, 1000
+    )
+    rng = np.random.default_rng(2024)
+    full = rng.random((1000, len(dists)))
+    for start, stop in ((0, 300), (300, 301), (301, 1000)):
+        params, batch = source.chunk(start, stop)
+        assert batch.size == stop - start
+        for j, dist in enumerate(dists):
+            if dist.name == "duty_cycle":
+                expected = dist.column_from_uniform(full[start:stop, j])
+                np.testing.assert_array_equal(
+                    params.col(pcols.OP_DUTY), expected
+                )
+
+
+def test_streaming_multiworker_bit_parity(comparator, materialized):
+    with EvaluationEngine(cache_size=0, workers=2) as eng:
+        stream = monte_carlo_stream(
+            comparator, BASELINE, table1_distributions(), n_samples=N_DRAWS,
+            seed=2024, engine=eng, chunk_rows=4096, quantile_k=N_DRAWS,
+        )
+        sequential = monte_carlo_stream(
+            comparator, BASELINE, table1_distributions(), n_samples=N_DRAWS,
+            seed=2024, engine=eng, chunk_rows=4096, workers=1,
+            quantile_k=N_DRAWS,
+        )
+    assert stream.summary() == sequential.summary()
+    np.testing.assert_array_equal(
+        stream.quantile_sample, sequential.quantile_sample
+    )
+    assert stream.fpga_win_probability == materialized.fpga_win_probability
+
+
+def test_streaming_falls_back_sequential_for_unpicklable_study(comparator):
+    def _apply(comp, value):  # local function: unpicklable for spawn
+        suite = comp.suite.with_overrides(
+            operation=OperationModel(
+                energy_source=value, profile=comp.suite.operation.profile
+            )
+        )
+        import dataclasses
+
+        return dataclasses.replace(comp, suite=suite)
+
+    dists = [
+        ParameterDistribution(
+            "use_intensity", 30.0, 700.0, _apply, kind="loguniform",
+            apply_column=lambda params, values: params.set_col(
+                pcols.OP_CI, g_per_kwh_to_kg_per_kwh(values)
+            ),
+        )
+    ]
+    with EvaluationEngine(cache_size=0, workers=2) as eng:
+        stream = monte_carlo_stream(
+            comparator, BASELINE, dists, n_samples=4096, seed=7, engine=eng,
+            chunk_rows=1024,
+        )
+        reference = monte_carlo_stream(
+            comparator, BASELINE, dists, n_samples=4096, seed=7, engine=eng,
+            chunk_rows=1024, workers=1,
+        )
+    assert stream.summary() == reference.summary()
+
+
+def test_streaming_validates_reduction_members_and_chunk_rows(
+    comparator, engine
+):
+    incomplete = StreamingReduction({"histogram": HistogramReducer(0.0, 2.0)})
+    with pytest.raises(ParameterError, match="missing members"):
+        monte_carlo_batch(
+            comparator, BASELINE, table1_distributions(), n_samples=64,
+            engine=engine, reduce=incomplete,
+        )
+    with pytest.raises(ParameterError, match="missing members"):
+        explore_batch("dnn", BASELINE, GRID, engine=engine, reduce=incomplete)
+    with pytest.raises(ParameterError, match="chunk_rows"):
+        monte_carlo_stream(
+            comparator, BASELINE, table1_distributions(), n_samples=64,
+            engine=engine, chunk_rows=0, workers=1,
+        )
+
+
+def test_streaming_requires_columnar_path(comparator, engine):
+    ragged = Scenario(
+        num_apps=2, app_lifetime_years=(1.0, 2.0), volume=1000
+    )
+    with pytest.raises(ParameterError, match="kernel-covered"):
+        monte_carlo_stream(
+            comparator, ragged, table1_distributions(), n_samples=64,
+            engine=engine,
+        )
+    no_column = [
+        ParameterDistribution("x", 0.1, 0.9, lambda c, v: c)  # no apply_column
+    ]
+    with pytest.raises(ParameterError, match="apply_column"):
+        monte_carlo_stream(
+            comparator, BASELINE, no_column, n_samples=64, engine=engine
+        )
+    with EvaluationEngine(vectorize=False) as scalar_eng:
+        with pytest.raises(ParameterError, match="vectorize"):
+            monte_carlo_stream(
+                comparator, BASELINE, table1_distributions(), n_samples=64,
+                engine=scalar_eng,
+            )
+
+
+# ----------------------------------------------------------------------
+# Engine reduce= mode and shared-memory workers
+# ----------------------------------------------------------------------
+
+
+def _perturbed_param_batch(comparator, n: int) -> tuple[ParameterBatch, ScenarioBatch]:
+    params = ParameterBatch.from_comparator(comparator, n)
+    rng = np.random.default_rng(17)
+    params.set_col(pcols.OP_CI, rng.uniform(0.03, 0.7, n))
+    params.set_col(pcols.MFG_RHO, rng.uniform(0.0, 1.0, n))
+    return params, ScenarioBatch.tile(BASELINE, n)
+
+
+def test_evaluate_param_batch_reduce_mode_matches_materialized(comparator):
+    n = 8192
+    params, batch = _perturbed_param_batch(comparator, n)
+    with EvaluationEngine(cache_size=0) as eng:
+        full = eng.evaluate_param_batch(params, batch)
+        reduction = eng.evaluate_param_batch(
+            params, batch,
+            reduce=monte_carlo_reduction(seed=0, quantile_k=n, block=512),
+            chunk_rows=1024, stream_workers=1,
+        )
+    assert isinstance(reduction, StreamingReduction)
+    moments = reduction["moments"].moments()
+    finite = full.ratios[np.isfinite(full.ratios)]
+    assert moments["n"] == n and moments["n_finite"] == finite.size
+    np.testing.assert_allclose(moments["mean"], finite.mean(), rtol=1e-12)
+    wins = reduction["wins"]
+    assert wins.fpga_wins == int(np.count_nonzero(full.winners == "fpga"))
+
+
+def test_shared_memory_workers_match_sequential(comparator):
+    n = 8192
+    params, batch = _perturbed_param_batch(comparator, n)
+    prototype = monte_carlo_reduction(seed=0, quantile_k=n, block=512)
+    with EvaluationEngine(cache_size=0) as eng:
+        parallel = eng.evaluate_param_batch(
+            params, batch, reduce=prototype.fresh(), chunk_rows=1024,
+            stream_workers=2,
+        )
+        sequential = eng.evaluate_param_batch(
+            params, batch, reduce=prototype.fresh(), chunk_rows=1024,
+            stream_workers=1,
+        )
+    assert parallel["moments"].moments() == sequential["moments"].moments()
+    assert parallel["wins"].fpga_wins == sequential["wins"].fpga_wins
+    np.testing.assert_array_equal(
+        parallel["quantiles"].sample(), sequential["quantiles"].sample()
+    )
+
+
+def test_shared_chunk_source_round_trips_columns(comparator):
+    n = 1024
+    params, batch = _perturbed_param_batch(comparator, n)
+    source = SharedArrayChunkSource.pack(params, batch)
+    try:
+        chunk_params, chunk_batch = source.chunk(100, 612)
+        reference_p, reference_b = ArrayChunkSource(params, batch).chunk(100, 612)
+        np.testing.assert_array_equal(
+            chunk_params.col(pcols.OP_CI), reference_p.col(pcols.OP_CI)
+        )
+        # broadcast columns ride inline, untouched by the shared block
+        np.testing.assert_array_equal(
+            chunk_params.col(pcols.F_AREA), reference_p.col(pcols.F_AREA)
+        )
+        np.testing.assert_array_equal(
+            chunk_batch.num_apps, reference_b.num_apps
+        )
+        assert chunk_batch.all_covered
+    finally:
+        source.close()
+
+
+def test_reduce_mode_rejects_uncovered_rows(comparator, engine):
+    ragged = Scenario(num_apps=2, app_lifetime_years=(1.0, 3.0), volume=10)
+    params = ParameterBatch.from_comparators([comparator] * 4)
+    batch = ScenarioBatch.from_scenarios((ragged,) * 4)
+    with pytest.raises(ParameterError, match="covered"):
+        engine.evaluate_param_batch(
+            params, batch, reduce=monte_carlo_reduction(seed=0)
+        )
+
+
+# ----------------------------------------------------------------------
+# Streaming DSE
+# ----------------------------------------------------------------------
+
+
+GRID = {
+    "fab_energy_source": ["taiwan", "usa", "europe"],
+    "recycled_material_fraction": [0.0, 0.3, 0.6, 0.9],
+    "duty_cycle": [0.2, 0.5, 0.8],
+}
+
+
+def test_explore_batch_streaming_matches_materialized(engine):
+    materialized = explore_batch("dnn", BASELINE, GRID, engine=engine)
+    streamed = explore_batch(
+        "dnn", BASELINE, GRID, engine=engine, reduce=True, chunk_rows=7,
+        top_k=5, workers=1,
+    )
+    assert streamed.streamed and not materialized.streamed
+    assert streamed.best().overrides == materialized.best().overrides
+    np.testing.assert_allclose(
+        streamed.best().ratio, materialized.best().ratio, rtol=1e-12
+    )
+    front_m = {tuple(sorted(p.overrides.items())): p
+               for p in materialized.pareto_front()}
+    front_s = {tuple(sorted(p.overrides.items())): p
+               for p in streamed.pareto_front()}
+    assert front_m.keys() == front_s.keys()
+    for key, point in front_s.items():
+        np.testing.assert_allclose(
+            point.fpga_total_kg, front_m[key].fpga_total_kg, rtol=1e-12
+        )
+    # kept points: top-k united with the front, deduplicated
+    assert len(streamed.points) <= 5 + len(front_s)
+    # every kept ranked point matches its materialized twin
+    ranked = {tuple(sorted(p.overrides.items())): p
+              for p in materialized.points}
+    for point in streamed.points:
+        twin = ranked[tuple(sorted(point.overrides.items()))]
+        np.testing.assert_allclose(point.ratio, twin.ratio, rtol=1e-12)
+
+
+def test_explore_batch_streaming_rejects_uncovered_scenario(engine):
+    ragged = Scenario(num_apps=2, app_lifetime_years=(1.0, 2.0), volume=10)
+    with pytest.raises(ParameterError, match="kernel-covered"):
+        explore_batch("dnn", ragged, GRID, engine=engine, reduce=True)
+
+
+# ----------------------------------------------------------------------
+# Pool hygiene
+# ----------------------------------------------------------------------
+
+
+def test_stream_worker_resolution_validates_and_caps():
+    from repro.engine import MAX_STREAM_WORKERS
+
+    with EvaluationEngine() as eng:
+        with pytest.raises(ParameterError):
+            eng.stream_workers(0)
+        assert eng.stream_workers(3) == 3
+        assert eng.stream_workers(64) == MAX_STREAM_WORKERS
+    with EvaluationEngine(workers=32) as pinned:
+        # the engine pin obeys the streaming hard cap too
+        assert pinned.stream_workers() == MAX_STREAM_WORKERS
+
+
+def test_engine_pools_are_pinned_to_spawn():
+    with EvaluationEngine(workers=2) as eng:
+        assert eng._pool_get()._mp_context.get_start_method() == "spawn"
+        assert (
+            eng._stream_pool_get(2)._mp_context.get_start_method() == "spawn"
+        )
+
+
+def test_broken_stream_pool_degrades_then_recovers(comparator):
+    import os
+
+    with EvaluationEngine(cache_size=0, workers=2) as eng:
+        pool = eng._stream_pool_get(2)
+        with pytest.raises(Exception):  # kill a worker -> pool breaks
+            pool.submit(os._exit, 1).result()
+        assert pool._broken
+        # the next run must not crash: the engine rebuilds the broken
+        # pool up-front, and run_stream's submit sits inside its
+        # sequential-fallback try for breakage mid-run
+        result = monte_carlo_stream(
+            comparator, BASELINE, table1_distributions(), n_samples=2048,
+            seed=5, engine=eng, chunk_rows=512,
+        )
+        assert result.n_samples == 2048
+        fresh = eng._stream_pool_get(2)
+        assert fresh is not pool and not fresh._broken
+
+
+def test_engine_close_is_idempotent_under_concurrent_callers(comparator):
+    eng = EvaluationEngine(cache_size=0, workers=2)
+    # start both pools so close() has real work to race over
+    eng._pool_get()
+    eng._stream_pool_get(2)
+    errors: list[BaseException] = []
+
+    def hammer() -> None:
+        try:
+            for _ in range(20):
+                eng.close()
+        except BaseException as exc:  # pragma: no cover - the failure mode
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert eng._pool is None and eng._stream_pool is None
+    # the engine stays usable: pools restart lazily on demand
+    result = monte_carlo_stream(
+        comparator, BASELINE, table1_distributions(), n_samples=1024,
+        seed=3, engine=eng, chunk_rows=512, workers=1,
+    )
+    assert result.n_samples == 1024
+    eng.close()
+    eng.close()  # double close after use is a no-op too
