@@ -199,6 +199,9 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.update_baselines:
         BASELINE_DIR.mkdir(parents=True, exist_ok=True)
         for path in fresh_files:
+            if "audit_version" in json.loads(path.read_text()):
+                print(f"bench_compare: skipping audit report {path.name}")
+                continue
             shutil.copy2(path, BASELINE_DIR / path.name)
             print(f"bench_compare: re-anchored baselines/{path.name}")
         return 0
@@ -206,6 +209,11 @@ def main(argv: "list[str] | None" = None) -> int:
     all_regressions: list[str] = []
     all_warnings: list[str] = []
     for path in fresh_files:
+        if "audit_version" in json.loads(path.read_text()):
+            # greenfpga audit reports share the benchmarks directory but
+            # carry pass/fail verdicts, not throughput trajectories.
+            print(f"bench_compare: skipping audit report {path.name}")
+            continue
         rss_lines, rss_violations = check_rss_budgets(path, args.threshold)
         if rss_lines:
             print(f"== {path.name} peak-RSS budgets ==")

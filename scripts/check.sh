@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Local CI gate: tier-1 tests + evaluation-engine/serving benchmarks.
+# Local CI gate: static audit + tier-1 tests + engine/serving benchmarks.
 #
 # Usage: scripts/check.sh [--full-bench]
 #   --full-bench  additionally run the engine benchmarks with timing
@@ -39,6 +39,14 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 # Quick gated workloads by default; see --full-bench below.
 export BENCH_QUICK="${BENCH_QUICK:-1}"
 
+echo "== static analysis + registry parity audit =="
+# Lint always runs at full scope; the parity sweep's per-column draw
+# count auto-scales with BENCH_QUICK (2 values quick, 4 full).  The
+# JSON report lands next to the bench trajectories; bench_compare.py
+# recognises its audit_version marker and skips it.
+python -m repro.cli audit --json benchmarks/BENCH_audit.json
+
+echo
 echo "== tier-1: unit + integration tests =="
 python -m pytest tests -x -q \
     --ignore=tests/test_service.py --ignore=tests/test_store.py

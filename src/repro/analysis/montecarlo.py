@@ -464,6 +464,27 @@ def _validate_study(
         raise ParameterError("at least one ParameterDistribution is required")
 
 
+def _resolve_seed(seed: "int | None", allow_unseeded: bool) -> int:
+    """Resolve a study seed, forcing unseeded runs to be an explicit opt-in.
+
+    Every Monte-Carlo entry point is seeded by default so results are
+    reproducible by construction.  ``seed=None`` is only honoured when
+    the caller passes ``allow_unseeded=True``; the opt-in still resolves
+    to one concrete entropy-drawn integer up front, so the draw RNG, the
+    per-chunk streaming RNGs and the quantile sketch all share a single
+    seed and the (irreproducible) run stays internally consistent.
+    """
+    if seed is not None:
+        return int(seed)
+    if not allow_unseeded:
+        raise ParameterError(
+            "seed=None would make the study irreproducible; pass "
+            "allow_unseeded=True to opt in explicitly (one fresh entropy "
+            "seed is then drawn for the whole study)"
+        )
+    return int(np.random.SeedSequence().entropy) % 2**32
+
+
 def _draw_pairs(
     comparator: PlatformComparator,
     scenario: Scenario,
@@ -498,8 +519,10 @@ def monte_carlo(
     scenario: Scenario,
     distributions: Sequence[ParameterDistribution],
     n_samples: int = 500,
-    seed: int = 2024,
+    seed: "int | None" = 2024,
     engine: EvaluationEngine | None = None,
+    *,
+    allow_unseeded: bool = False,
 ) -> MonteCarloResult:
     """Propagate parameter uncertainty into the FPGA:ASIC ratio.
 
@@ -516,8 +539,12 @@ def monte_carlo(
         distributions: Knobs to perturb each draw.
         n_samples: Number of draws.
         seed: RNG seed (results are reproducible by construction).
+            ``None`` requires ``allow_unseeded=True``.
         engine: Batch evaluator; the shared default when not given.
+        allow_unseeded: Explicit opt-in for ``seed=None`` — one fresh
+            entropy seed is then drawn for the whole study.
     """
+    seed = _resolve_seed(seed, allow_unseeded)
     samples, pairs = _draw_pairs(comparator, scenario, distributions,
                                  n_samples, seed)
     comparisons = resolve_engine(engine).evaluate_pairs(pairs)
@@ -545,12 +572,13 @@ def monte_carlo_batch(
     scenario: Scenario,
     distributions: Sequence[ParameterDistribution],
     n_samples: int = 500,
-    seed: int = 2024,
+    seed: "int | None" = 2024,
     engine: EvaluationEngine | None = None,
     *,
     reduce: "StreamingReduction | bool | None" = None,
     chunk_rows: "int | None" = None,
     workers: "int | None" = None,
+    allow_unseeded: bool = False,
 ) -> "MonteCarloResult | StreamingMonteCarloResult":
     """Array-land :func:`monte_carlo`: the draws run as one kernel batch.
 
@@ -588,7 +616,11 @@ def monte_carlo_batch(
     the fully columnar path (every distribution with ``apply_column``,
     a kernel-covered scenario, ``vectorize=True``); anything else
     raises rather than silently materialising a 100M-row batch.
+
+    ``seed=None`` requires the explicit ``allow_unseeded=True`` opt-in
+    (see :func:`monte_carlo`).
     """
+    seed = _resolve_seed(seed, allow_unseeded)
     eng = resolve_engine(engine)
     columnar = _columnar_study(eng, scenario, distributions)
     if reduce is not None and reduce is not False:
@@ -651,12 +683,13 @@ def monte_carlo_stream(
     scenario: Scenario,
     distributions: Sequence[ParameterDistribution],
     n_samples: int = 500,
-    seed: int = 2024,
+    seed: "int | None" = 2024,
     engine: EvaluationEngine | None = None,
     *,
     chunk_rows: "int | None" = None,
     workers: "int | None" = None,
     quantile_k: int = DEFAULT_RESERVOIR_K,
+    allow_unseeded: bool = False,
 ) -> StreamingMonteCarloResult:
     """Out-of-core :func:`monte_carlo_batch`: bounded memory at any scale.
 
@@ -666,7 +699,11 @@ def monte_carlo_stream(
     summary is bit-identical for any chunk size and worker count; see
     :class:`StreamingMonteCarloResult` for the fidelity contract
     against the materialized path.
+
+    ``seed=None`` requires the explicit ``allow_unseeded=True`` opt-in
+    (see :func:`monte_carlo`).
     """
+    seed = _resolve_seed(seed, allow_unseeded)
     return monte_carlo_batch(
         comparator, scenario, distributions, n_samples=n_samples, seed=seed,
         engine=engine, chunk_rows=chunk_rows, workers=workers,

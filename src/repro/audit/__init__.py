@@ -1,0 +1,44 @@
+"""Static invariant checker + registry parity auditor.
+
+Two layers guard the repo's four execution paths (scalar sub-models,
+NumPy kernels, streaming reducers, cached store):
+
+* :mod:`repro.audit.linter` + :mod:`repro.audit.checks` — AST lint of
+  the repo's correctness conventions, reconciled against the committed
+  suppression baseline (``audit/baseline.json``);
+* :mod:`repro.audit.parity` — perturb every registry column and assert
+  scalar vs kernel vs streaming agreement.
+
+Entry points: ``greenfpga audit`` (CLI), :func:`run_lint`,
+:func:`run_parity`.
+"""
+
+from __future__ import annotations
+
+from repro.audit.baseline import Baseline, BaselineEntry, write_baseline
+from repro.audit.linter import (
+    Checker,
+    Finding,
+    LintReport,
+    ModuleInfo,
+    lint_modules,
+    run_lint,
+)
+from repro.audit.parity import ColumnReport, ParityReport, run_parity
+from repro.audit.report import AuditReport
+
+__all__ = [
+    "AuditReport",
+    "Baseline",
+    "BaselineEntry",
+    "Checker",
+    "ColumnReport",
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "ParityReport",
+    "lint_modules",
+    "run_lint",
+    "run_parity",
+    "write_baseline",
+]

@@ -1,0 +1,123 @@
+"""Suppression baseline for the lint layer.
+
+Pre-existing, deliberately-accepted findings are committed to
+``audit/baseline.json`` so they don't fail CI while *new* violations
+do.  Every entry must carry a non-empty one-line justification — an
+unexplained suppression is itself a configuration error.  Matching is
+by line-independent fingerprint (see
+:attr:`repro.audit.linter.Finding.fingerprint`), multiset-style: two
+identical findings need two entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import Counter
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.audit.linter import Finding
+
+#: The committed baseline shipped next to this module.
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    """One suppressed finding."""
+
+    fingerprint: str
+    justification: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Baseline:
+    """An immutable set of suppression entries."""
+
+    entries: tuple[BaselineEntry, ...]
+
+    @classmethod
+    def load(cls, path: Path) -> Baseline:
+        """Load and validate a baseline file."""
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        raw = payload.get("suppressions", payload) if isinstance(payload, dict) else payload
+        entries = []
+        for item in raw:
+            fingerprint = str(item.get("fingerprint", "")).strip()
+            justification = str(item.get("justification", "")).strip()
+            if not fingerprint:
+                raise ParameterError(f"baseline entry missing fingerprint: {item!r}")
+            if not justification:
+                raise ParameterError(
+                    f"baseline entry for {fingerprint!r} has no justification; "
+                    "every suppression must explain itself"
+                )
+            entries.append(BaselineEntry(fingerprint, justification))
+        return cls(tuple(entries))
+
+    @classmethod
+    def load_default(cls) -> Baseline:
+        """Load the committed baseline (empty if the file is absent)."""
+        if DEFAULT_BASELINE_PATH.exists():
+            return cls.load(DEFAULT_BASELINE_PATH)
+        return cls(())
+
+    def reconcile(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[str]]:
+        """Split ``findings`` into (new, suppressed, stale-fingerprints).
+
+        Each baseline entry absorbs at most one finding with its
+        fingerprint; leftovers on either side are new findings or stale
+        entries respectively.
+        """
+        budget = Counter(e.fingerprint for e in self.entries)
+        justifications = {e.fingerprint: e.justification for e in self.entries}
+        new: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding in findings:
+            if budget.get(finding.fingerprint, 0) > 0:
+                budget[finding.fingerprint] -= 1
+                suppressed.append(
+                    dataclasses.replace(
+                        finding, justification=justifications[finding.fingerprint]
+                    )
+                )
+            else:
+                new.append(finding)
+        stale = sorted(
+            fp for fp, remaining in budget.items() for _ in range(remaining)
+        )
+        return new, suppressed, stale
+
+
+def write_baseline(findings: list[Finding], path: Path) -> None:
+    """Write ``findings`` as a fresh baseline (``--update-baseline``).
+
+    Existing justifications are preserved for fingerprints already in
+    the file; new entries get a ``TODO`` placeholder that must be
+    hand-edited before the baseline loads cleanly in strict runs.
+    """
+    previous: dict[str, str] = {}
+    if path.exists():
+        try:
+            existing = Baseline.load(path)
+            previous = {e.fingerprint: e.justification for e in existing.entries}
+        except (ParameterError, json.JSONDecodeError):
+            previous = {}
+    payload = {
+        "suppressions": [
+            {
+                "fingerprint": f.fingerprint,
+                "justification": previous.get(
+                    f.fingerprint, "TODO: justify this suppression"
+                ),
+            }
+            for f in findings
+        ]
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,131 @@
+"""GF-COV — kernel-coverage audit over the 57-column registry.
+
+Every registry column in :mod:`repro.engine.vector.params` feeds both
+evaluation paths: the scalar sub-models read the underlying model
+attribute, and the vector engine reads the column by its registry name
+(``P.OP_CI`` in the kernel side-constant builder).  A column consumed
+by one path but not the other is exactly the drift this subsystem
+exists to catch — a knob that moves one path's answer while the other
+silently ignores it.
+
+Detection is static and name-based on purpose:
+
+* **kernel side** — any ``<alias>.<NAME>`` attribute read or bare
+  ``<NAME>`` reference, for ``NAME`` in the registry, inside
+  ``engine/vector/`` modules other than ``params.py`` itself (which
+  defines the names) and the reducers/streaming layer (which consume
+  *results*, not parameter columns);
+* **scalar side** — per :class:`~repro.engine.vector.params.ColumnSpec`,
+  an attribute read of any of the column's ``scalar_attrs`` inside its
+  ``scalar_packages`` (top-level sub-packages of ``repro``).
+
+Findings anchor to ``engine/vector/params.py`` with the column name as
+the symbol, so fingerprints are stable.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+
+from repro.audit.linter import Checker, Finding, ModuleInfo
+
+#: Where the registry names are *consumed* on the kernel side.
+DEFAULT_KERNEL_PREFIX = "engine/vector/"
+
+#: Kernel-side modules that define or post-process rather than consume.
+DEFAULT_KERNEL_EXCLUDE = (
+    "engine/vector/params.py",
+    "engine/vector/reducers.py",
+    "engine/vector/streaming.py",
+)
+
+#: Anchor path for findings (the registry definition site).
+DEFAULT_ANCHOR = "engine/vector/params.py"
+
+
+def _attr_reads(tree: ast.Module) -> frozenset[str]:
+    """All attribute names read (or called) anywhere in ``tree``."""
+    return frozenset(
+        node.attr for node in ast.walk(tree) if isinstance(node, ast.Attribute)
+    )
+
+
+def _name_refs(tree: ast.Module) -> frozenset[str]:
+    """All bare-name references in ``tree`` (for from-imported columns)."""
+    return frozenset(
+        node.id for node in ast.walk(tree) if isinstance(node, ast.Name)
+    )
+
+
+class CoverageChecker(Checker):
+    """Cross-reference registry columns between scalar and kernel paths."""
+
+    id = "GF-COV"
+    summary = "every registry column consumed by both the scalar and kernel paths"
+
+    def __init__(
+        self,
+        specs: Sequence | None = None,
+        kernel_prefix: str = DEFAULT_KERNEL_PREFIX,
+        kernel_exclude: Sequence[str] = DEFAULT_KERNEL_EXCLUDE,
+        anchor: str = DEFAULT_ANCHOR,
+    ) -> None:
+        if specs is None:
+            from repro.engine.vector.params import COLUMN_SPECS
+
+            specs = COLUMN_SPECS
+        self.specs = tuple(specs)
+        self.kernel_prefix = kernel_prefix
+        self.kernel_exclude = frozenset(kernel_exclude)
+        self.anchor = anchor
+
+    def check_project(self, modules: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        kernel_reads: set[str] = set()
+        package_attr_reads: dict[str, set[str]] = {}
+        for module in modules:
+            if module.is_test:
+                continue
+            if (
+                module.relpath.startswith(self.kernel_prefix)
+                and module.relpath not in self.kernel_exclude
+            ):
+                kernel_reads.update(_attr_reads(module.tree))
+                kernel_reads.update(_name_refs(module.tree))
+            package = module.relpath.split("/", 1)[0]
+            package_attr_reads.setdefault(package, set()).update(
+                _attr_reads(module.tree)
+            )
+
+        for spec in self.specs:
+            kernel_ok = spec.name in kernel_reads
+            scalar_ok = any(
+                attr in package_attr_reads.get(package, ())
+                for package in spec.scalar_packages
+                for attr in spec.scalar_attrs
+            )
+            if kernel_ok and scalar_ok:
+                continue
+            if not kernel_ok and not scalar_ok:
+                detail = (
+                    "consumed by neither path — dead registry column or "
+                    "renamed consumers"
+                )
+            elif kernel_ok:
+                detail = (
+                    "read by the vector kernels but no scalar model reads "
+                    f"{'/'.join(spec.scalar_attrs)} in "
+                    f"{'/'.join(spec.scalar_packages)}"
+                )
+            else:
+                detail = (
+                    "consumed by the scalar models but never read in the "
+                    "vector engine — the kernel path ignores this knob"
+                )
+            yield Finding(
+                check=self.id,
+                path=self.anchor,
+                line=1,
+                symbol=spec.name,
+                message=f"registry column {spec.name} ({spec.group}): {detail}",
+            )

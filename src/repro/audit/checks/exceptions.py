@@ -1,0 +1,87 @@
+"""GF-EXC — exception hygiene.
+
+Broad handlers (``except:``, ``except Exception``, ``except
+BaseException``) swallow model errors and infrastructure failures
+alike, so every one must either:
+
+* re-raise — the handler body's **last** statement is a bare
+  ``raise`` (cleanup-then-propagate is the repo's streaming idiom), or
+* carry the repo's justification tag on the ``except`` line:
+  ``# noqa: BLE001 - <reason>`` with a non-empty reason.
+
+Narrow handler tuples (specific exception classes) are never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+
+from repro.audit.linter import (
+    Checker,
+    Finding,
+    ModuleInfo,
+    enclosing_symbol,
+    walk_with_stack,
+)
+
+#: Tag + non-empty free-text justification, matching the repo's
+#: existing style (``# noqa: BLE001 - fed to futures``).
+_TAG_RE = re.compile(r"noqa:\s*BLE001\b\s*[-:–]\s*(\S.*)")
+
+#: Tag present but with no justification text after it.
+_BARE_TAG_RE = re.compile(r"noqa:\s*BLE001\b")
+
+
+def _broad_name(handler: ast.ExceptHandler) -> str | None:
+    """The broad class caught by ``handler``, or None when narrow."""
+    if handler.type is None:
+        return "bare except"
+    nodes = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for node in nodes:
+        if isinstance(node, ast.Name) and node.id in {"Exception", "BaseException"}:
+            return node.id
+        if isinstance(node, ast.Attribute) and node.attr in {
+            "Exception",
+            "BaseException",
+        }:
+            return node.attr
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Handler body ends in a bare ``raise``."""
+    last = handler.body[-1]
+    return isinstance(last, ast.Raise) and last.exc is None
+
+
+class ExceptionHygieneChecker(Checker):
+    """Broad excepts must re-raise or carry a justified noqa tag."""
+
+    id = "GF-EXC"
+    summary = "bare/broad except must re-raise or carry '# noqa: BLE001 - reason'"
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node, stack in walk_with_stack(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_name(node)
+            if broad is None or _reraises(node):
+                continue
+            comment = module.comments.get(node.lineno, "")
+            if _TAG_RE.search(comment):
+                continue
+            if _BARE_TAG_RE.search(comment):
+                detail = "its noqa tag has no justification text"
+            else:
+                detail = "add '# noqa: BLE001 - <reason>' or re-raise"
+            yield Finding(
+                check=self.id,
+                path=module.relpath,
+                line=node.lineno,
+                symbol=enclosing_symbol(stack),
+                message=f"broad handler ({broad}) without justification — {detail}",
+            )

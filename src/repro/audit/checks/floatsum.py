@@ -1,0 +1,107 @@
+"""GF-FLT — float-accumulation policy in reduction code.
+
+The streaming reducers guarantee bit-identical results regardless of
+chunking, which requires compensated (Neumaier) summation for float
+accumulation — naive ``sum()`` / ``+=``-loop accumulation re-orders
+rounding error with the chunk layout.  In any module that defines or
+imports a Neumaier/Kahan helper (i.e. reduction code where the
+compensated path exists), this checker flags:
+
+* calls to builtin ``sum(...)``;
+* ``name += ...`` inside a ``for``/``while`` loop.
+
+Functions whose own name contains ``neumaier``/``kahan`` are exempt —
+they *are* the compensated implementation.  Deliberate exceptions
+(integer counters, documented single-combine steps) belong in the
+suppression baseline with a justification, not in code changes.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.audit.linter import (
+    Checker,
+    Finding,
+    ModuleInfo,
+    enclosing_symbol,
+    snippet,
+    walk_with_stack,
+)
+
+#: Substrings (lowercased) identifying compensated-summation helpers.
+COMPENSATED_MARKERS = ("neumaier", "kahan")
+
+
+def _has_compensated_helper(tree: ast.Module) -> bool:
+    """Module defines or imports a Neumaier/Kahan-named helper."""
+    for node in ast.walk(tree):
+        name = None
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            name = node.name
+        elif isinstance(node, ast.ImportFrom):
+            for item in node.names:
+                lowered = (item.asname or item.name).lower()
+                if any(marker in lowered for marker in COMPENSATED_MARKERS):
+                    return True
+        if name is not None and any(
+            marker in name.lower() for marker in COMPENSATED_MARKERS
+        ):
+            return True
+    return False
+
+
+def _in_exempt_function(stack) -> bool:
+    """Inside a function that *is* the compensated implementation."""
+    return any(
+        isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and any(marker in s.name.lower() for marker in COMPENSATED_MARKERS)
+        for s in stack
+    )
+
+
+class FloatAccumulationChecker(Checker):
+    """Forbid naive accumulation where compensated helpers exist."""
+
+    id = "GF-FLT"
+    summary = "no builtin sum()/+= loop accumulation in compensated-reduction modules"
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not _has_compensated_helper(module.tree):
+            return
+        for node, stack in walk_with_stack(module.tree):
+            if _in_exempt_function(stack):
+                continue
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sum"
+            ):
+                yield Finding(
+                    check=self.id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    symbol=enclosing_symbol(stack),
+                    message=(
+                        f'builtin sum() in reduction code: "{snippet(node)}" '
+                        "— use the Neumaier helper for float accumulation"
+                    ),
+                )
+            elif (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.op, ast.Add)
+                and isinstance(node.target, ast.Name)
+                and any(isinstance(s, (ast.For, ast.While)) for s in stack)
+            ):
+                yield Finding(
+                    check=self.id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    symbol=enclosing_symbol(stack),
+                    message=(
+                        f'"+=" loop accumulation in reduction code: '
+                        f'"{snippet(node)}" — use the Neumaier helper '
+                        "for float accumulation"
+                    ),
+                )

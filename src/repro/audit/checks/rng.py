@@ -1,0 +1,141 @@
+"""GF-RNG — RNG discipline.
+
+Reproducibility is the repo's default: every stochastic path threads an
+explicitly seeded ``numpy.random.Generator`` (and the streaming layer
+bit-reproduces draw spans by advancing it).  This checker forbids, in
+non-test code:
+
+* calls into the legacy global-state API (``np.random.rand`` and
+  friends, ``np.random.seed``) anywhere — module level or not;
+* ``default_rng()`` with no seed argument, or with a literal ``None``
+  seed.
+
+A seed that is a runtime variable counts as explicit — the value's
+provenance is the caller's contract (see
+:func:`repro.analysis.montecarlo.monte_carlo`'s ``allow_unseeded``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.audit.linter import (
+    Checker,
+    Finding,
+    ModuleInfo,
+    enclosing_symbol,
+    snippet,
+    walk_with_stack,
+)
+
+#: Legacy global-state functions of ``numpy.random`` (module-level RNG).
+LEGACY_FNS = frozenset(
+    {
+        "seed", "random", "rand", "randn", "randint", "random_sample",
+        "ranf", "sample", "uniform", "normal", "standard_normal", "choice",
+        "shuffle", "permutation", "beta", "binomial", "poisson",
+        "exponential", "lognormal", "triangular", "gamma", "get_state",
+        "set_state",
+    }
+)
+
+
+def _alias_map(tree: ast.Module) -> dict[str, str]:
+    """Local name -> canonical dotted prefix for numpy imports."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "numpy" or item.name.startswith("numpy."):
+                    aliases[item.asname or item.name.split(".")[0]] = item.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.module == "numpy" or node.module.startswith("numpy."):
+                for item in node.names:
+                    aliases[item.asname or item.name] = (
+                        f"{node.module}.{item.name}"
+                    )
+    return aliases
+
+
+def _dotted(expr: ast.expr) -> list[str] | None:
+    """``a.b.c`` attribute chain as parts, or None for anything else."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return parts[::-1]
+
+
+def _canonical(expr: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Resolve a call target to a canonical dotted numpy path."""
+    parts = _dotted(expr)
+    if not parts:
+        return None
+    head = aliases.get(parts[0])
+    if head is None:
+        return None
+    return ".".join([head, *parts[1:]])
+
+
+def _seed_is_missing(call: ast.Call) -> bool:
+    """True when ``default_rng`` gets no seed or a literal ``None``."""
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for kw in call.keywords:
+        if kw.arg == "seed":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is None
+    return True
+
+
+class RngDisciplineChecker(Checker):
+    """Forbid legacy ``np.random`` state and unseeded ``default_rng``."""
+
+    id = "GF-RNG"
+    summary = "seeded-Generator discipline (no legacy np.random, no unseeded default_rng)"
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        if module.is_test:
+            return
+        aliases = _alias_map(module.tree)
+        if not aliases:
+            return
+        for node, stack in walk_with_stack(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _canonical(node.func, aliases)
+            if target is None:
+                continue
+            parts = target.split(".")
+            if (
+                len(parts) >= 3
+                and parts[0] == "numpy"
+                and parts[1] == "random"
+                and parts[-1] in LEGACY_FNS
+            ):
+                yield Finding(
+                    check=self.id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    symbol=enclosing_symbol(stack),
+                    message=(
+                        f'legacy global-state RNG call "{snippet(node)}" — '
+                        "thread a seeded numpy Generator instead"
+                    ),
+                )
+            elif target == "numpy.random.default_rng" and _seed_is_missing(node):
+                yield Finding(
+                    check=self.id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    symbol=enclosing_symbol(stack),
+                    message=(
+                        f'"{snippet(node)}" without an explicit seed — '
+                        "unseeded draws must be opted into by the caller"
+                    ),
+                )

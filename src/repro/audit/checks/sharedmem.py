@@ -1,0 +1,112 @@
+"""GF-SHM — shared-memory segment lifecycle.
+
+A ``SharedMemory(create=True)`` segment is an OS resource that outlives
+the process unless somebody calls ``close()`` **and** ``unlink()``;
+leaking one on an exception path strands ``/dev/shm`` pages until the
+resource tracker's exit sweep.  This checker requires every creation
+site to be either:
+
+* the context expression of a ``with`` block, or
+* covered by a ``try`` in the enclosing scope whose handlers or
+  ``finally`` block call both ``.close()`` and ``.unlink()``.
+
+The rule is deliberately scope-local: cleanup delegated to another
+object's method (e.g. an owning source's ``close()``) still needs the
+creating scope to guarantee it runs on the failure paths between
+creation and handoff.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.audit.linter import (
+    Checker,
+    Finding,
+    ModuleInfo,
+    enclosing_symbol,
+    walk_with_stack,
+)
+
+
+def _is_shm_create(call: ast.Call) -> bool:
+    """``SharedMemory(..., create=True, ...)`` by any import spelling."""
+    func = call.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if name != "SharedMemory":
+        return False
+    for kw in call.keywords:
+        if kw.arg == "create":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def _calls_method(nodes: Iterable[ast.stmt], method: str) -> bool:
+    """Whether any statement in ``nodes`` calls ``<x>.<method>()``."""
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == method
+            ):
+                return True
+    return False
+
+
+def _cleanup_try_exists(scope: ast.AST) -> bool:
+    """A ``try`` whose handlers/finally close **and** unlink a segment."""
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Try):
+            continue
+        cleanup: list[ast.stmt] = list(node.finalbody)
+        for handler in node.handlers:
+            cleanup.extend(handler.body)
+        if _calls_method(cleanup, "close") and _calls_method(cleanup, "unlink"):
+            return True
+    return False
+
+
+class SharedMemoryChecker(Checker):
+    """Require close()+unlink() coverage for every created segment."""
+
+    id = "GF-SHM"
+    summary = "SharedMemory(create=True) must pair with close()+unlink() on all paths"
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node, stack in walk_with_stack(module.tree):
+            if not (isinstance(node, ast.Call) and _is_shm_create(node)):
+                continue
+            if any(
+                isinstance(s, (ast.With, ast.AsyncWith))
+                and any(
+                    item.context_expr is node or node in ast.walk(item.context_expr)
+                    for item in s.items
+                )
+                for s in stack
+            ):
+                continue
+            scope = next(
+                (
+                    s
+                    for s in reversed(stack)
+                    if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ),
+                module.tree,
+            )
+            if _cleanup_try_exists(scope):
+                continue
+            yield Finding(
+                check=self.id,
+                path=module.relpath,
+                line=node.lineno,
+                symbol=enclosing_symbol(stack),
+                message=(
+                    "SharedMemory(create=True) without close()+unlink() "
+                    "cleanup on failure paths — wrap in try/finally (or "
+                    "an except that unlinks and re-raises) or a with block"
+                ),
+            )

@@ -1,0 +1,138 @@
+"""GF-SPAWN — spawn/pickle safety at process-pool submission sites.
+
+The engine's pools use the ``spawn`` start method, so everything handed
+to ``ProcessPoolExecutor.submit``/``.map`` — and to the streaming entry
+points ``run_stream``/``reduce_stream`` that submit on the caller's
+behalf — must pickle by qualified name.  Lambdas, closures and
+locally-defined functions silently degrade to the sequential fallback
+(or fail outright); this checker flags them at the submission site.
+
+Receivers are traced conservatively: ``pool.submit(...)`` is only
+treated as a process-pool site when ``pool`` is statically bound to a
+``ProcessPoolExecutor(...)`` construction (assignment or ``with`` item)
+in an enclosing scope of the same module.  Thread pools and unknown
+receivers are skipped — a thread pool shares the interpreter, so
+closures are fine there (see ``engine.py``'s chunk dispatch).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.audit.linter import (
+    Checker,
+    Finding,
+    ModuleInfo,
+    enclosing_symbol,
+    snippet,
+    walk_with_stack,
+)
+
+#: Call names treated as implicit process-pool submission sites.
+STREAM_ENTRY_POINTS = frozenset({"run_stream", "reduce_stream"})
+
+
+def _constructor_name(expr: ast.expr) -> str | None:
+    """Trailing name of a construction call, e.g. ``ProcessPoolExecutor``."""
+    if not isinstance(expr, ast.Call):
+        return None
+    func = expr.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _receiver_is_process_pool(name: str, stack) -> bool:
+    """Whether ``name`` traces to a ``ProcessPoolExecutor(...)`` binding."""
+    for scope in stack:
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign):
+                targets = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+                if name in targets:
+                    if _constructor_name(node.value) == "ProcessPoolExecutor":
+                        return True
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    var = item.optional_vars
+                    if isinstance(var, ast.Name) and var.id == name:
+                        ctor = _constructor_name(item.context_expr)
+                        if ctor == "ProcessPoolExecutor":
+                            return True
+    return False
+
+
+def _nested_function_names(tree: ast.Module) -> frozenset[str]:
+    """Names of functions defined inside another function in this module."""
+    nested: set[str] = set()
+    for node, stack in walk_with_stack(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and any(
+            isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef)) for s in stack
+        ):
+            nested.add(node.name)
+    return frozenset(nested)
+
+
+class SpawnSafetyChecker(Checker):
+    """Flag unpicklable callables at process-pool submission sites."""
+
+    id = "GF-SPAWN"
+    summary = "no lambdas/closures at ProcessPoolExecutor/run_stream submission sites"
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        nested = _nested_function_names(module.tree)
+        for node, stack in walk_with_stack(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            site = self._submission_site(node, stack)
+            if site is None:
+                continue
+            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                if isinstance(arg, ast.Lambda):
+                    yield Finding(
+                        check=self.id,
+                        path=module.relpath,
+                        line=arg.lineno,
+                        symbol=enclosing_symbol(stack),
+                        message=(
+                            f'lambda passed to {site} in "{snippet(node)}" — '
+                            "spawn workers cannot pickle it; use a "
+                            "module-level function"
+                        ),
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in nested:
+                    yield Finding(
+                        check=self.id,
+                        path=module.relpath,
+                        line=arg.lineno,
+                        symbol=enclosing_symbol(stack),
+                        message=(
+                            f'locally-defined function "{arg.id}" passed to '
+                            f"{site} — spawn workers cannot pickle it; "
+                            "hoist it to module level"
+                        ),
+                    )
+
+    @staticmethod
+    def _submission_site(call: ast.Call, stack) -> str | None:
+        """Describe the submission site, or None when not one."""
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in {"submit", "map"}:
+            receiver = func.value
+            if isinstance(receiver, ast.Name):
+                if _receiver_is_process_pool(receiver.id, stack):
+                    return f"ProcessPoolExecutor.{func.attr}"
+                return None
+            if _constructor_name(receiver) == "ProcessPoolExecutor":
+                return f"ProcessPoolExecutor.{func.attr}"
+            return None
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name in STREAM_ENTRY_POINTS:
+            return name
+        return None

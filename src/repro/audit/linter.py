@@ -1,0 +1,287 @@
+"""AST lint engine for the repo's correctness conventions.
+
+The repo's hard-won invariants — seeded-RNG threading, spawn/pickle
+safety, shared-memory lifecycle, Neumaier summation in reducers,
+justified broad excepts, and scalar/kernel registry coverage — used to
+live only in reviewers' heads.  This module turns them into machine
+checks: a small framework that parses every module under ``src/repro``
+once, hands the ASTs to repo-specific checkers
+(:mod:`repro.audit.checks`), and reconciles the findings against a
+committed suppression baseline (:mod:`repro.audit.baseline`).
+
+Checkers come in two shapes:
+
+* **per-module** (:meth:`Checker.check_module`) — pattern checks that
+  only need one file's AST (RNG discipline, exception hygiene, ...);
+* **project-level** (:meth:`Checker.check_project`) — cross-file
+  invariants such as the kernel-coverage audit, which needs the scalar
+  sub-models and the vector engine side by side.
+
+Findings are fingerprinted without line numbers so the baseline
+survives unrelated edits above a suppressed site.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import tokenize
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.audit.baseline import Baseline
+
+#: Default lint root: the ``repro`` package itself.
+DEFAULT_ROOT = Path(__file__).resolve().parents[1]
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One checker hit.
+
+    Attributes:
+        check: Checker id, e.g. ``"GF-RNG"``.
+        path: Module path relative to the lint root (posix separators).
+        line: 1-based source line (display only — not fingerprinted).
+        symbol: Dotted enclosing-scope name (``""`` at module level).
+        message: Human-readable description; embeds a source snippet so
+            two findings in one symbol stay distinguishable.
+        justification: Set when suppressed by a baseline entry.
+    """
+
+    check: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+    justification: str | None = None
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        return f"{self.check}::{self.path}::{self.symbol}::{self.message}"
+
+    def render(self) -> str:
+        """One-line human rendering."""
+        where = f"{self.path}:{self.line}"
+        scope = f" [{self.symbol}]" if self.symbol else ""
+        return f"{self.check} {where}{scope}: {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view."""
+        out: dict[str, object] = {
+            "check": self.check,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+        if self.justification is not None:
+            out["justification"] = self.justification
+        return out
+
+
+def _trailing_comments(source: str) -> dict[int, str]:
+    """Map line number -> trailing ``#`` comment text on that line."""
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+    except tokenize.TokenError:
+        pass
+    return comments
+
+
+@dataclasses.dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source module handed to checkers.
+
+    ``relpath`` uses posix separators relative to the lint root, so
+    fingerprints are platform-stable.  ``comments`` maps line numbers to
+    trailing comment text (for ``# noqa``-style justification tags).
+    """
+
+    relpath: str
+    source: str
+    tree: ast.Module
+    comments: dict[int, str]
+    is_test: bool
+
+    @classmethod
+    def from_source(
+        cls, relpath: str, source: str, *, is_test: bool | None = None
+    ) -> ModuleInfo:
+        """Build from an in-memory snippet (used by the test fixtures)."""
+        if is_test is None:
+            name = Path(relpath).name
+            is_test = name.startswith("test_") or "/tests/" in f"/{relpath}"
+        return cls(
+            relpath=relpath,
+            source=source,
+            tree=ast.parse(source, filename=relpath),
+            comments=_trailing_comments(source),
+            is_test=is_test,
+        )
+
+    @classmethod
+    def from_path(cls, path: Path, root: Path) -> ModuleInfo:
+        """Parse a file on disk."""
+        source = path.read_text(encoding="utf-8")
+        relpath = path.relative_to(root).as_posix()
+        return cls.from_source(relpath, source)
+
+
+class Checker:
+    """Base class for lint checkers.
+
+    Subclasses set :attr:`id` (stable, fingerprinted) and
+    :attr:`summary`, and override one or both hooks.
+    """
+
+    id = "GF-???"
+    summary = ""
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Findings for one module (default: none)."""
+        return ()
+
+    def check_project(self, modules: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        """Findings needing the whole module set (default: none)."""
+        return ()
+
+
+def walk_with_stack(tree: ast.AST):
+    """Yield ``(node, ancestor_stack)`` over every node below ``tree``."""
+    stack: list[ast.AST] = []
+
+    def visit(node: ast.AST):
+        yield node, tuple(stack)
+        stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        stack.pop()
+
+    for child in ast.iter_child_nodes(tree):
+        yield from visit(child)
+
+
+def enclosing_symbol(stack: Sequence[ast.AST]) -> str:
+    """Dotted name of the innermost class/function scope in ``stack``."""
+    parts = [
+        node.name
+        for node in stack
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+    ]
+    return ".".join(parts)
+
+
+def snippet(node: ast.AST, limit: int = 60) -> str:
+    """Compact source rendering of ``node`` for finding messages."""
+    try:
+        text = ast.unparse(node)
+    except Exception:  # noqa: BLE001 - best-effort display text only
+        text = type(node).__name__
+    text = " ".join(text.split())
+    if len(text) > limit:
+        text = text[: limit - 3] + "..."
+    return text
+
+
+@dataclasses.dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run.
+
+    Attributes:
+        findings: New (unsuppressed) findings — any entry fails the run.
+        suppressed: Findings matched by the baseline, with justification.
+        stale: Baseline fingerprints that matched nothing (non-fatal;
+            reported so the baseline can be pruned).
+        modules_scanned: Number of modules parsed.
+    """
+
+    findings: tuple[Finding, ...]
+    suppressed: tuple[Finding, ...]
+    stale: tuple[str, ...]
+    modules_scanned: int
+
+    @property
+    def ok(self) -> bool:
+        """True when no new findings remain."""
+        return not self.findings
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready view."""
+        return {
+            "ok": self.ok,
+            "modules_scanned": self.modules_scanned,
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "stale_baseline": list(self.stale),
+        }
+
+    def render(self) -> str:
+        """Multi-line human rendering."""
+        lines = [
+            f"lint: {self.modules_scanned} modules, "
+            f"{len(self.findings)} new finding(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{len(self.stale)} stale baseline entr(y/ies)"
+        ]
+        lines.extend(f"  NEW {f.render()}" for f in self.findings)
+        lines.extend(
+            f"  baselined {f.render()} ({f.justification})" for f in self.suppressed
+        )
+        lines.extend(f"  stale baseline: {fp}" for fp in self.stale)
+        return "\n".join(lines)
+
+
+def collect_modules(root: Path = DEFAULT_ROOT) -> list[ModuleInfo]:
+    """Parse every ``.py`` file under ``root`` (skipping ``__pycache__``)."""
+    modules = []
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        modules.append(ModuleInfo.from_path(path, root))
+    return modules
+
+
+def lint_modules(
+    modules: Sequence[ModuleInfo],
+    checks: Sequence[Checker] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Run ``checks`` over pre-parsed ``modules`` (the testable core)."""
+    if checks is None:
+        from repro.audit.checks import all_checkers
+
+        checks = all_checkers()
+    raw: list[Finding] = []
+    for checker in checks:
+        for module in modules:
+            raw.extend(checker.check_module(module))
+        raw.extend(checker.check_project(modules))
+    raw.sort(key=lambda f: (f.path, f.line, f.check, f.message))
+
+    baseline = baseline if baseline is not None else Baseline(())
+    new, suppressed, stale = baseline.reconcile(raw)
+    return LintReport(
+        findings=tuple(new),
+        suppressed=tuple(suppressed),
+        stale=tuple(stale),
+        modules_scanned=len(modules),
+    )
+
+
+def run_lint(
+    root: Path = DEFAULT_ROOT,
+    checks: Sequence[Checker] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Lint the tree rooted at ``root`` against the suppression baseline."""
+    if baseline is None:
+        baseline = Baseline.load_default()
+    return lint_modules(collect_modules(root), checks=checks, baseline=baseline)

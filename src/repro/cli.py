@@ -135,6 +135,40 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="scenario cells per request")
     serve.add_argument("--window-ms", type=float, default=2.0,
                        help="micro-batching window, milliseconds")
+
+    audit = sub.add_parser(
+        "audit",
+        help="static invariant lint + registry parity audit",
+    )
+    layer = audit.add_mutually_exclusive_group()
+    layer.add_argument("--lint-only", action="store_true",
+                       help="run only the AST lint layer")
+    layer.add_argument("--parity-only", action="store_true",
+                       help="run only the registry parity layer")
+    audit.add_argument(
+        "--parity-values", type=int, default=None, metavar="N",
+        help=(
+            "perturbation values per registry column (default: 2 when "
+            "BENCH_QUICK is set and nonzero, else 4)"
+        ),
+    )
+    audit.add_argument("--root", default=None, metavar="DIR",
+                       help="lint a tree other than the installed repro package")
+    audit.add_argument(
+        "--checks", default=None, metavar="IDS",
+        help="comma-separated checker ids to run (e.g. GF-RNG,GF-EXC)",
+    )
+    audit.add_argument("--baseline", default=None, metavar="PATH",
+                       help="suppression baseline (default: the committed one)")
+    audit.add_argument(
+        "--update-baseline", action="store_true",
+        help=(
+            "rewrite the baseline from the current findings (new entries "
+            "get TODO justifications that must be hand-edited)"
+        ),
+    )
+    audit.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the machine-readable report to PATH")
     return parser
 
 
@@ -296,6 +330,67 @@ def _cmd_serve_bench(
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import os
+    from pathlib import Path
+
+    from repro.audit.baseline import (
+        DEFAULT_BASELINE_PATH,
+        Baseline,
+        write_baseline,
+    )
+    from repro.audit.checks import all_checkers
+    from repro.audit.linter import run_lint
+    from repro.audit.parity import run_parity
+    from repro.audit.report import AuditReport
+
+    lint_report = None
+    if not args.parity_only:
+        checks = all_checkers()
+        if args.checks is not None:
+            wanted = {c.strip() for c in args.checks.split(",") if c.strip()}
+            unknown = wanted - {c.id for c in checks}
+            if unknown:
+                print(f"unknown checker id(s): {', '.join(sorted(unknown))}",
+                      file=sys.stderr)
+                return 2
+            checks = tuple(c for c in checks if c.id in wanted)
+        baseline_path = (
+            Path(args.baseline) if args.baseline is not None
+            else DEFAULT_BASELINE_PATH
+        )
+        baseline = (
+            Baseline.load(baseline_path) if baseline_path.exists()
+            else Baseline(())
+        )
+        lint_kwargs: dict[str, object] = {"checks": checks, "baseline": baseline}
+        if args.root is not None:
+            lint_kwargs["root"] = Path(args.root)
+        lint_report = run_lint(**lint_kwargs)
+        if args.update_baseline:
+            write_baseline(
+                [*lint_report.findings, *lint_report.suppressed], baseline_path
+            )
+            print(f"baseline rewritten: {baseline_path}")
+
+    parity_report = None
+    if not args.lint_only:
+        values = args.parity_values
+        if values is None:
+            quick = os.environ.get("BENCH_QUICK", "")
+            values = 2 if quick not in ("", "0") else 4
+        parity_report = run_parity(values_per_column=values)
+
+    report = AuditReport(lint=lint_report, parity=parity_report)
+    print(report.render())
+    if args.json is not None:
+        report.write_json(Path(args.json))
+        print(f"json report: {args.json}")
+    if args.update_baseline:
+        return 0
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -323,6 +418,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.clients, args.requests, args.cells, args.window_ms,
             args.cache_file,
         )
+    elif args.command == "audit":
+        code = _cmd_audit(args)
     else:
         raise AssertionError(f"unhandled command {args.command!r}")
     if args.cache_stats:

@@ -127,12 +127,20 @@ def list_nodes() -> list[str]:
     return [node.name for node in _NODES]
 
 
-def get_node(name: str | float | int) -> TechnologyNode:
+def get_node(name: "str | float | int | TechnologyNode") -> TechnologyNode:
     """Look up a built-in node by name (``"10nm"``) or feature size (10).
+
+    A :class:`TechnologyNode` instance passes through unchanged, so
+    devices can carry ad-hoc nodes (``node.with_overrides(...)``) the
+    same way :class:`~repro.eol.model.EolModel` carries ad-hoc
+    :class:`~repro.data.warm.WarmFactors` — the parity auditor perturbs
+    node-level registry columns this way.
 
     Raises:
         UnknownEntityError: if the node is not in the built-in table.
     """
+    if isinstance(name, TechnologyNode):
+        return name
     if isinstance(name, (int, float)):
         key = f"{float(name):g}nm"
     else:

@@ -321,7 +321,7 @@ class AsyncEvaluationEngine:
                 result = await self._run(
                     self._engine.evaluate_batch, requests[0].comparator, fused
                 )
-            except Exception as exc:  # model/parameter errors propagate
+            except Exception as exc:  # noqa: BLE001 - delivered to every coalesced request future
                 for request in requests:
                     if not request.future.done():
                         request.future.set_exception(exc)
@@ -338,7 +338,7 @@ class AsyncEvaluationEngine:
             result = await self._run(
                 self._engine.evaluate_batch, request.comparator, request.batch
             )
-        except Exception as exc:
+        except Exception as exc:  # noqa: BLE001 - delivered to the request future
             if not request.future.done():
                 request.future.set_exception(exc)
         else:

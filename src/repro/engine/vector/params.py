@@ -34,6 +34,7 @@ next to the scenario fold it extends.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 from collections.abc import Sequence
 
@@ -76,6 +77,125 @@ from repro.units import gwh_to_kwh, watts_to_kw
 
 #: Total model-parameter columns per row.
 N_PARAM_COLS = 57
+
+#: Registry column names, in column order (``COLUMN_NAMES[MFG_RHO] ==
+#: "MFG_RHO"``).  The audit subsystem renders findings and parity
+#: reports through these.
+COLUMN_NAMES: tuple[str, ...] = (
+    "MFG_FAB_CI", "MFG_ABATE", "MFG_EDGE", "MFG_SCRIBE", "MFG_RHO",
+    "MFG_YIELD_CODE", "MFG_CHARGE",
+    "PKG_SUB", "PKG_ASM_KWH", "PKG_ASM_CI", "PKG_FANOUT", "PKG_BASE_KG",
+    "PKG_MASS_CM2", "PKG_BASE_MASS",
+    "EOL_DELTA", "EOL_DISCARD", "EOL_CREDIT", "EOL_TRANSPORT",
+    "DES_ANNUAL_KWH", "DES_CI", "DES_AVG_GATES", "DES_BETA",
+    "OP_CI", "OP_DUTY", "OP_IDLE", "OP_PUE",
+    "AD_CI", "AD_CONFIG_KW",
+    "F_AREA", "F_POWER", "F_LIFE", "F_CAPACITY", "F_GATES",
+    "F_EPA", "F_GPA", "F_MPA_NEW", "F_MPA_REC", "F_DEFECT", "F_LINE_YIELD",
+    "F_WAFER_D", "F_TEAM_YEARS", "F_DEV_KG", "F_CHPU",
+    "A_AREA", "A_POWER", "A_LIFE", "A_GATES",
+    "A_EPA", "A_GPA", "A_MPA_NEW", "A_MPA_REC", "A_DEFECT", "A_LINE_YIELD",
+    "A_WAFER_D", "A_TEAM_YEARS", "A_DEV_KG", "A_CHPU",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnSpec:
+    """Where one registry column is consumed on the scalar model path.
+
+    The static kernel-coverage audit cross-references every registry
+    column against the scalar sub-models: ``scalar_packages`` are the
+    ``src/repro`` sub-packages whose code must read at least one of the
+    ``scalar_attrs`` attribute names for the column to count as consumed
+    by the scalar path (the kernel side is detected directly from
+    ``P.<NAME>`` reads in ``engine/vector/``).  The attribute names are
+    exactly what the extractors above pull off the model objects, so the
+    mapping cannot drift from the extraction without failing the audit.
+    """
+
+    index: int
+    name: str
+    group: str
+    scalar_packages: tuple[str, ...]
+    scalar_attrs: tuple[str, ...]
+
+
+def _specs() -> tuple[ColumnSpec, ...]:
+    mfg, pkg, eol = ("manufacturing",), ("packaging",), ("eol",)
+    des, op, ad = ("design",), ("operation",), ("appdev",)
+    dev = ("core", "devices")
+    table: tuple[tuple[int, str, tuple[str, ...], tuple[str, ...]], ...] = (
+        (MFG_FAB_CI, "manufacturing", mfg, ("carbon_intensity_kg_per_kwh",)),
+        (MFG_ABATE, "manufacturing", mfg, ("gas_abatement",)),
+        (MFG_EDGE, "manufacturing", mfg, ("edge_exclusion_mm",)),
+        (MFG_SCRIBE, "manufacturing", mfg, ("scribe_mm",)),
+        (MFG_RHO, "manufacturing", mfg, ("recycled_fraction",)),
+        (MFG_YIELD_CODE, "manufacturing", mfg, ("yield_model",)),
+        (MFG_CHARGE, "manufacturing", mfg, ("charge_wafer_waste",)),
+        (PKG_SUB, "packaging", pkg, ("substrate_kg_per_cm2",)),
+        (PKG_ASM_KWH, "packaging", pkg, ("assembly_kwh_per_package",)),
+        (PKG_ASM_CI, "packaging", pkg, ("assembly_energy_source",)),
+        (PKG_FANOUT, "packaging", pkg, ("fanout_factor",)),
+        (PKG_BASE_KG, "packaging", pkg, ("base_kg_per_package",)),
+        (PKG_MASS_CM2, "packaging", pkg, ("mass_g_per_cm2",)),
+        (PKG_BASE_MASS, "packaging", pkg, ("base_mass_g",)),
+        (EOL_DELTA, "eol", eol, ("recycled_fraction",)),
+        (EOL_DISCARD, "eol", eol, ("discard_kg_per_kg",)),
+        (EOL_CREDIT, "eol", eol, ("recycle_credit_kg_per_kg",)),
+        (EOL_TRANSPORT, "eol", eol, ("transport_kg_per_kg",)),
+        (DES_ANNUAL_KWH, "design", des,
+         ("annual_energy_gwh", "overhead_factor", "allocation")),
+        (DES_CI, "design", des, ("carbon_intensity",)),
+        (DES_AVG_GATES, "design", des, ("avg_gates_per_chip_mgates",)),
+        (DES_BETA, "design", des, ("gate_scaling_beta",)),
+        (OP_CI, "operation", op, ("energy_source",)),
+        (OP_DUTY, "operation", op, ("duty_cycle",)),
+        (OP_IDLE, "operation", op, ("idle_fraction_of_peak",)),
+        (OP_PUE, "operation", op, ("pue",)),
+        (AD_CI, "appdev", ad, ("energy_source",)),
+        (AD_CONFIG_KW, "appdev", ad, ("config_power_w",)),
+        (F_AREA, "fpga_device", dev, ("area_mm2",)),
+        (F_POWER, "fpga_device", dev, ("peak_power_w",)),
+        (F_LIFE, "fpga_device", dev, ("chip_lifetime_years",)),
+        (F_CAPACITY, "fpga_device", dev, ("logic_capacity_mgates",)),
+        (F_GATES, "fpga_device", dev, ("gate_density_mgates_per_mm2",)),
+        (F_EPA, "fpga_node", mfg, ("epa_kwh_per_cm2",)),
+        (F_GPA, "fpga_node", mfg, ("gpa_kg_per_cm2",)),
+        (F_MPA_NEW, "fpga_node", mfg, ("mpa_new_kg_per_cm2",)),
+        (F_MPA_REC, "fpga_node", mfg, ("mpa_recycled_kg_per_cm2",)),
+        (F_DEFECT, "fpga_node", mfg, ("defect_density_per_cm2",)),
+        (F_LINE_YIELD, "fpga_node", mfg, ("line_yield",)),
+        (F_WAFER_D, "fpga_node", mfg, ("wafer_diameter_mm",)),
+        (F_TEAM_YEARS, "fpga_team", des, ("project_years",)),
+        (F_DEV_KG, "fpga_effort", ad,
+         ("farm_power_w", "per_application_hours")),
+        (F_CHPU, "fpga_effort", ad, ("config_hours_per_unit",)),
+        (A_AREA, "asic_device", dev, ("area_mm2",)),
+        (A_POWER, "asic_device", dev, ("peak_power_w",)),
+        (A_LIFE, "asic_device", dev, ("chip_lifetime_years",)),
+        (A_GATES, "asic_device", dev, ("logic_gates_mgates",)),
+        (A_EPA, "asic_node", mfg, ("epa_kwh_per_cm2",)),
+        (A_GPA, "asic_node", mfg, ("gpa_kg_per_cm2",)),
+        (A_MPA_NEW, "asic_node", mfg, ("mpa_new_kg_per_cm2",)),
+        (A_MPA_REC, "asic_node", mfg, ("mpa_recycled_kg_per_cm2",)),
+        (A_DEFECT, "asic_node", mfg, ("defect_density_per_cm2",)),
+        (A_LINE_YIELD, "asic_node", mfg, ("line_yield",)),
+        (A_WAFER_D, "asic_node", mfg, ("wafer_diameter_mm",)),
+        (A_TEAM_YEARS, "asic_team", des, ("project_years",)),
+        (A_DEV_KG, "asic_effort", ad,
+         ("farm_power_w", "per_application_hours")),
+        (A_CHPU, "asic_effort", ad, ("config_hours_per_unit",)),
+    )
+    return tuple(
+        ColumnSpec(index, COLUMN_NAMES[index], group, packages, attrs)
+        for index, group, packages, attrs in table
+    )
+
+
+#: One :class:`ColumnSpec` per registry column, in column order — the
+#: column→model mapping the audit subsystem (coverage checker and
+#: parity auditor) walks.
+COLUMN_SPECS: tuple[ColumnSpec, ...] = _specs()
 
 
 # The per-sub-model extractors below are memoised on the (frozen,

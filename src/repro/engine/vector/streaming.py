@@ -186,13 +186,23 @@ class SharedArrayChunkSource:
 
         total = sum(a.nbytes for a in arrays.values())
         shm = shared_memory.SharedMemory(create=True, size=max(1, total))
-        offset = 0
-        for name, array in arrays.items():
-            view = np.ndarray(array.shape, dtype=array.dtype,
-                              buffer=shm.buf, offset=offset)
-            view[:] = array
-            source._specs[name] = (array.dtype.str, array.shape[0], offset)
-            offset += array.nbytes
+        try:
+            offset = 0
+            for name, array in arrays.items():
+                view = np.ndarray(array.shape, dtype=array.dtype,
+                                  buffer=shm.buf, offset=offset)
+                view[:] = array
+                del view
+                source._specs[name] = (array.dtype.str, array.shape[0], offset)
+                offset += array.nbytes
+        except BaseException:
+            # Nobody owns the segment yet — unlink here or leak it.  The
+            # half-filled view must drop first or close() sees an
+            # exported buffer.
+            view = None
+            shm.close()
+            shm.unlink()
+            raise
         source._shm = shm
         source._shm_name = shm.name
         source._owner = True
@@ -320,11 +330,27 @@ def _reduce_span(
     stop: int,
     chunk_rows: int,
 ) -> StreamingReduction:
-    """Worker body: fold one contiguous row span, chunk by chunk."""
-    for s in range(start, stop, chunk_rows):
-        e = min(s + chunk_rows, stop)
-        params, batch = source.chunk(s, e)
-        reduction.update(_EVALUATOR.evaluate_param_batch(params, batch), s)
+    """Worker body: fold one contiguous row span, chunk by chunk.
+
+    Spawned workers receive their own unpickled ``source`` copy; for
+    shared-memory sources that copy attaches lazily to the segment, so
+    the worker must detach before returning or each span task strands a
+    mapping until process exit.  ``close()`` is idempotent and only the
+    packing process unlinks, so the parent-side sequential path may run
+    through here too.
+    """
+    try:
+        for s in range(start, stop, chunk_rows):
+            e = min(s + chunk_rows, stop)
+            params, batch = source.chunk(s, e)
+            reduction.update(_EVALUATOR.evaluate_param_batch(params, batch), s)
+            # Drop the chunk views before the next lap (and before the
+            # detach below — a live view keeps the mapping exported).
+            del params, batch
+    finally:
+        close = getattr(source, "close", None)
+        if close is not None:
+            close()
     return reduction
 
 
@@ -410,5 +436,5 @@ def _picklable(source, reduction: StreamingReduction) -> bool:
     try:
         pickle.dumps((source, reduction))
         return True
-    except Exception:
+    except (pickle.PicklingError, TypeError, AttributeError, ValueError):
         return False
