@@ -24,6 +24,13 @@ Gates:
 * the persisted-warm concurrent phase must recompute *zero* rows — every
   cell is served from the ``.npz``-loaded store, proving in-flight
   deduplication plus persistence work end to end.
+
+The latency test adds a ``latency`` section to the same JSON (p50/p99
+under 8 and 64 socket clients, fault-free and with one injected worker
+kill per repeat, via
+:func:`repro.engine.serve.bench.latency_benchmark`); its p99 keys are
+gated by ``scripts/bench_compare.py`` (>25% increase fails) and its
+bit-identity-under-kill flag is asserted here.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ import json
 import time
 from pathlib import Path
 
+from repro.engine.serve.bench import latency_benchmark
 from repro.engine.service import serving_benchmark
 
 BENCH_JSON = Path(__file__).parent / "BENCH_serving.json"
@@ -87,6 +95,44 @@ def test_serving_throughput_and_emit_bench_json(tmp_path):
         f"{adaptive_penalty:.2f}x the eager reference "
         f"(gate {MAX_ADAPTIVE_OVER_EAGER:g}x): {report['phases']}"
     )
+
+
+def test_serving_latency_percentiles_and_emit(tmp_path):
+    """p50/p99 under 8 and 64 clients, fault-free and with one kill.
+
+    Runs the socket-serving latency benchmark (2 supervised workers,
+    real connections, pooled percentiles over 3 fresh-server repeats;
+    the one-kill phases hard-kill worker 0 mid-window every repeat) and
+    merges the report into ``BENCH_serving.json`` under ``latency`` —
+    read-modify-write, so it composes with the throughput section the
+    first test emitted.  Defined after that test on purpose: pytest
+    runs tests in definition order, and the wholesale write must land
+    first.
+
+    Gates here: bit-identity across every phase including the kills,
+    and at least one worker death per one-kill repeat (otherwise the
+    chaos injection silently stopped firing).  The p99 trajectory gate
+    lives in ``scripts/bench_compare.py``.
+    """
+    report = latency_benchmark(cache_file=tmp_path / "latency-warmth.npz")
+
+    assert report["mismatches"] == 0, (
+        f"served columns diverged from the in-process reference: {report}"
+    )
+    assert report["identical_under_kill"], report
+    for name, modes in report["phases"].items():
+        assert modes["one_kill"]["worker_deaths"] >= report["repeats"], (
+            f"{name}: injected kill fired fewer times than repeats: {modes}"
+        )
+        assert modes["fault_free"]["worker_deaths"] == 0, (
+            f"{name}: fault-free phase lost a worker: {modes}"
+        )
+
+    merged = {}
+    if BENCH_JSON.exists():
+        merged = json.loads(BENCH_JSON.read_text())
+    merged["latency"] = report
+    BENCH_JSON.write_text(json.dumps(merged, indent=2) + "\n")
 
 
 def test_serving_warm_beats_cold_serialized(tmp_path):

@@ -15,7 +15,16 @@ compares every throughput metric against its baseline with a
   the machine as much as the code — a regression beyond the threshold
   is printed as a **warning** only, so a slower laptop or a loaded CI
   runner cannot fail the gate while the ratio tier still catches real
-  hot-path regressions.
+  hot-path regressions;
+* **latency percentiles** (``p50_ms`` / ``p99_ms``, emitted by the
+  serving latency benchmark) are lower-is-better: a **p99** increase
+  beyond the threshold **fails** — tail latency is the serving tier's
+  contract — while **p50** drift only **warns** (median latency on a
+  loaded runner moves with the machine).  Percentiles from the
+  fault-injected ``one_kill`` phases also only **warn**: their p99 *is*
+  the replay spike of the injected worker kill, whose magnitude is
+  scheduler timing, not code — the chaos test suite separately asserts
+  the hard bound (no reply past the deadline).
 
 Additionally, every workload that declares a peak-RSS budget
 (``peak_rss_mb`` + ``rss_budget_mb``, e.g. the streaming
@@ -56,24 +65,40 @@ def _is_throughput_key(key: str) -> bool:
     return key.endswith("_per_s") or "speedup" in key
 
 
+def _is_latency_key(key: str) -> bool:
+    """Lower-is-better metric selector (latency percentiles)."""
+    if any(key.endswith(suffix) for suffix in _EXCLUDED_SUFFIXES):
+        return False
+    return key.endswith("p50_ms") or key.endswith("p99_ms")
+
+
 def _is_gating_key(path: str) -> bool:
     """Whether a regression in this metric fails (vs warns).
 
-    Only dimensionless speedup ratios gate — absolute ``*_per_s``
-    rates are machine-relative and warn only.
+    Dimensionless speedup ratios and fault-free p99 latency
+    percentiles gate; absolute ``*_per_s`` rates and p50 medians are
+    machine-relative and warn only.  ``one_kill`` chaos-phase
+    percentiles also warn only: their tail is the injected kill's
+    replay spike, whose size is scheduling noise (the chaos suite
+    asserts the deadline bound instead).
     """
-    return "speedup" in path.rsplit(".", 1)[-1]
+    leaf = path.rsplit(".", 1)[-1]
+    if ".one_kill." in path:
+        return False
+    return "speedup" in leaf or leaf.endswith("p99_ms")
 
 
 def _collect_metrics(node: object, prefix: str = "") -> dict[str, float]:
-    """Flatten a bench JSON tree into ``path -> value`` throughput metrics."""
+    """Flatten a bench JSON tree into ``path -> value`` gated metrics."""
     metrics: dict[str, float] = {}
     if isinstance(node, dict):
         for key, value in node.items():
             path = f"{prefix}.{key}" if prefix else key
             if isinstance(value, (dict, list)):
                 metrics.update(_collect_metrics(value, path))
-            elif isinstance(value, (int, float)) and _is_throughput_key(key):
+            elif isinstance(value, (int, float)) and (
+                _is_throughput_key(key) or _is_latency_key(key)
+            ):
                 metrics[path] = float(value)
     elif isinstance(node, list):
         for index, value in enumerate(node):
@@ -156,18 +181,28 @@ def compare_file(
             continue
         ratio = fresh_value / base_value if base_value else float("inf")
         marker = " "
-        if base_value > 0 and fresh_value < base_value * (1.0 - threshold):
+        lower_is_better = _is_latency_key(path.rsplit(".", 1)[-1])
+        if lower_is_better:
+            regressed = base_value > 0 and (
+                fresh_value > base_value * (1.0 + threshold)
+            )
+            bound = f"ceiling {1.0 + threshold:.2f}x"
+        else:
+            regressed = base_value > 0 and (
+                fresh_value < base_value * (1.0 - threshold)
+            )
+            bound = f"floor {1.0 - threshold:.2f}x"
+        if regressed:
             message = (
                 f"{fresh_path.name}: {path} regressed to {fresh_value:g} "
-                f"from {base_value:g} ({ratio:.2f}x, "
-                f"floor {1.0 - threshold:.2f}x)"
+                f"from {base_value:g} ({ratio:.2f}x, {bound})"
             )
             if _is_gating_key(path):
                 marker = "!"
                 regressions.append(message)
             else:
                 marker = "~"
-                warnings.append(message + " [machine-relative rate: warning]")
+                warnings.append(message + " [machine-relative: warning]")
         lines.append(
             f"  {marker} {path:<60} {base_value:>12g} -> {fresh_value:>12g} "
             f"({ratio:.2f}x)"

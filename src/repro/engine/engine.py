@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import atexit
 import dataclasses
+import logging
 import multiprocessing
 import os
 import pickle
@@ -84,7 +85,7 @@ from repro.engine.vector.streaming import (
     aligned_chunk_rows,
     run_stream,
 )
-from repro.errors import ParameterError
+from repro.errors import ParameterError, StoreCorruptError
 
 #: Default chunk size for parallel dispatch — large enough that pickling
 #: a chunk's comparators is amortised over many assessments.
@@ -220,7 +221,7 @@ class EvaluationEngine:
         self._rows_computed = 0
         self.cache_file = Path(cache_file) if cache_file is not None else None
         if self.cache_file is not None and self.cache_file.exists():
-            self._store.load(self.cache_file)
+            self.load_cache(self.cache_file)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -265,8 +266,22 @@ class EvaluationEngine:
         return self._store.save(target)
 
     def load_cache(self, path: "str | Path") -> int:
-        """Merge a persisted store into this engine; returns entries read."""
-        return self._store.load(path)
+        """Merge a persisted store into this engine; returns entries read.
+
+        A truncated, corrupted, or format-incompatible cache file is
+        logged and skipped (returns 0) — the engine starts cold instead
+        of crashing, because a damaged cache only costs recomputation,
+        never correctness.  A missing file still raises
+        :class:`FileNotFoundError`.
+        """
+        try:
+            return self._store.load(path)
+        except StoreCorruptError as exc:
+            logging.getLogger(__name__).warning(
+                "discarding unusable cache file %s (starting cold): %s",
+                path, exc,
+            )
+            return 0
 
     def close(self) -> None:
         """Shut down the worker pools (if any were started).

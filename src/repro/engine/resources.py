@@ -26,13 +26,19 @@ _PROC = "/proc"
 
 
 def _vm_rss_kb(pid: int) -> int:
-    """``VmRSS`` of one process in kB (0 if gone or unreadable)."""
+    """``VmRSS`` of one process in kB (0 if gone or unreadable).
+
+    A process may exit between discovery and this read, leaving the
+    ``/proc/<pid>`` entry missing, unreadable, or garbled mid-write —
+    all of those count as "gone" (0), never an exception: a sampler
+    must not crash the workload it observes.
+    """
     try:
         with open(f"{_PROC}/{pid}/status", "rb") as handle:
             for line in handle:
                 if line.startswith(b"VmRSS:"):
                     return int(line.split()[1])
-    except OSError:
+    except (OSError, IndexError, ValueError):
         pass
     return 0
 

@@ -1,0 +1,217 @@
+"""Asyncio client for the batch serving protocol.
+
+:class:`ServeClient` speaks :mod:`~repro.engine.serve.protocol` against
+a :class:`~repro.engine.serve.server.BatchServer` and absorbs the
+transport-level chaos the server is allowed to inflict:
+
+* ``RETRY_AFTER`` backpressure frames are honoured — the client backs
+  off for the server's hint (scaled up per consecutive shed) and
+  resends, up to ``max_attempts``;
+* a truncated frame or dropped connection triggers reconnect-and-resend
+  — evaluation is pure, so replaying a request is always safe;
+* ``MSG_DEADLINE`` raises :class:`~repro.engine.serve.protocol.DeadlineError`
+  and ``MSG_ERROR`` raises :class:`~repro.engine.serve.protocol.RemoteError`
+  — server-side *decisions* are final, only transport faults retry.
+
+One client instance serialises its requests over one connection (the
+protocol allows pipelining; the client keeps the simple lockstep).  Run
+many instances for many concurrent clients — they are cheap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.scenario import Scenario
+from repro.engine.serve import protocol
+from repro.engine.serve.protocol import (
+    BackpressureError,
+    DeadlineError,
+    ProtocolError,
+    RemoteError,
+)
+from repro.engine.vector.columns import ScenarioBatch
+
+#: winners wire value 1 decodes to "asic", 0 to "fpga".
+_WINNER_NAMES = np.array(["fpga", "asic"])
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Decoded result columns of one served batch."""
+
+    ratios: np.ndarray
+    winners: np.ndarray
+    fpga_totals: np.ndarray
+    asic_totals: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.ratios.shape[0])
+
+
+class ServeClient:
+    """Lockstep request/response client with retry and backoff.
+
+    Args:
+        host / port: Server address.
+        max_attempts: Total send attempts per request across
+            backpressure sheds and transport faults.
+        connect_timeout_s: Bound on each (re)connect attempt.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        max_attempts: int = 10,
+        connect_timeout_s: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_attempts = max_attempts
+        self.connect_timeout_s = connect_timeout_s
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+        self._request_ids = 0
+        #: Transport faults absorbed (reconnect-and-resend events).
+        self.reconnects = 0
+        #: ``RETRY_AFTER`` backpressure frames honoured.
+        self.retries_after = 0
+
+    async def connect(self) -> None:
+        """Open (or reopen) the connection."""
+        await self._disconnect()
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port),
+            timeout=self.connect_timeout_s,
+        )
+
+    async def _disconnect(self) -> None:
+        writer, self._writer = self._writer, None
+        self._reader = None
+        if writer is not None:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    async def aclose(self) -> None:
+        """Close the connection (idempotent)."""
+        await self._disconnect()
+
+    async def __aenter__(self) -> "ServeClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+    # -- the one verb ---------------------------------------------------
+
+    async def evaluate(
+        self,
+        domain: str,
+        scenarios: "ScenarioBatch | Sequence[Scenario]",
+        *,
+        deadline_s: "float | None" = None,
+    ) -> ServeResult:
+        """Evaluate one scenario batch on the server.
+
+        Raises :class:`DeadlineError` when the server reports the
+        deadline expired, :class:`RemoteError` on a server-side
+        model/protocol error, :class:`BackpressureError` when
+        ``max_attempts`` sheds/faults are exhausted.
+        """
+        batch = (
+            scenarios
+            if isinstance(scenarios, ScenarioBatch)
+            else ScenarioBatch.from_scenarios(tuple(scenarios))
+        )
+        self._request_ids += 1
+        request_id = self._request_ids
+        deadline_ms = (
+            0 if deadline_s is None else max(1, int(deadline_s * 1000))
+        )
+        frame_bytes = protocol.encode_request(
+            request_id, domain, batch, deadline_ms=deadline_ms
+        )
+        shed_count = 0
+        last_fault: "Exception | None" = None
+        # Belt-and-braces liveness bound: the server answers expired
+        # requests with a deadline frame, but a server that died outright
+        # cannot — so a deadline-carrying request also times out locally
+        # (with slack for the server's grace period) instead of hanging.
+        attempt_timeout = None if deadline_s is None else deadline_s + 5.0
+        for _attempt in range(self.max_attempts):
+            try:
+                frame = await asyncio.wait_for(
+                    self._roundtrip(frame_bytes), timeout=attempt_timeout
+                )
+            except asyncio.TimeoutError as exc:
+                await self._disconnect()
+                raise DeadlineError(
+                    f"request {request_id} got no reply within "
+                    f"{attempt_timeout:.3f}s (server unreachable?)"
+                ) from exc
+            except (ProtocolError, ConnectionError, OSError) as exc:
+                # Transport fault (truncated frame, reset, refused):
+                # reconnect and replay — evaluation is pure.
+                self.reconnects += 1
+                last_fault = exc
+                await self._disconnect()
+                continue
+            if frame.request_id != request_id:
+                # A stale response from a previous incarnation of this
+                # connection; resynchronise by reconnecting.
+                self.reconnects += 1
+                await self._disconnect()
+                continue
+            if frame.type == protocol.MSG_RESPONSE:
+                ratios, winners_u8, fpga, asic = protocol.decode_response(
+                    frame.payload
+                )
+                return ServeResult(
+                    ratios=ratios,
+                    winners=_WINNER_NAMES[winners_u8.astype(np.intp)],
+                    fpga_totals=fpga,
+                    asic_totals=asic,
+                )
+            if frame.type == protocol.MSG_RETRY_AFTER:
+                self.retries_after += 1
+                shed_count += 1
+                hint = protocol.decode_retry_after(frame.payload)
+                await asyncio.sleep(hint * shed_count)
+                continue
+            if frame.type == protocol.MSG_DEADLINE:
+                raise DeadlineError(
+                    f"request {request_id} missed its deadline server-side"
+                )
+            if frame.type == protocol.MSG_ERROR:
+                raise RemoteError(protocol.decode_error(frame.payload))
+            raise ProtocolError(
+                f"unexpected response frame type {frame.type}"
+            )
+        raise BackpressureError(
+            f"request {request_id} still unserved after "
+            f"{self.max_attempts} attempts "
+            f"({shed_count} sheds, last fault: {last_fault!r})"
+        )
+
+    async def _roundtrip(self, frame_bytes: bytes) -> protocol.Frame:
+        """Send one frame, read one frame (connecting lazily)."""
+        if self._writer is None:
+            await self.connect()
+        assert self._writer is not None and self._reader is not None
+        self._writer.write(frame_bytes)
+        await self._writer.drain()
+        frame = await protocol.read_frame(self._reader)
+        if frame is None:
+            raise ProtocolError("server closed the connection mid-request")
+        return frame

@@ -138,10 +138,34 @@ class AsyncEvaluationEngine:
     def close(self) -> None:
         """Stop accepting work and release the dispatch pool.
 
-        Outstanding awaits should be completed first; the owned engine
-        (if any) is closed too.
+        Safe to call with requests still in flight — no awaiting client
+        is ever left hanging:
+
+        * requests still **queued** for a future flush round get a
+          :class:`~repro.errors.ParameterError` delivered to their
+          futures immediately;
+        * requests already **dispatched** to the worker pool finish
+          normally (the shutdown below waits for them) and receive
+          their results.
+
+        Idempotent: the first call wins, later calls are no-ops.  The
+        owned engine (if any) is closed too.
         """
+        if self._closed:
+            return
         self._closed = True
+        # Fail the queued-but-undispatched futures *before* blocking on
+        # the executor: their flush round will never run (the flusher
+        # sees an empty queue and exits), so an error now is the only
+        # alternative to a silent hang.
+        pending, self._pending = self._pending, []
+        for request in pending:
+            if not request.future.done():
+                request.future.set_exception(
+                    ParameterError(
+                        "AsyncEvaluationEngine closed with requests in flight"
+                    )
+                )
         self._executor.shutdown(wait=True)
         if self._owns_engine:
             self._engine.close()

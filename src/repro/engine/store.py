@@ -61,7 +61,7 @@ from repro.engine.vector import (
     VectorizedEvaluator,
 )
 from repro.engine.vector.kernels import chip_generations
-from repro.errors import ParameterError
+from repro.errors import ParameterError, StoreCorruptError
 
 # ----------------------------------------------------------------------
 # Canonical keys (moved here from engine.py so digests and tuple keys
@@ -824,23 +824,43 @@ class ShardedResultStore:
         Entries are re-sharded on insert, so the saving process may have
         used a different shard count.  Returns the number of entries
         read; counters are untouched (loading is not a lookup).
+
+        Raises :class:`~repro.errors.StoreCorruptError` when the file is
+        truncated, corrupted, or written in an incompatible format —
+        anything short of a clean, version-matched dump.  A missing file
+        still raises :class:`FileNotFoundError` (absence is a different
+        condition from damage, and callers branch on it).
         """
-        with np.load(Path(path)) as data:
-            meta = data["meta"]
-            if (
-                int(meta[0]) != STORE_FORMAT_VERSION
-                or int(meta[1]) != FLOAT_COLS
-                or int(meta[2]) != INT_COLS
-            ):
-                raise ParameterError(
-                    f"incompatible cache file {path}: "
-                    f"format {meta.tolist()} != "
-                    f"{[STORE_FORMAT_VERSION, FLOAT_COLS, INT_COLS]}"
+        path = Path(path)
+        try:
+            with np.load(path) as data:
+                meta = data["meta"]
+                if (
+                    meta.shape != (3,)
+                    or int(meta[0]) != STORE_FORMAT_VERSION
+                    or int(meta[1]) != FLOAT_COLS
+                    or int(meta[2]) != INT_COLS
+                ):
+                    raise StoreCorruptError(
+                        f"incompatible cache file {path}: "
+                        f"format {meta.tolist()} != "
+                        f"{[STORE_FORMAT_VERSION, FLOAT_COLS, INT_COLS]}"
+                    )
+                lo = data["lo"]
+                hi = data["hi"]
+                floats = data["floats"]
+                ints = data["ints"]
+            if not (lo.size == hi.size == floats.shape[0] == ints.shape[0]):
+                raise StoreCorruptError(
+                    f"inconsistent cache file {path}: column lengths "
+                    f"{[lo.size, hi.size, floats.shape[0], ints.shape[0]]}"
                 )
-            lo = data["lo"]
-            hi = data["hi"]
-            floats = data["floats"]
-            ints = data["ints"]
+        except (FileNotFoundError, StoreCorruptError):
+            raise
+        except Exception as exc:  # noqa: BLE001 - any decode failure of an untrusted on-disk cache (bad zip, truncated member, pickle refusal, wrong keys) means "corrupt"; re-raised typed
+            raise StoreCorruptError(
+                f"cannot read cache file {path}: {exc!r}"
+            ) from exc
         self.put_batch(
             lo.astype(np.uint64),
             hi.astype(np.uint64),

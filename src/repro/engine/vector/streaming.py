@@ -42,14 +42,18 @@ alignment), each worker loops its span chunk-by-chunk into a fresh
 reduction, and the parent merges the per-worker partials in span order.
 The reducers' mergeable-partials contract makes the merged result
 bit-identical to a sequential run for any chunk size and worker count.
-Pool infrastructure failures (unpicklable sources, broken workers)
-fall back to the sequential path — results never change, only speed.
+Pool infrastructure failures degrade, never corrupt: an unpicklable
+source streams sequentially, and a worker process dying mid-run costs
+only an in-process recompute of the spans it lost (completed partials
+are kept; the event is counted in :data:`STREAM_STATS`) — results
+never change, only speed.
 """
 
 from __future__ import annotations
 
 import math
 import pickle
+import threading
 from concurrent.futures import BrokenExecutor, Executor
 from multiprocessing import shared_memory
 
@@ -73,6 +77,46 @@ MAX_STREAM_WORKERS = 8
 
 #: One evaluator per process: stateless, shared by every span worker.
 _EVALUATOR = VectorizedEvaluator()
+
+
+class StreamStats:
+    """Process-wide counters for streaming fault recovery.
+
+    ``run_stream`` increments these when a worker process dies mid-span
+    and the parent recomputes the lost spans in-process.  They exist so
+    operators (and the regression tests) can observe that the recovery
+    path fired — the *results* are bit-identical either way, which is
+    exactly why a counter is the only externally visible trace.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.broken_pool_recoveries = 0
+        self.spans_recovered = 0
+
+    def note_recovery(self, spans: int) -> None:
+        """Record one broken-pool event that recovered ``spans`` spans."""
+        with self._lock:
+            self.broken_pool_recoveries += 1
+            self.spans_recovered += spans
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy the counters (for reports and assertions)."""
+        with self._lock:
+            return {
+                "broken_pool_recoveries": self.broken_pool_recoveries,
+                "spans_recovered": self.spans_recovered,
+            }
+
+    def reset(self) -> None:
+        """Zero the counters (test isolation)."""
+        with self._lock:
+            self.broken_pool_recoveries = 0
+            self.spans_recovered = 0
+
+
+#: Module-level recovery counters for this process's ``run_stream`` calls.
+STREAM_STATS = StreamStats()
 
 
 def aligned_chunk_rows(chunk_rows: "int | None", alignment: int, n: int) -> int:
@@ -329,6 +373,7 @@ def _reduce_span(
     start: int,
     stop: int,
     chunk_rows: int,
+    close_source: bool = True,
 ) -> StreamingReduction:
     """Worker body: fold one contiguous row span, chunk by chunk.
 
@@ -338,6 +383,13 @@ def _reduce_span(
     mapping until process exit.  ``close()`` is idempotent and only the
     packing process unlinks, so the parent-side sequential path may run
     through here too.
+
+    ``close_source=False`` is the parent-side *recovery* spelling: when
+    ``run_stream`` recomputes a dead worker's span in-process it must
+    not close the parent's own source between spans — for an owning
+    shared-memory source that close would unlink the segment out from
+    under the remaining spans.  The caller's ``finally`` closes it once
+    at the end instead.
     """
     try:
         for s in range(start, stop, chunk_rows):
@@ -349,7 +401,7 @@ def _reduce_span(
             del params, batch
     finally:
         close = getattr(source, "close", None)
-        if close is not None:
+        if close is not None and close_source:
             close()
     return reduction
 
@@ -382,10 +434,17 @@ def run_stream(
     Returns a **new** reduction (the caller's ``reduction`` is only a
     prototype).  With ``workers > 1`` and a ``pool``, one span task per
     worker runs :func:`_reduce_span` over its own fresh partial and the
-    parent merges the partials in span order; infrastructure failures
-    (unpicklable sources/reducers, broken pools) retry sequentially
-    from scratch, so results never depend on the pool.  Model errors
-    raised by the kernels propagate unchanged.
+    parent merges the partials in span order.
+
+    Fault tolerance: a worker process dying mid-span (OOM kill, crash,
+    SIGKILL) breaks the pool and fails every unfinished span future —
+    but completed partials are already in hand, and partials are
+    mergeable, so the parent recomputes **only the lost spans**
+    in-process and merges as usual.  The merged result stays
+    bit-identical to the fault-free run by the reducer contract; the
+    event is counted in :data:`STREAM_STATS`.  A pool that is already
+    broken at submit time degrades to the fully sequential path.
+    Model errors raised by the kernels propagate unchanged.
     """
     n = int(source.n)
     if n < 1:
@@ -393,30 +452,45 @@ def run_stream(
     chunk = aligned_chunk_rows(chunk_rows, reduction.alignment, n)
     spans = _spans(n, chunk, workers if pool is not None else 1)
     if len(spans) > 1 and _picklable(source, reduction):
-        futures = []
         try:
-            # submit() itself raises BrokenExecutor on a pool whose
-            # workers already died, so it lives inside the fallback too.
             futures = [
                 pool.submit(_reduce_span, source, reduction.fresh(), start,
                             stop, chunk)
                 for start, stop in spans
             ]
-            parts = [future.result() for future in futures]
         except BrokenExecutor:
-            # A killed/failed worker process: discard the parallel
-            # attempt and stream sequentially — bit-identical by the
-            # reducer contract.
-            for future in futures:
-                future.cancel()
-        except BaseException:
-            # A model error from one span: cancel unstarted siblings so
-            # the (cached, reused) pool is not left grinding through a
-            # doomed run's remaining spans, then propagate unchanged.
-            for future in futures:
-                future.cancel()
-            raise
+            # The pool's workers were already dead before this run
+            # started: nothing was dispatched, stream sequentially.
+            futures = []
         else:
+            parts: "list[StreamingReduction | None]" = [None] * len(spans)
+            lost: list[int] = []
+            try:
+                for index, future in enumerate(futures):
+                    try:
+                        parts[index] = future.result()
+                    except BrokenExecutor:
+                        # This span's worker died (or the broken pool
+                        # failed the span before it started).  Completed
+                        # siblings keep their partials; recompute just
+                        # this span in the parent, without closing the
+                        # parent's source between spans.
+                        lost.append(index)
+                        start, stop = spans[index]
+                        parts[index] = _reduce_span(
+                            source, reduction.fresh(), start, stop, chunk,
+                            close_source=False,
+                        )
+            except BaseException:
+                # A model error from one span: cancel unstarted siblings
+                # so the (cached, reused) pool is not left grinding
+                # through a doomed run's remaining spans, then propagate
+                # unchanged.
+                for future in futures:
+                    future.cancel()
+                raise
+            if lost:
+                STREAM_STATS.note_recovery(len(lost))
             merged = reduction.fresh()
             for part in parts:
                 merged.merge(part)

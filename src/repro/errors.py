@@ -15,6 +15,22 @@ class ConfigError(GreenFpgaError, ValueError):
     """A configuration file or parameter set could not be interpreted."""
 
 
+class StoreCorruptError(ParameterError):
+    """A persisted result-store file is unusable: truncated, corrupted,
+    or written in an incompatible format version.
+
+    Subclasses :class:`ParameterError` for backward compatibility with
+    callers that treated a format mismatch as a parameter problem;
+    engines catch this specifically to log-and-start-cold instead of
+    crashing (a stale cache is a performance artefact, never ground
+    truth).
+    """
+
+
+class ServeError(GreenFpgaError, RuntimeError):
+    """Base class for network-serving failures (protocol, workers)."""
+
+
 class UnknownEntityError(GreenFpgaError, KeyError):
     """A registry lookup (node, grid region, device, material) failed."""
 

@@ -1,0 +1,140 @@
+"""Tests for /proc-based process-tree RSS measurement.
+
+The sampler's contract is *never crash the workload it observes*: a
+process can exit between directory listing and the ``status`` read, a
+``status`` file can be garbled mid-write, ``/proc`` itself can be
+absent (non-Linux).  These tests drive all of those through a fake proc
+directory (monkeypatched ``_PROC``) so every race is deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.engine import resources
+from repro.engine.resources import (
+    PeakRssSampler,
+    _parent_map,
+    _vm_rss_kb,
+    process_tree_pids,
+    process_tree_rss_mb,
+)
+
+
+def _add_proc(root: Path, pid: int, ppid: int, rss_kb: "int | None") -> None:
+    """One fake /proc/<pid> entry with stat (ppid) and optional status."""
+    entry = root / str(pid)
+    entry.mkdir()
+    # comm contains parens+spaces on purpose: ppid parsing must split
+    # after the *last* ')'.
+    (entry / "stat").write_bytes(
+        f"{pid} (fake (proc) worker) S {ppid} 0 0".encode()
+    )
+    if rss_kb is not None:
+        (entry / "status").write_bytes(
+            f"Name:\tfake\nVmRSS:\t{rss_kb} kB\nThreads:\t1\n".encode()
+        )
+
+
+@pytest.fixture
+def fake_proc(tmp_path, monkeypatch):
+    """A fake proc tree rooted at the real pid: self + two children."""
+    me = os.getpid()
+    _add_proc(tmp_path, me, 1, 2048)
+    _add_proc(tmp_path, 900_001, me, 1024)
+    _add_proc(tmp_path, 900_002, me, 512)
+    monkeypatch.setattr(resources, "_PROC", str(tmp_path))
+    return tmp_path
+
+
+def test_vm_rss_reads_fake_status(fake_proc):
+    assert _vm_rss_kb(os.getpid()) == 2048
+    assert _vm_rss_kb(900_001) == 1024
+
+
+def test_vm_rss_vanished_pid_is_zero(fake_proc):
+    """The entry disappearing between discovery and read reads as 0."""
+    assert _vm_rss_kb(123_456_789) == 0
+
+
+def test_vm_rss_garbled_status_is_zero(fake_proc):
+    """A status file caught mid-write (short or non-numeric VmRSS line)
+    counts as gone, never an exception."""
+    (fake_proc / "900001" / "status").write_bytes(b"VmRSS:\n")
+    assert _vm_rss_kb(900_001) == 0
+    (fake_proc / "900001" / "status").write_bytes(b"VmRSS:\tnot-a-number kB\n")
+    assert _vm_rss_kb(900_001) == 0
+
+
+def test_vm_rss_status_missing_but_dir_present_is_zero(fake_proc):
+    """A zombie-ish entry: stat listed the pid, status already gone."""
+    (fake_proc / "900002" / "status").unlink()
+    assert _vm_rss_kb(900_002) == 0
+    # The tree sum still works, counting the corpse as 0.
+    assert process_tree_rss_mb() == pytest.approx((2048 + 1024) / 1024.0)
+
+
+def test_parent_map_skips_corrupt_and_foreign_entries(fake_proc):
+    (fake_proc / "900003").mkdir()
+    (fake_proc / "900003" / "stat").write_bytes(b"garbage with no parens")
+    (fake_proc / "not-a-pid").mkdir()  # non-numeric /proc entries exist
+    parents = _parent_map()
+    assert parents[900_001] == os.getpid()
+    assert parents[900_002] == os.getpid()
+    assert 900_003 not in parents
+
+
+def test_process_tree_includes_descendants(fake_proc):
+    _add_proc(fake_proc, 900_010, 900_001, 256)  # grandchild
+    pids = process_tree_pids()
+    assert set(pids) == {os.getpid(), 900_001, 900_002, 900_010}
+
+
+def test_process_tree_rss_sums_megabytes(fake_proc):
+    assert process_tree_rss_mb() == pytest.approx(
+        (2048 + 1024 + 512) / 1024.0
+    )
+
+
+def test_proc_absent_degrades_to_zero(tmp_path, monkeypatch):
+    """No /proc at all (non-Linux): empty map, zero RSS, no exception."""
+    monkeypatch.setattr(resources, "_PROC", str(tmp_path / "nope"))
+    assert _parent_map() == {}
+    assert process_tree_pids() == [os.getpid()]
+    assert process_tree_rss_mb() == 0.0
+    with PeakRssSampler(interval_s=0.01) as sampler:
+        pass
+    assert sampler.peak_mb == 0.0
+
+
+def test_peak_sampler_tracks_fake_tree_peak(fake_proc):
+    import shutil
+    import time
+
+    with PeakRssSampler(interval_s=0.005) as sampler:
+        # A short-lived memory spike: new child appears...
+        _add_proc(fake_proc, 900_020, os.getpid(), 8192)
+        time.sleep(0.05)
+        # ...then dies mid-phase — its directory vanishes while the
+        # sampler thread may be iterating; the sampler must neither
+        # crash nor forget the peak it saw.
+        shutil.rmtree(fake_proc / "900020")
+        time.sleep(0.03)
+    spike = (2048 + 1024 + 512 + 8192) / 1024.0
+    rest = (2048 + 1024 + 512) / 1024.0
+    assert sampler.peak_mb == pytest.approx(spike)
+    assert process_tree_rss_mb() == pytest.approx(rest)
+
+
+def test_peak_sampler_reusable_and_monotonic_within_phase(fake_proc):
+    sampler = PeakRssSampler(interval_s=0.005)
+    with sampler:
+        pass
+    first = sampler.peak_mb
+    assert first > 0.0
+    with sampler:  # reuse resets the peak for the new phase
+        pass
+    assert sampler.peak_mb == pytest.approx(first)

@@ -330,6 +330,106 @@ def test_adaptive_window_still_fuses_concurrent_bursts(dnn_comparator):
 
 
 # ----------------------------------------------------------------------
+# close() with requests in flight
+# ----------------------------------------------------------------------
+
+
+def test_close_with_queued_requests_fails_every_future_without_hang(
+    dnn_comparator,
+):
+    """Closing while requests sit in a held batching window must deliver
+    an error to every queued future immediately — the flush round that
+    would have answered them will never run."""
+
+    async def main():
+        served = AsyncEvaluationEngine(
+            batch_window_s=60.0, adaptive_window=False, eager_single=False
+        )
+        tasks = [
+            asyncio.create_task(
+                served.sweep_batch(dnn_comparator, BASE, "num_apps", [1, 2, 3])
+            )
+            for _ in range(4)
+        ]
+        # Let every submitter enqueue; the 60 s window now holds them.
+        await asyncio.sleep(0.05)
+        served.close()
+        outcomes = await asyncio.wait_for(
+            asyncio.gather(*tasks, return_exceptions=True), timeout=5.0
+        )
+        return outcomes, served.requests_served
+
+    outcomes, requests_served = asyncio.run(main())
+    assert len(outcomes) == 4
+    for outcome in outcomes:
+        assert isinstance(outcome, ParameterError)
+        assert "closed with requests in flight" in str(outcome)
+    assert requests_served == 0
+
+
+def test_close_is_idempotent_with_requests_in_flight(dnn_comparator):
+    """Double (and post-use) close must be a no-op, not a double error
+    delivery or a crash on the already-shut executor."""
+
+    async def main():
+        served = AsyncEvaluationEngine(
+            batch_window_s=60.0, adaptive_window=False, eager_single=False
+        )
+        task = asyncio.create_task(
+            served.sweep_batch(dnn_comparator, BASE, "num_apps", [1])
+        )
+        await asyncio.sleep(0.05)
+        served.close()
+        served.close()
+        with pytest.raises(ParameterError):
+            await asyncio.wait_for(task, timeout=5.0)
+        served.close()
+        # And new work is refused cleanly after close.
+        with pytest.raises(ParameterError, match="closed"):
+            await served.evaluate_batch(dnn_comparator, (BASE,))
+
+    asyncio.run(main())
+
+
+def test_close_waits_for_dispatched_requests_and_delivers_results(
+    dnn_comparator,
+):
+    """A request already *dispatched* to the worker pool when close()
+    lands must complete and deliver its result — only queued-undispatched
+    requests are failed.  The engine wrapper below gates the dispatch so
+    the test deterministically closes mid-flight."""
+    engine = EvaluationEngine()
+    started = threading.Event()
+    release = threading.Event()
+    real_evaluate_batch = engine.evaluate_batch
+
+    def gated_evaluate_batch(comparator, batch):
+        started.set()
+        assert release.wait(timeout=10.0)
+        return real_evaluate_batch(comparator, batch)
+
+    engine.evaluate_batch = gated_evaluate_batch
+
+    async def main():
+        served = AsyncEvaluationEngine(engine, batch_window_s=0.0)
+        task = asyncio.create_task(
+            served.sweep_batch(dnn_comparator, BASE, "num_apps", [1, 2, 3])
+        )
+        # Wait (off-loop) until the request is provably on the worker
+        # pool — it is no longer queued, so close() must not fail it.
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, started.wait)
+        release.set()
+        served.close()  # shutdown(wait=True) joins the in-flight dispatch
+        return await asyncio.wait_for(task, timeout=5.0)
+
+    result = asyncio.run(main())
+    sync = sweep_batch(dnn_comparator, BASE, "num_apps", [1, 2, 3],
+                       engine=EvaluationEngine())
+    np.testing.assert_array_equal(result.ratios, sync.ratios)
+
+
+# ----------------------------------------------------------------------
 # Engine concurrency: shared singletons hammered from threads
 # ----------------------------------------------------------------------
 

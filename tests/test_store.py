@@ -27,7 +27,7 @@ from repro.engine.store import (
     materialise_comparison,
     pack_comparison,
 )
-from repro.errors import ParameterError
+from repro.errors import ParameterError, StoreCorruptError
 
 
 # ----------------------------------------------------------------------
@@ -322,8 +322,96 @@ def test_store_load_rejects_incompatible_format(tmp_path):
             floats=np.empty((0, FLOAT_COLS)),
             ints=np.empty((0, INT_COLS), np.int64),
         )
+    # Typed as StoreCorruptError, which subclasses ParameterError so
+    # pre-existing callers catching the base keep working.
+    with pytest.raises(StoreCorruptError):
+        ShardedResultStore().load(path)
     with pytest.raises(ParameterError):
         ShardedResultStore().load(path)
+
+
+def _saved_store_path(tmp_path, n_rows: int = 16):
+    store = ShardedResultStore(capacity=64, shards=4)
+    lo, hi, floats, ints = _rows(range(n_rows))
+    store.put_batch(lo, hi, floats, ints)
+    return store.save(tmp_path / "warmth.npz")
+
+
+def test_store_load_byte_truncated_file_raises_typed_error(tmp_path):
+    """A partially written dump (killed mid-save, full disk) must raise
+    the typed corruption error at every truncation point, never a bare
+    zipfile/OSError and never silently load garbage rows."""
+    path = _saved_store_path(tmp_path)
+    blob = path.read_bytes()
+    for keep in (len(blob) // 2, len(blob) - 7, 3):
+        truncated = tmp_path / f"truncated-{keep}.npz"
+        truncated.write_bytes(blob[:keep])
+        with pytest.raises(StoreCorruptError):
+            ShardedResultStore().load(truncated)
+
+
+def test_store_load_flipped_bytes_raise_or_load_consistently(tmp_path):
+    """Random byte corruption inside the zip payload must either raise
+    the typed error (CRC/decode failure) or — if the flip lands in
+    payload numpy data that still decodes — load *consistent* columns.
+    It must never escape as an untyped zipfile/ValueError crash."""
+    from repro.engine.serve.faults import FaultPlan
+
+    path = _saved_store_path(tmp_path)
+    FaultPlan(seed=11).corrupt_file(path, flips=64)
+    store = ShardedResultStore()
+    try:
+        loaded = store.load(path)
+    except StoreCorruptError:
+        return
+    assert 0 <= loaded <= store.stats().size
+
+
+def test_store_load_missing_file_stays_file_not_found(tmp_path):
+    """ENOENT is not corruption — callers distinguish 'no warmth yet'
+    (fine, first run) from 'warmth damaged' (log loudly)."""
+    with pytest.raises(FileNotFoundError):
+        ShardedResultStore().load(tmp_path / "never-saved.npz")
+
+
+def test_store_load_row_length_mismatch_raises(tmp_path):
+    path = tmp_path / "ragged.npz"
+    with path.open("wb") as handle:
+        np.savez_compressed(
+            handle,
+            meta=np.array([1, FLOAT_COLS, INT_COLS], dtype=np.int64),
+            lo=np.arange(4, dtype=np.uint64),
+            hi=np.arange(4, dtype=np.uint64),
+            floats=np.zeros((3, FLOAT_COLS)),  # 3 rows vs 4 keys
+            ints=np.zeros((4, INT_COLS), np.int64),
+        )
+    with pytest.raises(StoreCorruptError):
+        ShardedResultStore().load(path)
+
+
+def test_engine_load_cache_corrupt_file_starts_cold(
+    tmp_path, dnn_comparator, caplog
+):
+    """Engine-level contract: a damaged ``.npz`` warms nothing, logs a
+    warning, and the engine still evaluates correctly from cold."""
+    import logging
+
+    path = _saved_store_path(tmp_path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+
+    with caplog.at_level(logging.WARNING, logger="repro.engine.engine"):
+        engine = EvaluationEngine(cache_file=path)  # must not raise
+    assert any("starting cold" in rec.message for rec in caplog.records)
+    assert engine.cache_stats.size == 0
+
+    scenario = Scenario(num_apps=3, app_lifetime_years=1.5, volume=10_000)
+    assert engine.evaluate(dnn_comparator, scenario) == (
+        dnn_comparator.compare(scenario)
+    )
+    # And saving over the corpse heals it for the next process.
+    engine.save_cache(path)
+    assert ShardedResultStore().load(path) >= 1
 
 
 # ----------------------------------------------------------------------

@@ -617,6 +617,77 @@ def test_broken_stream_pool_degrades_then_recovers(comparator):
         assert fresh is not pool and not fresh._broken
 
 
+class _KamikazeChunkSource:
+    """Chunk-source wrapper that SIGKILLs the worker asked for one span.
+
+    Module-level so spawn can pickle it to the pool workers.  The
+    parent-pid guard matters twice: the parent's own sequential
+    *recovery* pass replays the same ``chunk(kill_start, ...)`` call and
+    must survive it, and the probe pickle in ``run_stream`` must not
+    detonate anything.  SIGKILL (not an exception, not ``sys.exit``) is
+    the point — the worker gets no chance to answer, exactly like an
+    OOM kill.
+    """
+
+    def __init__(self, inner, kill_start: int, parent_pid: int) -> None:
+        self.inner = inner
+        self.n = inner.n
+        self.kill_start = kill_start
+        self.parent_pid = parent_pid
+
+    def chunk(self, start: int, stop: int):
+        import os
+        import signal
+
+        if start == self.kill_start and os.getpid() != self.parent_pid:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return self.inner.chunk(start, stop)
+
+
+def test_run_stream_recovers_sigkilled_worker_bit_identically(comparator):
+    """A worker dying mid-span must cost a recompute, never a result.
+
+    Regression for the streaming fault-recovery path: SIGKILL one pool
+    worker at the first chunk of its span, assert the merged reduction
+    is bit-identical to the sequential run and that the recovery
+    counters fired.
+    """
+    import os
+
+    from repro.engine.vector.streaming import STREAM_STATS
+
+    dists = tuple(table1_distributions())
+    n, chunk = 8192, 1024
+    inner = MonteCarloChunkSource(
+        np.asarray(extract_row(comparator)), dists, 2024, BASELINE, n
+    )
+    prototype = monte_carlo_reduction(seed=2024, quantile_k=n, block=512)
+    sequential = run_stream(
+        inner, prototype.fresh(), chunk_rows=chunk, workers=1
+    )
+
+    # Spans for n=8192 / chunk=1024 / 2 workers: [0,4096) and
+    # [4096,8192) — kill the worker that picks up the second span.
+    killer = _KamikazeChunkSource(inner, 4096, os.getpid())
+    before = STREAM_STATS.snapshot()
+    with EvaluationEngine(cache_size=0, workers=2) as eng:
+        recovered = run_stream(
+            killer, prototype.fresh(), chunk_rows=chunk, workers=2,
+            pool=eng._stream_pool_get(2),
+        )
+    after = STREAM_STATS.snapshot()
+
+    assert after["broken_pool_recoveries"] == (
+        before["broken_pool_recoveries"] + 1
+    )
+    assert after["spans_recovered"] >= before["spans_recovered"] + 1
+    assert recovered["moments"].moments() == sequential["moments"].moments()
+    assert recovered["wins"].fpga_wins == sequential["wins"].fpga_wins
+    np.testing.assert_array_equal(
+        recovered["quantiles"].sample(), sequential["quantiles"].sample()
+    )
+
+
 def test_engine_close_is_idempotent_under_concurrent_callers(comparator):
     eng = EvaluationEngine(cache_size=0, workers=2)
     # start both pools so close() has real work to race over
