@@ -23,6 +23,10 @@
 # concurrent clients, cold vs persisted-warm store) and gates >= 4x
 # aggregate throughput for coalesced concurrent clients over windowed
 # serialized dispatch plus near-eager latency for the adaptive window.
+# The durable-execution gates: the kill-and-resume chaos suite
+# (SIGKILLed streaming Monte-Carlo resumed to bit-identical results)
+# and the checkpoint_stream workload's <= 5% overhead budget over the
+# fault-free stream.
 # Both benches emit JSON trajectories (benchmarks/BENCH_engine.json,
 # benchmarks/BENCH_serving.json), which this script surfaces and then
 # diffs against the committed anchors in benchmarks/baselines/ via
@@ -51,7 +55,7 @@ echo
 echo "== tier-1: unit + integration tests =="
 python -m pytest tests -x -q \
     --ignore=tests/test_service.py --ignore=tests/test_store.py \
-    --ignore=tests/test_serve_chaos.py
+    --ignore=tests/test_serve_chaos.py --ignore=tests/test_checkpoint.py
 
 echo
 echo "== async serving + store test suite =="
@@ -64,6 +68,14 @@ echo "== serving chaos suite (quick fault-injection scale) =="
 # cache shards.  CHAOS_QUICK scales request counts down; the
 # bit-identity and bounded-latency invariants asserted are identical.
 CHAOS_QUICK=1 python -m pytest tests/test_serve_chaos.py -x -q
+
+echo
+echo "== durable-execution chaos suite (kill-and-resume, quick scale) =="
+# Crash-resumable streaming: reducer state round-trips, atomic journal
+# persistence, and a streaming Monte-Carlo SIGKILLed mid-run (real
+# process, seeded kill schedule) resumed to bit-identical results.
+# CHAOS_QUICK scales the SIGKILL study to 1M draws (4M at full scale).
+CHAOS_QUICK=1 python -m pytest tests/test_checkpoint.py -x -q
 
 echo
 echo "== engine benchmarks (smoke) =="

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -20,6 +21,7 @@ from repro.engine import EvaluationEngine, resolve_engine
 from repro.engine.vector import (
     DEFAULT_RESERVOIR_K,
     REDUCE_BLOCK,
+    Checkpoint,
     HistogramReducer,
     MomentsReducer,
     MonteCarloChunkSource,
@@ -578,6 +580,7 @@ def monte_carlo_batch(
     reduce: "StreamingReduction | bool | None" = None,
     chunk_rows: "int | None" = None,
     workers: "int | None" = None,
+    checkpoint: "Checkpoint | None" = None,
     allow_unseeded: bool = False,
 ) -> "MonteCarloResult | StreamingMonteCarloResult":
     """Array-land :func:`monte_carlo`: the draws run as one kernel batch.
@@ -617,12 +620,23 @@ def monte_carlo_batch(
     a kernel-covered scenario, ``vectorize=True``); anything else
     raises rather than silently materialising a 100M-row batch.
 
+    ``checkpoint=`` (a :class:`~repro.engine.vector.Checkpoint`, only
+    valid with ``reduce=``) makes the streamed study durable: merged
+    reducer partials persist atomically on the configured cadence, and
+    rerunning the same seeded study against the same checkpoint path
+    resumes from the completed units — the final summary is
+    bit-identical to an uninterrupted run.
+
     ``seed=None`` requires the explicit ``allow_unseeded=True`` opt-in
     (see :func:`monte_carlo`).
     """
     seed = _resolve_seed(seed, allow_unseeded)
     eng = resolve_engine(engine)
     columnar = _columnar_study(eng, scenario, distributions)
+    if checkpoint is not None and (reduce is None or reduce is False):
+        raise ParameterError(
+            "checkpoint= requires the streaming path (pass reduce=)"
+        )
     if reduce is not None and reduce is not False:
         if not columnar:
             raise ParameterError(
@@ -648,7 +662,8 @@ def monte_carlo_batch(
             tuple(distributions), seed, scenario, n_samples,
         )
         merged = eng.reduce_stream(
-            source, reduction, chunk_rows=chunk_rows, workers=workers
+            source, reduction, chunk_rows=chunk_rows, workers=workers,
+            checkpoint=checkpoint,
         )
         return StreamingMonteCarloResult.from_reduction(merged)
     if not columnar:
@@ -689,6 +704,8 @@ def monte_carlo_stream(
     chunk_rows: "int | None" = None,
     workers: "int | None" = None,
     quantile_k: int = DEFAULT_RESERVOIR_K,
+    checkpoint: "Checkpoint | Path | str | None" = None,
+    checkpoint_every: "int | None" = None,
     allow_unseeded: bool = False,
 ) -> StreamingMonteCarloResult:
     """Out-of-core :func:`monte_carlo_batch`: bounded memory at any scale.
@@ -700,12 +717,23 @@ def monte_carlo_stream(
     :class:`StreamingMonteCarloResult` for the fidelity contract
     against the materialized path.
 
+    ``checkpoint=`` accepts a ready
+    :class:`~repro.engine.vector.Checkpoint` or a bare path (with
+    ``checkpoint_every`` rows per durable unit); a SIGKILLed run rerun
+    with the same arguments resumes from the checkpoint and finishes to
+    the exact uninterrupted summary.
+
     ``seed=None`` requires the explicit ``allow_unseeded=True`` opt-in
     (see :func:`monte_carlo`).
     """
     seed = _resolve_seed(seed, allow_unseeded)
+    if checkpoint is not None and not isinstance(checkpoint, Checkpoint):
+        checkpoint = Checkpoint(Path(checkpoint), every_rows=checkpoint_every)
+    elif checkpoint is None and checkpoint_every is not None:
+        raise ParameterError("checkpoint_every requires checkpoint=")
     return monte_carlo_batch(
         comparator, scenario, distributions, n_samples=n_samples, seed=seed,
         engine=engine, chunk_rows=chunk_rows, workers=workers,
         reduce=monte_carlo_reduction(seed=seed, quantile_k=quantile_k),
+        checkpoint=checkpoint,
     )

@@ -7,6 +7,7 @@ registry the CLI and :func:`repro.audit.linter.run_lint` use.
 
 from __future__ import annotations
 
+from repro.audit.checks.checkpoint import CheckpointContractChecker
 from repro.audit.checks.coverage import CoverageChecker
 from repro.audit.checks.exceptions import ExceptionHygieneChecker
 from repro.audit.checks.floatsum import FloatAccumulationChecker
@@ -15,6 +16,7 @@ from repro.audit.checks.sharedmem import SharedMemoryChecker
 from repro.audit.checks.spawn import SpawnSafetyChecker
 
 __all__ = [
+    "CheckpointContractChecker",
     "CoverageChecker",
     "ExceptionHygieneChecker",
     "FloatAccumulationChecker",
@@ -34,4 +36,5 @@ def all_checkers():
         SharedMemoryChecker(),
         FloatAccumulationChecker(),
         ExceptionHygieneChecker(),
+        CheckpointContractChecker(),
     )

@@ -1,0 +1,75 @@
+"""GF-CKPT — durable-reducer state contract.
+
+Crash-resumable streaming (:mod:`repro.engine.vector.checkpoint`) can
+only persist what reducers can serialise: every streaming reducer must
+implement the packed-array state contract — ``to_state()`` /
+``from_state()`` — or a checkpointed job silently loses that reducer's
+partials on resume.
+
+This checker duck-types the contract the same way the engine does: any
+non-test class that defines *all* of ``update``, ``merge`` and
+``fresh`` (the mergeable-partials protocol of
+:class:`repro.engine.vector.reducers.StreamingReducer`) must also
+define both ``to_state`` and ``from_state``.  Matching on shape rather
+than on inheritance means a reducer added anywhere in the tree — the
+protocol is structural, nothing subclasses — cannot dodge the rule by
+simply not importing the protocol.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.audit.linter import Checker, Finding, ModuleInfo
+
+#: Method names that identify a class as a streaming reducer.
+REDUCER_METHODS = frozenset({"update", "merge", "fresh"})
+
+#: Method names the durability contract additionally requires.
+STATE_METHODS = frozenset({"to_state", "from_state"})
+
+
+def _method_names(node: ast.ClassDef) -> frozenset[str]:
+    """Names of functions defined directly in the class body."""
+    return frozenset(
+        item.name
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+
+
+class CheckpointContractChecker(Checker):
+    """Require to_state/from_state on every streaming-reducer class."""
+
+    id = "GF-CKPT"
+    summary = (
+        "durable-reducer contract (update/merge/fresh classes must also "
+        "define to_state/from_state)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        if module.is_test:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            defined = _method_names(node)
+            if not REDUCER_METHODS <= defined:
+                continue
+            missing = sorted(STATE_METHODS - defined)
+            if not missing:
+                continue
+            yield Finding(
+                check=self.id,
+                path=module.relpath,
+                line=node.lineno,
+                symbol=node.name,
+                message=(
+                    f"streaming reducer {node.name!r} (defines "
+                    "update/merge/fresh) is missing "
+                    f"{'/'.join(missing)} — without the state contract "
+                    "it cannot be checkpointed and a resumed job loses "
+                    "its partials"
+                ),
+            )

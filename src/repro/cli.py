@@ -123,6 +123,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     mc.add_argument("--mc-workers", type=int, default=None, metavar="N",
                     help="streaming worker processes (default: all cores)")
+    mc.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help=(
+            "durable execution: atomically journal merged reducer "
+            "partials to PATH and resume a killed run from it "
+            "(bit-identical to an uninterrupted run; requires --stream)"
+        ),
+    )
+    mc.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help=(
+            "rows per durable checkpoint unit (default: ~1/64th of the "
+            "draws, flushed on a 5 s cadence; requires --checkpoint)"
+        ),
+    )
 
     serve = sub.add_parser(
         "serve-bench",
@@ -246,11 +261,14 @@ def _cmd_mc(
     stream: bool,
     chunk_rows: int | None,
     mc_workers: int | None,
+    checkpoint: str | None = None,
+    checkpoint_every: int | None = None,
 ) -> int:
     import time
 
     from repro.analysis.montecarlo import monte_carlo_batch
     from repro.engine.resources import PeakRssSampler
+    from repro.engine.vector import Checkpoint
     from repro.experiments.ext_uncertainty import distributions
 
     scenario = Scenario(
@@ -258,12 +276,16 @@ def _cmd_mc(
     )
     comparator = PlatformComparator.for_domain(domain)
     engine = default_engine()
+    ckpt = (
+        Checkpoint(checkpoint, every_rows=checkpoint_every)
+        if checkpoint is not None else None
+    )
     start = time.perf_counter()
     with PeakRssSampler() as rss:
         result = monte_carlo_batch(
             comparator, scenario, distributions(), n_samples=draws, seed=seed,
             engine=engine, reduce=True if stream else None,
-            chunk_rows=chunk_rows, workers=mc_workers,
+            chunk_rows=chunk_rows, workers=mc_workers, checkpoint=ckpt,
         )
     elapsed = time.perf_counter() - start
     rows = [
@@ -397,10 +419,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "mc" and not args.stream and (
         args.chunk_rows is not None or args.mc_workers is not None
+        or args.checkpoint is not None
     ):
         # Without --stream these knobs would be silently ignored and
         # the run would materialize the full batch single-pipeline.
-        parser.error("--chunk-rows/--mc-workers require --stream")
+        parser.error("--chunk-rows/--mc-workers/--checkpoint require --stream")
+    if args.command == "mc" and (
+        args.checkpoint_every is not None and args.checkpoint is None
+    ):
+        parser.error("--checkpoint-every requires --checkpoint")
     _configure_engine(args)
     if args.command == "list":
         code = _cmd_list()
@@ -412,6 +439,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         code = _cmd_mc(
             args.domain, args.draws, args.seed, args.apps, args.lifetime,
             args.volume, args.stream, args.chunk_rows, args.mc_workers,
+            args.checkpoint, args.checkpoint_every,
         )
     elif args.command == "serve-bench":
         code = _cmd_serve_bench(

@@ -75,6 +75,7 @@ from repro.engine.vector import (
     ScenarioBatch,
     VectorizedEvaluator,
 )
+from repro.engine.vector.checkpoint import Checkpoint
 from repro.engine.vector.evaluator import _patch_fallback_rows
 from repro.engine.vector.kernels import ratio_kernel, winner_kernel
 from repro.engine.vector.reducers import StreamingReduction
@@ -902,6 +903,7 @@ class EvaluationEngine:
         *,
         chunk_rows: "int | None" = None,
         workers: "int | None" = None,
+        checkpoint: "Checkpoint | None" = None,
     ) -> StreamingReduction:
         """Fold a chunk source through the kernels into ``reduction``.
 
@@ -913,12 +915,17 @@ class EvaluationEngine:
         :func:`repro.engine.vector.streaming.run_stream` for the span
         protocol and the sequential fallback); the returned reduction
         is bit-identical for any chunk size and worker count.
+
+        ``checkpoint=`` (a :class:`~repro.engine.vector.Checkpoint`)
+        makes the run durable: progress persists atomically on the
+        configured cadence and a rerun resumes from completed units —
+        still bit-identical to an uninterrupted run.
         """
         workers = self.stream_workers(workers)
         pool = self._stream_pool_get(workers) if workers > 1 else None
         result = run_stream(
             source, reduction, chunk_rows=chunk_rows, workers=workers,
-            pool=pool,
+            pool=pool, checkpoint=checkpoint,
         )
         self._note_computed(int(source.n))
         return result

@@ -1,0 +1,82 @@
+"""Jittered exponential backoff for retries and worker restarts.
+
+A server restart disconnects every client at the same instant; a crash
+loop kills every worker in the same few milliseconds.  Deterministic
+exponential backoff then schedules all of their retries for the same
+instant too — a synchronised stampede that re-overloads the very thing
+that just came back.  The fix is jitter over an exponentially growing,
+capped ceiling (AWS architecture blog, "Exponential Backoff and
+Jitter"):
+
+* **full jitter** — ``uniform(0, ceiling)`` — maximal spread, used for
+  client-side backpressure retries where any individual delay is fine
+  as long as the herd decorrelates;
+* **equal jitter** — ``ceiling/2 + uniform(0, ceiling/2)`` — keeps an
+  escalating *floor*, used for supervisor worker restarts where a
+  crash-looping worker must not be respawned near-instantly just
+  because the dice came up low.
+
+Delays are drawn from a ``numpy`` Generator seeded at construction:
+production callers pass ``seed=None``-free runtime entropy or leave the
+OS default, tests pin a seed and assert the exact spread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+_MODES = ("full", "equal")
+
+
+class JitteredBackoff:
+    """Capped exponential backoff with full or equal jitter.
+
+    ``delay(attempt)`` draws one delay for the given 1-based attempt:
+    the deterministic ceiling is ``min(cap_s, base_s * 2**(attempt-1))``
+    and the jitter mode picks where under it the delay lands.  A
+    different ``base_s`` may be supplied per call (e.g. a server's
+    ``RETRY_AFTER`` hint) without re-seeding.
+    """
+
+    def __init__(
+        self,
+        base_s: float = 0.05,
+        cap_s: float = 2.0,
+        *,
+        mode: str = "full",
+        seed: "int | None" = None,
+    ) -> None:
+        if base_s <= 0.0:
+            raise ParameterError(f"base_s must be > 0, got {base_s}")
+        if cap_s < base_s:
+            raise ParameterError(
+                f"cap_s must be >= base_s, got cap {cap_s} < base {base_s}"
+            )
+        if mode not in _MODES:
+            raise ParameterError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.base_s = float(base_s)
+        self.cap_s = float(cap_s)
+        self.mode = mode
+        # A runtime-supplied seed (tests) or OS entropy (production);
+        # never a hard-coded literal, so concurrent instances differ.
+        self._rng = np.random.default_rng(seed)
+
+    def ceiling(self, attempt: int, base_s: "float | None" = None) -> float:
+        """The deterministic pre-jitter ceiling for ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ParameterError(f"attempt must be >= 1, got {attempt}")
+        base = self.base_s if base_s is None else float(base_s)
+        # min() before the power would still overflow for huge attempt
+        # counts; clamp the exponent first (2**40 * any base > any cap).
+        exponent = min(attempt - 1, 40)
+        return float(min(self.cap_s, base * 2.0 ** exponent))
+
+    def delay(self, attempt: int, base_s: "float | None" = None) -> float:
+        """One jittered delay for ``attempt`` (1-based), in seconds."""
+        ceiling = self.ceiling(attempt, base_s)
+        if self.mode == "full":
+            return float(self._rng.uniform(0.0, ceiling))
+        half = ceiling / 2.0
+        return float(half + self._rng.uniform(0.0, half))

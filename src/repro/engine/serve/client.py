@@ -5,8 +5,9 @@ a :class:`~repro.engine.serve.server.BatchServer` and absorbs the
 transport-level chaos the server is allowed to inflict:
 
 * ``RETRY_AFTER`` backpressure frames are honoured — the client backs
-  off for the server's hint (scaled up per consecutive shed) and
-  resends, up to ``max_attempts``;
+  off with full jitter over an exponentially growing ceiling seeded by
+  the server's hint (so a herd of shed clients decorrelates instead of
+  stampeding back in lockstep) and resends, up to ``max_attempts``;
 * a truncated frame or dropped connection triggers reconnect-and-resend
   — evaluation is pure, so replaying a request is always safe;
 * ``MSG_DEADLINE`` raises :class:`~repro.engine.serve.protocol.DeadlineError`
@@ -28,6 +29,7 @@ import numpy as np
 
 from repro.core.scenario import Scenario
 from repro.engine.serve import protocol
+from repro.engine.serve.backoff import JitteredBackoff
 from repro.engine.serve.protocol import (
     BackpressureError,
     DeadlineError,
@@ -62,6 +64,10 @@ class ServeClient:
         max_attempts: Total send attempts per request across
             backpressure sheds and transport faults.
         connect_timeout_s: Bound on each (re)connect attempt.
+        retry_backoff_cap_s: Ceiling on any single backpressure sleep
+            (the exponential growth from the server's hint stops here).
+        retry_jitter_seed: Seed for the jittered backoff RNG (tests pin
+            it to assert the spread; production leaves OS entropy).
     """
 
     def __init__(
@@ -71,11 +77,19 @@ class ServeClient:
         *,
         max_attempts: int = 10,
         connect_timeout_s: float = 5.0,
+        retry_backoff_cap_s: float = 2.0,
+        retry_jitter_seed: "int | None" = None,
     ) -> None:
         self.host = host
         self.port = port
         self.max_attempts = max_attempts
         self.connect_timeout_s = connect_timeout_s
+        self._backoff = JitteredBackoff(
+            # base_s is a placeholder: each shed passes the server's
+            # hint as the per-call base.
+            base_s=0.05, cap_s=retry_backoff_cap_s, mode="full",
+            seed=retry_jitter_seed,
+        )
         self._reader: "asyncio.StreamReader | None" = None
         self._writer: "asyncio.StreamWriter | None" = None
         self._request_ids = 0
@@ -187,7 +201,12 @@ class ServeClient:
                 self.retries_after += 1
                 shed_count += 1
                 hint = protocol.decode_retry_after(frame.payload)
-                await asyncio.sleep(hint * shed_count)
+                # Full jitter over an exponential ceiling grown from the
+                # server's hint: shed clients spread back in instead of
+                # all returning exactly hint*n seconds later.
+                await asyncio.sleep(
+                    self._backoff.delay(shed_count, base_s=max(hint, 1e-3))
+                )
                 continue
             if frame.type == protocol.MSG_DEADLINE:
                 raise DeadlineError(

@@ -85,6 +85,24 @@ class FaultPlan:
         every = self.truncate_response_every
         return every > 0 and frame_number % every == 0
 
+    def kill_delays(
+        self, count: int, lo_s: float = 0.05, hi_s: float = 0.5
+    ) -> tuple[float, ...]:
+        """``count`` seeded SIGKILL delays in ``[lo_s, hi_s)`` seconds.
+
+        For kill-and-resume chaos tests that murder an external process
+        at randomized-but-reproducible points in its run: the same plan
+        yields the same kill schedule, so a crash found once replays.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if hi_s < lo_s:
+            raise ValueError(
+                f"hi_s must be >= lo_s, got hi {hi_s} < lo {lo_s}"
+            )
+        rng = np.random.default_rng(self.seed)
+        return tuple(float(d) for d in rng.uniform(lo_s, hi_s, size=count))
+
     def corrupt_file(self, path: "str | Path", flips: int = 64) -> int:
         """Flip ``flips`` seeded-random bytes of ``path`` in place.
 

@@ -111,6 +111,11 @@ class BatchServer:
             workers; response truncation is applied server-side).
         preload_domains: Domains every worker (including restarted
             ones) builds comparators for before taking traffic.
+        snapshot_every_s: Forwarded to every worker: with
+            ``cache_file`` set, each worker atomically re-dumps its
+            warm store to the file at most this often, so a restarted
+            server (or fleet) comes back warm from the last complete
+            snapshot instead of cold.
     """
 
     def __init__(
@@ -128,6 +133,7 @@ class BatchServer:
         dispatchers: "int | None" = None,
         fault_plan: "FaultPlan | None" = None,
         preload_domains: tuple = (),
+        snapshot_every_s: "float | None" = None,
     ) -> None:
         if queue_limit < 1:
             raise ParameterError(
@@ -146,6 +152,7 @@ class BatchServer:
             cache_size=cache_size,
             fault_plan=fault_plan,
             preload_domains=preload_domains,
+            snapshot_every_s=snapshot_every_s,
         )
         self._queue: "asyncio.Queue[_Job]" = asyncio.Queue(
             maxsize=queue_limit

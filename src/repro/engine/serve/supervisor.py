@@ -8,8 +8,10 @@ alive:
   and round-robin pings idle workers, so a worker that died (or hung)
   *between* requests is detected and replaced before traffic hits it;
 * **crash recovery** — a worker that dies is restarted with
-  exponential backoff (quick successive deaths escalate the delay, a
-  worker that served for a while resets it); the batch it was running
+  equal-jittered exponential backoff (quick successive deaths escalate
+  the delay floor, a worker that served for a while resets it, and the
+  jitter keeps a whole killed fleet from respawning in lockstep); the
+  batch it was running
   surfaces as :class:`WorkerDiedError` so the caller can replay it on a
   sibling — evaluation is pure and the store deduplicates by digest,
   so replay never double-computes and never changes a bit;
@@ -35,6 +37,7 @@ from multiprocessing import get_context
 from multiprocessing.connection import Connection
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.engine.serve.backoff import JitteredBackoff
 from repro.engine.serve.faults import FaultPlan
 from repro.engine.serve.protocol import DeadlineError
 from repro.engine.serve.worker import WorkerSpec, worker_main
@@ -124,10 +127,19 @@ class WorkerSupervisor:
         grace_s: Extra time past a batch's deadline before the worker
             counts as stuck and is killed.
         backoff_initial_s / backoff_max_s: Exponential restart backoff
-            bounds (doubles per quick successive death, capped).
+            bounds (doubles per quick successive death, capped).  The
+            actual delay is *equal-jittered* — uniformly drawn from the
+            upper half of the ceiling — so a fleet killed together does
+            not respawn in lockstep, while a crash-looping slot still
+            keeps an escalating delay floor.
         backoff_reset_s: A worker surviving at least this long resets
             its slot's backoff to the initial value.
+        backoff_jitter_seed: Seed for the restart jitter RNG (tests pin
+            it; production leaves OS entropy).
         health_interval_s: Monitor poll period.
+        snapshot_every_s: Forwarded to every worker spec — each worker
+            atomically re-dumps its warm store to ``cache_file`` on
+            this cadence, so a restarted server comes back warm.
     """
 
     def __init__(
@@ -143,7 +155,9 @@ class WorkerSupervisor:
         backoff_initial_s: float = 0.05,
         backoff_max_s: float = 2.0,
         backoff_reset_s: float = 5.0,
+        backoff_jitter_seed: "int | None" = None,
         health_interval_s: float = 0.25,
+        snapshot_every_s: "float | None" = None,
     ) -> None:
         if workers < 0:
             raise ParameterError(f"workers must be >= 0, got {workers}")
@@ -158,6 +172,11 @@ class WorkerSupervisor:
         self.backoff_max_s = backoff_max_s
         self.backoff_reset_s = backoff_reset_s
         self.health_interval_s = health_interval_s
+        self.snapshot_every_s = snapshot_every_s
+        self._backoff = JitteredBackoff(
+            backoff_initial_s, backoff_max_s, mode="equal",
+            seed=backoff_jitter_seed,
+        )
         self.stats = SupervisorStats()
         self._handles: dict[int, "_WorkerHandle | None"] = {}
         self._failures: dict[int, int] = {}
@@ -200,6 +219,7 @@ class WorkerSupervisor:
             cache_size=self.cache_size,
             fault_plan=self.fault_plan,
             preload_domains=self.preload_domains,
+            snapshot_every_s=self.snapshot_every_s,
         )
         ctx = get_context("spawn")
         parent_conn, child_conn = ctx.Pipe(duplex=True)
@@ -374,12 +394,9 @@ class WorkerSupervisor:
             task.add_done_callback(self._tasks.discard)
 
     async def _restart(self, index: int) -> None:
-        """Respawn one slot after its exponential-backoff delay."""
+        """Respawn one slot after its jittered exponential-backoff delay."""
         failures = max(1, self._failures.get(index, 1))
-        delay = min(
-            self.backoff_initial_s * (2.0 ** (failures - 1)),
-            self.backoff_max_s,
-        )
+        delay = self._backoff.delay(failures)
         self.stats.last_backoff_s = delay
         await asyncio.sleep(delay)
         if self._closed:

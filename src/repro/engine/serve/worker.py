@@ -67,6 +67,12 @@ class WorkerSpec:
             (before the worker takes traffic), so the first request —
             and every request after a supervisor restart — never pays
             model construction.
+        snapshot_every_s: With ``cache_file`` set, re-dump the worker's
+            warm store to it at most this often (checked after each
+            reply).  The dump is atomic (tmp + fsync + rename), so
+            concurrent workers and a crash mid-dump can never tear the
+            file — a restarted fleet pre-warms from the last complete
+            snapshot instead of starting cold.
     """
 
     index: int
@@ -75,6 +81,7 @@ class WorkerSpec:
     cache_size: int = 4096
     fault_plan: "FaultPlan | None" = None
     preload_domains: tuple = ()
+    snapshot_every_s: "float | None" = None
 
 
 def evaluate_job(
@@ -154,6 +161,7 @@ def worker_main(conn, spec: WorkerSpec) -> None:
         None if plan is None else plan.kill_batch(spec.index, spec.generation)
     )
     batches_done = 0
+    last_snapshot = time.monotonic()
     try:
         while True:
             try:
@@ -181,6 +189,17 @@ def worker_main(conn, spec: WorkerSpec) -> None:
             )
             conn.send((reply[0], job["id"], *reply[1:]))
             batches_done += 1
+            if (
+                spec.snapshot_every_s is not None
+                and spec.cache_file is not None
+                and time.monotonic() - last_snapshot >= spec.snapshot_every_s
+            ):
+                # Periodic warm-store snapshot after the reply is on the
+                # wire (never adds latency ahead of an answer).  The
+                # save is atomic, so the worst concurrent-worker outcome
+                # is last-writer-wins of two complete snapshots.
+                engine.save_cache(spec.cache_file)
+                last_snapshot = time.monotonic()
     finally:
         conn.close()
         engine.close()

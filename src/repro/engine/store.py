@@ -53,6 +53,7 @@ from repro.core.comparison import ComparisonResult, PlatformComparator
 from repro.core.fpga_model import FpgaAssessment
 from repro.core.lifecycle import CarbonFootprint
 from repro.core.scenario import Scenario
+from repro.engine.atomicio import atomic_write
 from repro.engine.cache import CacheStats, LruCache
 from repro.engine.vector import (
     BatchResult,
@@ -781,6 +782,12 @@ class ShardedResultStore:
         Entries are written oldest-first so a capacity-constrained
         :meth:`load` keeps the most recently used ones.  The object
         side-cache (ragged scenarios) is not persisted.
+
+        The write is crash-safe: the dump goes to a same-directory tmp
+        file that is fsynced and atomically renamed over ``path``
+        (:func:`repro.engine.atomicio.atomic_write`), so a crash
+        mid-save leaves the previous snapshot intact instead of a torn
+        file that :meth:`load` would reject.
         """
         path = Path(path)
         with self._lock:
@@ -804,9 +811,9 @@ class ShardedResultStore:
             )
             ticks = np.concatenate(blocks_t) if blocks_t else np.empty(0, np.int64)
         order = np.argsort(ticks, kind="stable")
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("wb") as handle:
-            np.savez_compressed(
+        return atomic_write(
+            path,
+            lambda handle: np.savez_compressed(
                 handle,
                 meta=np.array(
                     [STORE_FORMAT_VERSION, FLOAT_COLS, INT_COLS], dtype=np.int64
@@ -815,8 +822,8 @@ class ShardedResultStore:
                 hi=hi[order],
                 floats=floats[order],
                 ints=ints[order],
-            )
-        return path
+            ),
+        )
 
     def load(self, path: "str | Path") -> int:
         """Merge a persisted ``.npz`` shard dump into this store.

@@ -3,6 +3,12 @@
 See :mod:`repro.engine.vector.evaluator` for the design rationale.
 """
 
+from repro.engine.vector.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    Checkpoint,
+    CheckpointJournal,
+    source_token,
+)
 from repro.engine.vector.columns import ScenarioBatch
 from repro.engine.vector.evaluator import (
     BatchResult,
@@ -14,6 +20,7 @@ from repro.engine.vector.params import N_PARAM_COLS, ParameterBatch, extract_row
 from repro.engine.vector.reducers import (
     DEFAULT_RESERVOIR_K,
     REDUCE_BLOCK,
+    REDUCER_REGISTRY,
     HistogramReducer,
     MomentsReducer,
     ParetoReducer,
@@ -50,6 +57,9 @@ from repro.engine.vector.kernels import (
 __all__ = [
     "ArrayChunkSource",
     "BatchResult",
+    "CHECKPOINT_FORMAT_VERSION",
+    "Checkpoint",
+    "CheckpointJournal",
     "DEFAULT_RESERVOIR_K",
     "DEFAULT_STREAM_CHUNK_ROWS",
     "HistogramReducer",
@@ -60,6 +70,7 @@ __all__ = [
     "ParameterBatch",
     "ParetoReducer",
     "REDUCE_BLOCK",
+    "REDUCER_REGISTRY",
     "ReservoirQuantiles",
     "ScenarioBatch",
     "SharedArrayChunkSource",
@@ -71,6 +82,7 @@ __all__ = [
     "aligned_chunk_rows",
     "extract_row",
     "run_stream",
+    "source_token",
     "VectorizedEvaluator",
     "YIELD_MODEL_CODES",
     "comparator_constants",

@@ -40,6 +40,16 @@ chunk boundaries respect the reducer's :attr:`alignment`:
 :class:`StreamingReduction` bundles named reducers behind one
 ``update`` / ``merge`` / ``fresh`` surface; the chunk executors in
 :mod:`repro.engine.vector.streaming` drive it.
+
+Durability rides on a second contract: every reducer serialises its
+complete state to packed NumPy arrays via ``to_state()`` and rebuilds
+from them via ``from_state()`` (an instance method on any reducer with
+the same configuration, like ``fresh()``).  The round trip is
+bit-identical — ``from_state(to_state(r))`` then ``merge`` behaves
+exactly like merging ``r`` itself — which is what lets
+:class:`~repro.engine.vector.checkpoint.CheckpointJournal` persist
+merged partials mid-run and resume a killed job to the exact answer an
+uninterrupted run would have produced.
 """
 
 from __future__ import annotations
@@ -89,6 +99,19 @@ class StreamingReducer(Protocol):
 
     def merge(self, other: "StreamingReducer") -> None:
         """Fold another partial (over disjoint rows) into this one."""
+        ...
+
+    def to_state(self) -> dict[str, np.ndarray]:
+        """This reducer's complete state as packed NumPy arrays."""
+        ...
+
+    def from_state(self, state: dict[str, np.ndarray]) -> "StreamingReducer":
+        """A new reducer rebuilt from :meth:`to_state` output.
+
+        Like :meth:`fresh`, this is called on a configured prototype;
+        implementations validate that the state's configuration matches
+        and raise :class:`~repro.errors.ParameterError` on drift.
+        """
         ...
 
 
@@ -169,6 +192,35 @@ class MomentsReducer:
             raise ParameterError(f"merging overlapping blocks {sorted(overlap)}")
         self._blocks.update(other._blocks)
 
+    def to_state(self) -> dict[str, np.ndarray]:
+        keys = sorted(self._blocks)
+        rows = [self._blocks[k] for k in keys]
+        return {
+            "block": np.array([self.alignment], dtype=np.int64),
+            "keys": np.array(keys, dtype=np.int64),
+            "counts": np.array([r[:2] for r in rows], dtype=np.int64
+                               ).reshape(len(rows), 2),
+            "sums": np.array([r[2:] for r in rows], dtype=np.float64
+                             ).reshape(len(rows), 4),
+        }
+
+    def from_state(self, state: dict[str, np.ndarray]) -> "MomentsReducer":
+        if int(state["block"][0]) != self.alignment:
+            raise ParameterError(
+                f"checkpointed block {int(state['block'][0])} != "
+                f"configured block {self.alignment}"
+            )
+        restored = self.fresh()
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        sums = np.asarray(state["sums"], dtype=np.float64)
+        for i, key in enumerate(np.asarray(state["keys"], dtype=np.int64)):
+            restored._blocks[int(key)] = (
+                int(counts[i, 0]), int(counts[i, 1]),
+                float(sums[i, 0]), float(sums[i, 1]),
+                float(sums[i, 2]), float(sums[i, 3]),
+            )
+        return restored
+
     # -- finalisation ---------------------------------------------------
 
     @property
@@ -244,6 +296,16 @@ class WinCountReducer:
         self.n += other.n
         self.fpga_wins += other.fpga_wins
 
+    def to_state(self) -> dict[str, np.ndarray]:
+        return {"counts": np.array([self.n, self.fpga_wins], dtype=np.int64)}
+
+    def from_state(self, state: dict[str, np.ndarray]) -> "WinCountReducer":
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        restored = self.fresh()
+        restored.n = int(counts[0])
+        restored.fpga_wins = int(counts[1])
+        return restored
+
     @property
     def fpga_win_probability(self) -> float:
         """Fraction of rows the FPGA won (0 rows -> ``nan``)."""
@@ -305,6 +367,31 @@ class HistogramReducer:
         self.underflow += other.underflow
         self.overflow += other.overflow
         self.non_finite += other.non_finite
+
+    def to_state(self) -> dict[str, np.ndarray]:
+        return {
+            "range": np.array([self.lo, self.hi], dtype=np.float64),
+            "counts": self.counts.copy(),
+            "tallies": np.array(
+                [self.underflow, self.overflow, self.non_finite],
+                dtype=np.int64,
+            ),
+        }
+
+    def from_state(self, state: dict[str, np.ndarray]) -> "HistogramReducer":
+        rng = np.asarray(state["range"], dtype=np.float64)
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if (float(rng[0]), float(rng[1]), counts.shape) != (
+            self.lo, self.hi, self.counts.shape
+        ):
+            raise ParameterError("checkpointed histogram has different bins")
+        restored = self.fresh()
+        restored.counts = counts.copy()
+        tallies = np.asarray(state["tallies"], dtype=np.int64)
+        restored.underflow = int(tallies[0])
+        restored.overflow = int(tallies[1])
+        restored.non_finite = int(tallies[2])
+        return restored
 
 
 def _splitmix64(x: np.ndarray) -> np.ndarray:
@@ -385,6 +472,34 @@ class ReservoirQuantiles:
         self._values = np.concatenate([self._values, other._values])
         self._compress()
 
+    def to_state(self) -> dict[str, np.ndarray]:
+        # Packed in ascending-priority order: the kept *set* is a pure
+        # function of the stream but the in-memory array order is not
+        # (argpartition order depends on the merge schedule), and a
+        # checkpoint must serialize identically however the run was
+        # scheduled.  Priorities are injective, so the order is total.
+        order = np.argsort(self._priorities)
+        return {
+            "config": np.array([self.k, self._seed_mix], dtype=np.uint64),
+            "n_seen": np.array([self._n_seen], dtype=np.int64),
+            "priorities": self._priorities[order],
+            "values": self._values[order],
+        }
+
+    def from_state(self, state: dict[str, np.ndarray]) -> "ReservoirQuantiles":
+        config = np.asarray(state["config"], dtype=np.uint64)
+        if int(config[0]) != self.k or int(config[1]) != self._seed_mix:
+            raise ParameterError(
+                "checkpointed reservoir has different k/seed"
+            )
+        restored = self.fresh()
+        restored._n_seen = int(state["n_seen"][0])
+        restored._priorities = np.asarray(state["priorities"],
+                                          dtype=np.uint64).copy()
+        restored._values = np.asarray(state["values"],
+                                      dtype=np.float64).copy()
+        return restored
+
     def sample(self) -> np.ndarray:
         """The kept values, sorted ascending (a copy)."""
         return np.sort(self._values)
@@ -451,6 +566,25 @@ class TopKReducer:
         self._asic = np.concatenate([self._asic, other._asic])
         self._ratios = np.concatenate([self._ratios, other._ratios])
         self._compress()
+
+    def to_state(self) -> dict[str, np.ndarray]:
+        return {
+            "config": np.array([self.k], dtype=np.int64),
+            "indices": self._indices.copy(),
+            "fpga": self._fpga.copy(),
+            "asic": self._asic.copy(),
+            "ratios": self._ratios.copy(),
+        }
+
+    def from_state(self, state: dict[str, np.ndarray]) -> "TopKReducer":
+        if int(state["config"][0]) != self.k:
+            raise ParameterError("checkpointed top-k has different k")
+        restored = self.fresh()
+        restored._indices = np.asarray(state["indices"], dtype=np.int64).copy()
+        restored._fpga = np.asarray(state["fpga"], dtype=np.float64).copy()
+        restored._asic = np.asarray(state["asic"], dtype=np.float64).copy()
+        restored._ratios = np.asarray(state["ratios"], dtype=np.float64).copy()
+        return restored
 
     def rows(self) -> list[dict[str, float]]:
         """Kept rows ordered greenest-first (then by index)."""
@@ -555,6 +689,22 @@ class ParetoReducer:
         self._ratios = np.concatenate([self._ratios, other._ratios])
         self._refilter()
 
+    def to_state(self) -> dict[str, np.ndarray]:
+        return {
+            "indices": self._indices.copy(),
+            "fpga": self._fpga.copy(),
+            "asic": self._asic.copy(),
+            "ratios": self._ratios.copy(),
+        }
+
+    def from_state(self, state: dict[str, np.ndarray]) -> "ParetoReducer":
+        restored = self.fresh()
+        restored._indices = np.asarray(state["indices"], dtype=np.int64).copy()
+        restored._fpga = np.asarray(state["fpga"], dtype=np.float64).copy()
+        restored._asic = np.asarray(state["asic"], dtype=np.float64).copy()
+        restored._ratios = np.asarray(state["ratios"], dtype=np.float64).copy()
+        return restored
+
     def rows(self) -> list[dict[str, float]]:
         """Front rows in ascending index order."""
         order = np.argsort(self._indices)
@@ -583,6 +733,12 @@ class StreamingReduction:
     def __init__(self, reducers: dict[str, StreamingReducer]) -> None:
         if not reducers:
             raise ParameterError("StreamingReduction needs at least one reducer")
+        for name in reducers:
+            if "::" in name:
+                # "::" separates member name from state field in the
+                # flattened to_state() keys; allowing it in names would
+                # make the flattening ambiguous.
+                raise ParameterError(f"reducer name {name!r} contains '::'")
         self.reducers = dict(reducers)
 
     def __getitem__(self, name: str) -> StreamingReducer:
@@ -606,3 +762,53 @@ class StreamingReduction:
             raise ParameterError("merging reductions with different members")
         for name, reducer in self.reducers.items():
             reducer.merge(other.reducers[name])
+
+    def schema_token(self) -> str:
+        """A stable identity string for checkpoint compatibility checks.
+
+        Two reductions with the same token have the same member names,
+        reducer types, and alignments — the shape-level contract a
+        checkpoint must match before its partials can be merged.
+        """
+        return ";".join(
+            f"{name}:{type(self.reducers[name]).__name__}"
+            f":{self.reducers[name].alignment}"
+            for name in sorted(self.reducers)
+        )
+
+    def to_state(self) -> dict[str, np.ndarray]:
+        """Member states flattened under ``"<member>::<field>"`` keys."""
+        state: dict[str, np.ndarray] = {}
+        for name in sorted(self.reducers):
+            for field, array in self.reducers[name].to_state().items():
+                state[f"{name}::{field}"] = array
+        return state
+
+    def from_state(self, state: dict[str, np.ndarray]) -> "StreamingReduction":
+        grouped: dict[str, dict[str, np.ndarray]] = {}
+        for key, array in state.items():
+            name, _, field = key.partition("::")
+            grouped.setdefault(name, {})[field] = array
+        if grouped.keys() != self.reducers.keys():
+            raise ParameterError(
+                f"checkpointed members {sorted(grouped)} != "
+                f"configured members {sorted(self.reducers)}"
+            )
+        return StreamingReduction(
+            {name: r.from_state(grouped[name])
+             for name, r in self.reducers.items()}
+        )
+
+
+#: Every shipped :class:`StreamingReducer` implementation.  The GF-CKPT
+#: audit check and the checkpoint round-trip property tests walk this
+#: registry, so adding a reducer here forces it through the state
+#: contract (``to_state``/``from_state``) and its bit-identity tests.
+REDUCER_REGISTRY: tuple[type, ...] = (
+    MomentsReducer,
+    WinCountReducer,
+    HistogramReducer,
+    ReservoirQuantiles,
+    TopKReducer,
+    ParetoReducer,
+)

@@ -51,6 +51,7 @@ never change, only speed.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import pickle
 import threading
@@ -60,6 +61,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.core.scenario import Scenario
+from repro.engine.vector.checkpoint import Checkpoint, CheckpointJournal
 from repro.engine.vector.columns import ScenarioBatch
 from repro.engine.vector.evaluator import VectorizedEvaluator
 from repro.engine.vector.params import ParameterBatch
@@ -361,6 +363,26 @@ class MonteCarloChunkSource:
             dist.apply_column(params, dist.column_from_uniform(u[:, j]))
         return params, ScenarioBatch.tile(self.scenario, m)
 
+    def checkpoint_token(self) -> str:
+        """Semantic job-identity digest for checkpoint validation.
+
+        Covers everything that determines the evaluated rows *except*
+        the seed, which the checkpoint identity records separately (a
+        seed drift should name the seed, not an opaque source digest).
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(self.base_row.tobytes())
+        digest.update(repr(self.scenario).encode("utf-8"))
+        digest.update(str(self.n).encode("utf-8"))
+        for dist in self.distributions:
+            digest.update(repr((
+                getattr(dist, "name", type(dist).__name__),
+                getattr(dist, "low", None),
+                getattr(dist, "high", None),
+                getattr(dist, "kind", None),
+            )).encode("utf-8"))
+        return digest.hexdigest()
+
 
 # ----------------------------------------------------------------------
 # Execution
@@ -428,6 +450,7 @@ def run_stream(
     chunk_rows: "int | None" = None,
     workers: int = 1,
     pool: "Executor | None" = None,
+    checkpoint: "Checkpoint | None" = None,
 ) -> StreamingReduction:
     """Reduce a chunk source, sequentially or on a process pool.
 
@@ -445,11 +468,28 @@ def run_stream(
     event is counted in :data:`STREAM_STATS`.  A pool that is already
     broken at submit time degrades to the fully sequential path.
     Model errors raised by the kernels propagate unchanged.
+
+    Durability: with ``checkpoint=``, progress is journalled through a
+    :class:`~repro.engine.vector.checkpoint.CheckpointJournal` — merged
+    partials plus a unit-completion bitmap, atomically rewritten on the
+    configured cadence — and a rerun against the same checkpoint path
+    validates the job identity, skips completed units, and finishes to
+    a result **bit-identical** to an uninterrupted run (the kernels are
+    deterministic and the final reduction state is a pure function of
+    which rows were reduced, not of how the work was scheduled).
     """
     n = int(source.n)
     if n < 1:
         raise ParameterError("streaming reduction needs at least one row")
     chunk = aligned_chunk_rows(chunk_rows, reduction.alignment, n)
+    if checkpoint is not None:
+        journal = CheckpointJournal.open(
+            checkpoint, source, reduction, n=n, chunk_rows=chunk
+        )
+        return _run_stream_checkpointed(
+            source, reduction, journal, chunk,
+            workers if pool is not None else 1, pool,
+        )
     spans = _spans(n, chunk, workers if pool is not None else 1)
     if len(spans) > 1 and _picklable(source, reduction):
         try:
@@ -496,6 +536,82 @@ def run_stream(
                 merged.merge(part)
             return merged
     return _reduce_span(source, reduction.fresh(), 0, n, chunk)
+
+
+def _run_stream_checkpointed(
+    source,
+    reduction: StreamingReduction,
+    journal: CheckpointJournal,
+    chunk: int,
+    workers: int,
+    pool: "Executor | None",
+) -> StreamingReduction:
+    """Drain a journal's pending units, parallel or sequential.
+
+    Scheduling mirrors :func:`run_stream`'s span path — one task per
+    pending unit, broken-pool spans recomputed in-process — with the
+    journal merging and persisting each finished unit.  An
+    already-finished checkpoint returns without touching the source.
+    """
+    pending = journal.pending()
+    if not pending:
+        return journal.merged
+    if (
+        len(pending) > 1 and workers > 1 and pool is not None
+        and _picklable(source, reduction)
+    ):
+        try:
+            futures = [
+                pool.submit(_reduce_span, source, reduction.fresh(), start,
+                            stop, chunk)
+                for _, start, stop in pending
+            ]
+        except BrokenExecutor:
+            futures = []
+        if futures:
+            lost = 0
+            try:
+                for future, (index, start, stop) in zip(futures, pending):
+                    try:
+                        part = future.result()
+                    except BrokenExecutor:
+                        lost += 1
+                        part = _reduce_span(
+                            source, reduction.fresh(), start, stop, chunk,
+                            close_source=False,
+                        )
+                    journal.complete(index, part)
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                # Persist what completed before the failure: a model
+                # error (or Ctrl-C) should not cost the finished units.
+                journal.flush(force=True)
+                raise
+            if lost:
+                STREAM_STATS.note_recovery(lost)
+            journal.flush(force=True)
+            return journal.merged
+    try:
+        for index, start, stop in pending:
+            # Fold straight into the journal's merged reduction — no
+            # per-unit partial to build and merge.  Because merged may
+            # hold a *half-done* unit the moment an error interrupts
+            # the span, this path must never flush outside mark()
+            # (which runs exactly at unit boundaries): an interruption
+            # simply keeps the last cadence flush as the recovery
+            # point, which is the documented durability granularity.
+            _reduce_span(
+                source, journal.merged, start, stop, chunk,
+                close_source=False,
+            )
+            journal.mark(index)
+        journal.flush(force=True)
+    finally:
+        close = getattr(source, "close", None)
+        if close is not None:
+            close()
+    return journal.merged
 
 
 def _picklable(source, reduction: StreamingReduction) -> bool:

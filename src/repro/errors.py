@@ -27,6 +27,19 @@ class StoreCorruptError(ParameterError):
     """
 
 
+class CheckpointMismatchError(ParameterError):
+    """A checkpoint file belongs to a *different* job than the resume.
+
+    Raised when the persisted job identity (source digest, seed, chunk
+    size, reduction schema) disagrees with the run asking to resume.
+    Unlike :class:`StoreCorruptError` — where the engine logs and
+    starts cold, because a stale cache is only a performance artefact —
+    this is raised to the caller: silently restarting a *different*
+    job from scratch (or worse, merging foreign partials) would return
+    a wrong answer with no warning.
+    """
+
+
 class ServeError(GreenFpgaError, RuntimeError):
     """Base class for network-serving failures (protocol, workers)."""
 

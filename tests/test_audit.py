@@ -15,6 +15,7 @@ import pytest
 
 from repro.audit.baseline import Baseline, BaselineEntry, write_baseline
 from repro.audit.checks import all_checkers
+from repro.audit.checks.checkpoint import CheckpointContractChecker
 from repro.audit.checks.coverage import CoverageChecker
 from repro.audit.checks.exceptions import ExceptionHygieneChecker
 from repro.audit.checks.floatsum import FloatAccumulationChecker
@@ -339,6 +340,123 @@ def test_registry_specs_cover_every_column():
 
 
 # ----------------------------------------------------------------------
+# GF-CKPT
+# ----------------------------------------------------------------------
+
+
+def test_checkpoint_flags_reducer_without_state_contract():
+    findings = _findings(
+        CheckpointContractChecker(),
+        """
+        class Sketchy:
+            def update(self, result):
+                pass
+
+            def merge(self, other):
+                pass
+
+            def fresh(self):
+                return Sketchy()
+        """,
+    )
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.check == "GF-CKPT"
+    assert finding.symbol == "Sketchy"
+    assert "from_state" in finding.message and "to_state" in finding.message
+
+
+def test_checkpoint_reports_only_the_missing_half():
+    findings = _findings(
+        CheckpointContractChecker(),
+        """
+        class HalfWay:
+            def update(self, result):
+                pass
+
+            def merge(self, other):
+                pass
+
+            def fresh(self):
+                return HalfWay()
+
+            def to_state(self):
+                return {}
+        """,
+    )
+    assert len(findings) == 1
+    assert "from_state" in findings[0].message
+    assert "to_state —" not in findings[0].message
+
+
+def test_checkpoint_accepts_full_contract_and_non_reducers():
+    # The full contract is clean.
+    assert not _findings(
+        CheckpointContractChecker(),
+        """
+        class Durable:
+            def update(self, result):
+                pass
+
+            def merge(self, other):
+                pass
+
+            def fresh(self):
+                return Durable()
+
+            def to_state(self):
+                return {}
+
+            @classmethod
+            def from_state(cls, state):
+                return cls()
+        """,
+    )
+    # A class missing part of the update/merge/fresh trio is not a
+    # streaming reducer and is out of scope.
+    assert not _findings(
+        CheckpointContractChecker(),
+        """
+        class Accumulator:
+            def update(self, result):
+                pass
+
+            def merge(self, other):
+                pass
+        """,
+    )
+
+
+def test_checkpoint_skips_test_modules():
+    assert not _findings(
+        CheckpointContractChecker(),
+        """
+        class FakeReducer:
+            def update(self, result):
+                pass
+
+            def merge(self, other):
+                pass
+
+            def fresh(self):
+                return FakeReducer()
+        """,
+        relpath="tests/test_mod.py",
+    )
+
+
+def test_checkpoint_registry_reducers_all_satisfy_contract():
+    # The audit rule and the runtime registry must agree: every reducer
+    # the checkpoint layer can be asked to persist implements both
+    # halves of the state contract (plus the bundle that wraps them).
+    from repro.engine.vector.reducers import REDUCER_REGISTRY, StreamingReduction
+
+    for cls in (*REDUCER_REGISTRY, StreamingReduction):
+        assert callable(getattr(cls, "to_state")), cls.__name__
+        assert callable(getattr(cls, "from_state")), cls.__name__
+
+
+# ----------------------------------------------------------------------
 # Baseline reconciliation
 # ----------------------------------------------------------------------
 
@@ -409,7 +527,7 @@ def test_shipped_tree_is_lint_clean():
 def test_all_checkers_have_distinct_ids():
     checkers = all_checkers()
     ids = [c.id for c in checkers]
-    assert len(set(ids)) == len(ids) == 6
+    assert len(set(ids)) == len(ids) == 7
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,651 @@
+"""Durable execution: reducer state contract, journal, crash/resume.
+
+Three layers under test (see ``repro/engine/vector/checkpoint.py``):
+
+* **state contract** — every registered reducer round-trips through
+  ``to_state()``/``from_state()`` bit-identically, including non-finite
+  draws and empty partials, and a revived partial merges to the exact
+  state the original would have;
+* **journal** — atomic persistence, resume, typed identity-mismatch
+  errors, corruption-means-cold-start, and a crash *during* the save
+  leaving the previous checkpoint intact;
+* **crash/resume** — a streaming Monte-Carlo killed mid-run (in-process
+  fault or a real SIGKILL of the whole process) and resumed against the
+  same checkpoint finishes to results bit-identical to an uninterrupted
+  run: summary counters, moments, quantile sketch, top-k and Pareto
+  front.
+
+``CHAOS_QUICK=1`` (the CI default, see ``scripts/check.sh``) scales the
+SIGKILL study down to 1M draws; the invariants asserted are identical.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import monte_carlo_stream
+from repro.core.comparison import PlatformComparator
+from repro.core.scenario import Scenario
+from repro.engine import EvaluationEngine
+from repro.engine.serve.faults import FaultPlan
+from repro.engine.vector import (
+    BatchResult,
+    Checkpoint,
+    CheckpointJournal,
+    HistogramReducer,
+    MomentsReducer,
+    MonteCarloChunkSource,
+    ParetoReducer,
+    ReservoirQuantiles,
+    StreamingReduction,
+    TopKReducer,
+    WinCountReducer,
+    extract_row,
+    run_stream,
+    source_token,
+)
+from repro.engine.vector.reducers import REDUCER_REGISTRY
+from repro.errors import (
+    CheckpointMismatchError,
+    ParameterError,
+)
+from repro.experiments.ext_uncertainty import distributions as table1_distributions
+
+BASELINE = Scenario(num_apps=5, app_lifetime_years=2.0, volume=1_000_000)
+
+QUICK = os.environ.get("CHAOS_QUICK", "0") == "1"
+
+#: Draws in the SIGKILL chaos study — 1M+ in both modes (the acceptance
+#: bar), larger in full mode so kills land deeper into the run.
+SIGKILL_DRAWS = 1_200_000 if QUICK else 4_000_000
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+def _fake_result(
+    ratios: np.ndarray,
+    winners: "np.ndarray | None" = None,
+    fpga: "np.ndarray | None" = None,
+    asic: "np.ndarray | None" = None,
+) -> BatchResult:
+    """A minimal BatchResult carrying only the columns reducers read."""
+    n = ratios.shape[0]
+    zeros = np.zeros(n)
+    ints = np.zeros(n, dtype=np.int64)
+    return BatchResult(
+        ratios=np.asarray(ratios, dtype=np.float64),
+        winners=(
+            winners if winners is not None else np.full(n, "asic", dtype="<U4")
+        ),
+        fpga_totals=zeros if fpga is None else np.asarray(fpga, float),
+        asic_totals=zeros if asic is None else np.asarray(asic, float),
+        fpga_components={},
+        asic_components={},
+        fpga_per_chip_embodied_kg=zeros,
+        asic_per_chip_embodied_kg=zeros,
+        n_fpga=ints,
+        fpga_generations=ints,
+        asic_generations=ints,
+        num_apps=ints,
+    )
+
+
+def _assert_states_equal(a: dict, b: dict) -> None:
+    """Bit-identity over packed state dicts, NaN-aware for float arrays."""
+    assert a.keys() == b.keys()
+    for key in a:
+        left, right = np.asarray(a[key]), np.asarray(b[key])
+        assert left.dtype == right.dtype, key
+        equal_nan = left.dtype.kind == "f"
+        assert np.array_equal(left, right, equal_nan=equal_nan), key
+
+
+#: One canonical instance per registered reducer type.  The alignment of
+#: every factory divides 64, so offset-64 chunks satisfy all of them.
+_REDUCER_FACTORIES = {
+    MomentsReducer: lambda: MomentsReducer(block=64),
+    WinCountReducer: WinCountReducer,
+    HistogramReducer: lambda: HistogramReducer(0.0, 4.0, 16),
+    ReservoirQuantiles: lambda: ReservoirQuantiles(k=48, seed=7),
+    TopKReducer: lambda: TopKReducer(k=8),
+    ParetoReducer: ParetoReducer,
+}
+
+
+def _chunk(offset: int, rows: int = 64) -> tuple[BatchResult, int]:
+    """A deterministic chunk at ``offset`` with non-finite draws mixed in."""
+    rng = np.random.default_rng(1000 + offset)
+    ratios = rng.uniform(0.1, 3.5, size=rows)
+    ratios[rng.integers(0, rows)] = np.nan
+    ratios[rng.integers(0, rows)] = np.inf
+    ratios[rng.integers(0, rows)] = -np.inf
+    winners = np.where(rng.random(rows) < 0.4, "fpga", "asic").astype("<U4")
+    fpga = rng.uniform(1.0, 9.0, size=rows)
+    asic = rng.uniform(1.0, 9.0, size=rows)
+    return _fake_result(ratios, winners, fpga, asic), offset
+
+
+def _updated(factory, offsets: tuple[int, ...]):
+    reducer = factory()
+    for offset in offsets:
+        result, off = _chunk(offset)
+        reducer.update(result, off)
+    return reducer
+
+
+# ----------------------------------------------------------------------
+# Satellite: reducer state-contract property test over the registry
+# ----------------------------------------------------------------------
+
+
+def test_registry_matches_factories():
+    assert set(REDUCER_REGISTRY) == set(_REDUCER_FACTORIES)
+
+
+@pytest.mark.parametrize(
+    "cls", REDUCER_REGISTRY, ids=lambda cls: cls.__name__
+)
+def test_reducer_state_round_trip_and_merge_bit_identity(cls):
+    factory = _REDUCER_FACTORIES[cls]
+
+    # Round trip is bit-identical (non-finite draws included).
+    original = _updated(factory, (0, 64))
+    revived = factory().from_state(original.to_state())
+    _assert_states_equal(revived.to_state(), original.to_state())
+
+    # Merging revived partials == merging the originals, bit for bit.
+    direct = _updated(factory, (0, 64))
+    direct.merge(_updated(factory, (128, 192)))
+    via_state = factory().from_state(_updated(factory, (0, 64)).to_state())
+    via_state.merge(
+        factory().from_state(_updated(factory, (128, 192)).to_state())
+    )
+    _assert_states_equal(via_state.to_state(), direct.to_state())
+
+    # Empty partials round-trip and merge as no-ops.
+    empty = factory().from_state(factory().to_state())
+    _assert_states_equal(empty.to_state(), factory().to_state())
+    padded = factory().from_state(_updated(factory, (0, 64)).to_state())
+    padded.merge(empty)
+    _assert_states_equal(
+        padded.to_state(), _updated(factory, (0, 64)).to_state()
+    )
+
+
+def _bundle(quantile_k: int = 48) -> StreamingReduction:
+    return StreamingReduction(
+        {
+            "moments": MomentsReducer(block=64),
+            "wins": WinCountReducer(),
+            "quantiles": ReservoirQuantiles(k=quantile_k, seed=7),
+            "topk": TopKReducer(k=8),
+            "pareto": ParetoReducer(),
+        }
+    )
+
+
+def test_bundle_state_round_trip_and_schema_token():
+    original = _updated(_bundle, (0, 64))
+    revived = _bundle().from_state(original.to_state())
+    _assert_states_equal(revived.to_state(), original.to_state())
+    assert original.schema_token() == _bundle().schema_token()
+    # The token is shape-level identity: a member swap changes it.
+    assert (
+        StreamingReduction({"wins": WinCountReducer()}).schema_token()
+        != StreamingReduction({"pareto": ParetoReducer()}).schema_token()
+    )
+
+
+def test_bundle_rejects_member_drift_and_ambiguous_names():
+    state = StreamingReduction({"wins": WinCountReducer()}).to_state()
+    with pytest.raises(ParameterError, match="configured members"):
+        StreamingReduction({"pareto": ParetoReducer()}).from_state(state)
+    with pytest.raises(ParameterError, match="::"):
+        StreamingReduction({"a::b": WinCountReducer()})
+
+
+def test_moments_from_state_rejects_block_drift():
+    state = MomentsReducer(block=64).to_state()
+    with pytest.raises(ParameterError, match="block"):
+        MomentsReducer(block=128).from_state(state)
+
+
+# ----------------------------------------------------------------------
+# Journal: persistence, resume, identity, corruption
+# ----------------------------------------------------------------------
+
+
+class _FakeSource:
+    """Journal-level stand-in: identity attributes, no evaluation."""
+
+    def __init__(self, n: int, seed: int = 11, token: str = "fake") -> None:
+        self.n = n
+        self.seed = seed
+        self._token = token
+
+    def checkpoint_token(self) -> str:
+        return self._token
+
+
+def _partial(start: int, stop: int) -> StreamingReduction:
+    bundle = _bundle()
+    for offset in range(start, stop, 64):
+        result, off = _chunk(offset)
+        bundle.update(result, off)
+    return bundle
+
+
+def _open(tmp_path, *, n=1024, chunk_rows=128, every_rows=256, seed=11,
+          reduction=None, every_s=None, token="fake"):
+    return CheckpointJournal.open(
+        Checkpoint(tmp_path / "job.ckpt", every_rows=every_rows,
+                   every_s=every_s),
+        _FakeSource(n, seed=seed, token=token),
+        _bundle() if reduction is None else reduction,
+        n=n,
+        chunk_rows=chunk_rows,
+    )
+
+
+def test_journal_persists_and_resumes(tmp_path):
+    journal = _open(tmp_path)
+    assert [u[0] for u in journal.pending()] == [0, 1, 2, 3]
+    journal.complete(0, _partial(0, 256))
+    journal.complete(1, _partial(256, 512))
+    assert journal.flushes == 2  # every_rows == unit rows: flush per unit
+    assert journal.rows_done == 512
+
+    resumed = _open(tmp_path)
+    assert resumed.resumed_units == 2
+    assert [u[0] for u in resumed.pending()] == [2, 3]
+    _assert_states_equal(
+        resumed.merged.to_state(), journal.merged.to_state()
+    )
+    with pytest.raises(ParameterError, match="twice"):
+        resumed.complete(0, _partial(0, 256))
+
+
+def test_journal_identity_drift_raises_typed_error(tmp_path):
+    _open(tmp_path).complete(0, _partial(0, 256))
+    with pytest.raises(CheckpointMismatchError, match="seed"):
+        _open(tmp_path, seed=12)
+    with pytest.raises(CheckpointMismatchError, match="source"):
+        _open(tmp_path, token="other-study")
+    with pytest.raises(CheckpointMismatchError, match="n_rows"):
+        _open(tmp_path, n=2048)
+    with pytest.raises(CheckpointMismatchError, match="chunk_rows"):
+        _open(tmp_path, chunk_rows=64)
+    with pytest.raises(CheckpointMismatchError, match="schema"):
+        _open(
+            tmp_path,
+            reduction=StreamingReduction({"wins": WinCountReducer()}),
+        )
+    # The original job still resumes fine after all those rejections.
+    assert _open(tmp_path).resumed_units == 1
+
+
+def test_journal_corruption_starts_cold(tmp_path, caplog):
+    journal = _open(tmp_path)
+    journal.complete(0, _partial(0, 256))
+    path = tmp_path / "job.ckpt"
+    FaultPlan(seed=3).corrupt_file(path, flips=32)
+    with caplog.at_level("WARNING"):
+        resumed = _open(tmp_path)
+    assert resumed.resumed_units == 0
+    assert len(resumed.pending()) == 4
+    assert "starting from scratch" in caplog.text
+
+    # Truncation (power loss mid-write without the atomic writer) and
+    # outright garbage are the same cold start, not a crash.
+    journal.flush(force=True)
+    FaultPlan(seed=3).truncate_file(path, keep_fraction=0.3)
+    assert _open(tmp_path).resumed_units == 0
+    path.write_bytes(b"not a checkpoint at all")
+    assert _open(tmp_path).resumed_units == 0
+
+
+def test_journal_crash_mid_save_keeps_previous_checkpoint(
+    tmp_path, monkeypatch
+):
+    journal = _open(tmp_path)
+    journal.complete(0, _partial(0, 256))
+    import repro.engine.atomicio as atomicio
+
+    def _dies(src, dst):
+        raise OSError("simulated crash during replace")
+
+    monkeypatch.setattr(atomicio.os, "replace", _dies)
+    with pytest.raises(OSError, match="simulated crash"):
+        journal.complete(1, _partial(256, 512))
+    monkeypatch.undo()
+
+    # The torn save left no temp litter and the previous checkpoint is
+    # intact: exactly unit 0 is restored.
+    assert not list(tmp_path.glob("*.tmp.*"))
+    resumed = _open(tmp_path)
+    assert resumed.resumed_units == 1
+    assert [u[0] for u in resumed.pending()] == [1, 2, 3]
+
+
+def test_journal_config_validation(tmp_path):
+    with pytest.raises(ParameterError, match="every_rows"):
+        _open(tmp_path, every_rows=0)
+    with pytest.raises(ParameterError, match="every_s"):
+        _open(tmp_path, every_rows=None, every_s=0.0)
+
+
+def test_source_token_prefers_semantic_digest():
+    assert source_token(_FakeSource(8, token="abc")) == "abc"
+    # Pickle-digest fallback: stable across identical sources.
+    arr = np.arange(4.0)
+    assert source_token(arr) == source_token(arr.copy())
+
+
+# ----------------------------------------------------------------------
+# Crash/resume end to end (in-process fault)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def comparator(suite):
+    return PlatformComparator.for_domain("dnn", suite)
+
+
+N_DRAWS = 16_384
+
+
+def _mc_source(comparator, n: int = N_DRAWS) -> MonteCarloChunkSource:
+    return MonteCarloChunkSource(
+        np.asarray(extract_row(comparator)),
+        tuple(table1_distributions()),
+        2024,
+        BASELINE,
+        n,
+    )
+
+
+def _mc_bundle() -> StreamingReduction:
+    return StreamingReduction(
+        {
+            "moments": MomentsReducer(block=512),
+            "wins": WinCountReducer(),
+            "quantiles": ReservoirQuantiles(k=2048, seed=2024),
+            "topk": TopKReducer(k=16),
+            "pareto": ParetoReducer(),
+        }
+    )
+
+
+class _DiesAfter:
+    """Source wrapper raising after ``healthy`` chunk computations."""
+
+    def __init__(self, inner, healthy: int) -> None:
+        self.inner = inner
+        self.healthy = healthy
+        self.calls = 0
+
+    @property
+    def n(self) -> int:
+        return self.inner.n
+
+    @property
+    def seed(self) -> int:
+        return self.inner.seed
+
+    def checkpoint_token(self) -> str:
+        return self.inner.checkpoint_token()
+
+    def chunk(self, start: int, stop: int):
+        self.calls += 1
+        if self.calls > self.healthy:
+            raise RuntimeError("injected mid-run failure")
+        return self.inner.chunk(start, stop)
+
+
+def test_checkpointed_run_bit_identical_to_plain_stream(
+    comparator, tmp_path
+):
+    reference = run_stream(
+        _mc_source(comparator), _mc_bundle(), chunk_rows=2048
+    )
+    checkpointed = run_stream(
+        _mc_source(comparator),
+        _mc_bundle(),
+        chunk_rows=2048,
+        checkpoint=Checkpoint(tmp_path / "mc.ckpt", every_rows=4096),
+    )
+    _assert_states_equal(
+        checkpointed.to_state(), reference.to_state()
+    )
+    assert checkpointed["pareto"].rows() == reference["pareto"].rows()
+    assert checkpointed["topk"].rows() == reference["topk"].rows()
+
+
+def test_crash_then_resume_is_bit_identical_and_skips_done_work(
+    comparator, tmp_path
+):
+    config = Checkpoint(tmp_path / "mc.ckpt", every_rows=4096)
+    dying = _DiesAfter(_mc_source(comparator), healthy=3)
+    with pytest.raises(RuntimeError, match="injected"):
+        run_stream(dying, _mc_bundle(), chunk_rows=2048, checkpoint=config)
+
+    # The interrupting flush persisted the completed units.
+    survivor = CheckpointJournal.open(
+        config, _mc_source(comparator), _mc_bundle(),
+        n=N_DRAWS, chunk_rows=2048,
+    )
+    assert 0 < survivor.resumed_units < len(survivor.units)
+
+    counting = _DiesAfter(_mc_source(comparator), healthy=10**9)
+    resumed = run_stream(
+        counting, _mc_bundle(), chunk_rows=2048, checkpoint=config
+    )
+    # Completed units were skipped, not recomputed.
+    assert counting.calls < N_DRAWS // 2048
+    reference = run_stream(
+        _mc_source(comparator), _mc_bundle(), chunk_rows=2048
+    )
+    _assert_states_equal(resumed.to_state(), reference.to_state())
+    assert resumed["wins"].n == N_DRAWS
+    assert resumed["pareto"].rows() == reference["pareto"].rows()
+
+
+def test_finished_checkpoint_short_circuits_the_source(comparator, tmp_path):
+    config = Checkpoint(tmp_path / "mc.ckpt", every_rows=4096)
+    first = run_stream(
+        _mc_source(comparator), _mc_bundle(), chunk_rows=2048,
+        checkpoint=config,
+    )
+    untouchable = _DiesAfter(_mc_source(comparator), healthy=0)
+    replay = run_stream(
+        untouchable, _mc_bundle(), chunk_rows=2048, checkpoint=config
+    )
+    assert untouchable.calls == 0
+    _assert_states_equal(replay.to_state(), first.to_state())
+
+
+def test_parallel_checkpoint_resume_matches_sequential(comparator, tmp_path):
+    config = Checkpoint(tmp_path / "mc.ckpt", every_rows=4096)
+    dying = _DiesAfter(_mc_source(comparator), healthy=2)
+    with pytest.raises(RuntimeError, match="injected"):
+        run_stream(dying, _mc_bundle(), chunk_rows=2048, checkpoint=config)
+    with EvaluationEngine(cache_size=0, workers=2) as eng:
+        resumed = eng.reduce_stream(
+            _mc_source(comparator), _mc_bundle(), chunk_rows=2048,
+            workers=2, checkpoint=config,
+        )
+    reference = run_stream(
+        _mc_source(comparator), _mc_bundle(), chunk_rows=2048
+    )
+    _assert_states_equal(resumed.to_state(), reference.to_state())
+
+
+def test_monte_carlo_stream_checkpoint_knobs(comparator, tmp_path):
+    path = tmp_path / "mc.ckpt"
+    with pytest.raises(ParameterError, match="checkpoint_every"):
+        monte_carlo_stream(
+            comparator, BASELINE, table1_distributions(), n_samples=4096,
+            seed=2024, workers=1, checkpoint_every=1024,
+        )
+    first = monte_carlo_stream(
+        comparator, BASELINE, table1_distributions(), n_samples=4096,
+        seed=2024, workers=1, chunk_rows=1024,
+        checkpoint=path, checkpoint_every=1024,
+    )
+    plain = monte_carlo_stream(
+        comparator, BASELINE, table1_distributions(), n_samples=4096,
+        seed=2024, workers=1, chunk_rows=1024,
+    )
+    assert first.summary() == plain.summary()
+    np.testing.assert_array_equal(
+        first.quantile_sample, plain.quantile_sample
+    )
+    # Seed drift against the same checkpoint is a typed, named error.
+    with pytest.raises(CheckpointMismatchError, match="seed"):
+        monte_carlo_stream(
+            comparator, BASELINE, table1_distributions(), n_samples=4096,
+            seed=2025, workers=1, chunk_rows=1024,
+            checkpoint=path, checkpoint_every=1024,
+        )
+
+
+# ----------------------------------------------------------------------
+# SIGKILL chaos: a real process murdered mid-run, resumed to bit parity
+# ----------------------------------------------------------------------
+
+
+_CHILD_SCRIPT = """\
+import os
+import sys
+
+import numpy as np
+
+from repro.core.comparison import PlatformComparator
+from repro.core.scenario import Scenario
+from repro.engine.vector import (
+    Checkpoint,
+    MomentsReducer,
+    MonteCarloChunkSource,
+    ParetoReducer,
+    ReservoirQuantiles,
+    StreamingReduction,
+    TopKReducer,
+    WinCountReducer,
+    extract_row,
+    run_stream,
+)
+from repro.experiments.ext_uncertainty import distributions
+
+ckpt_path, out_path, n = sys.argv[1], sys.argv[2], int(sys.argv[3])
+comparator = PlatformComparator.for_domain("dnn")
+source = MonteCarloChunkSource(
+    np.asarray(extract_row(comparator)),
+    tuple(distributions()),
+    2024,
+    Scenario(num_apps=5, app_lifetime_years=2.0, volume=1_000_000),
+    n,
+)
+bundle = StreamingReduction({
+    "moments": MomentsReducer(block=4096),
+    "wins": WinCountReducer(),
+    "quantiles": ReservoirQuantiles(k=4096, seed=2024),
+    "topk": TopKReducer(k=32),
+    "pareto": ParetoReducer(),
+})
+merged = run_stream(
+    source, bundle, chunk_rows=65536,
+    checkpoint=Checkpoint(ckpt_path, every_rows=65536),
+)
+tmp = out_path + ".tmp"
+with open(tmp, "wb") as handle:
+    np.savez(handle, **merged.to_state())
+os.replace(tmp, out_path)
+"""
+
+
+def test_sigkill_mid_run_resumes_to_bit_identical_results(tmp_path):
+    script = tmp_path / "job.py"
+    script.write_text(_CHILD_SCRIPT)
+    ckpt_path = tmp_path / "study.ckpt"
+    out_path = tmp_path / "state.npz"
+    src_root = str(Path(__file__).resolve().parent.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_root, env.get("PYTHONPATH")) if p
+    )
+    argv = [
+        sys.executable, str(script), str(ckpt_path), str(out_path),
+        str(SIGKILL_DRAWS),
+    ]
+
+    kills = 0
+    for delay in FaultPlan(seed=2024).kill_delays(6, 0.05, 0.25):
+        process = subprocess.Popen(
+            argv, env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Let the job produce at least one checkpoint flush, then
+            # murder it a seeded-random beat later — mid-unit, mid-save,
+            # wherever the dice land.
+            deadline = time.monotonic() + 120.0
+            while (
+                time.monotonic() < deadline
+                and process.poll() is None
+                and not ckpt_path.exists()
+            ):
+                time.sleep(0.005)
+            if process.poll() is None:
+                time.sleep(delay)
+            if process.poll() is None:
+                os.kill(process.pid, signal.SIGKILL)
+                kills += 1
+        finally:
+            process.wait()
+        if out_path.exists():
+            break
+    assert kills >= 1, "every child finished before its kill fired"
+    assert ckpt_path.exists(), "no checkpoint survived the kills"
+
+    if not out_path.exists():
+        # The kill budget is spent; the final resume runs to completion.
+        final = subprocess.run(
+            argv, env=env, capture_output=True, text=True
+        )
+        assert final.returncode == 0, final.stderr
+
+    # Bit-identical to an uninterrupted in-process run of the same job:
+    # moments blocks, win counters, quantile sketch, top-k, Pareto front.
+    comparator = PlatformComparator.for_domain("dnn")
+    source = MonteCarloChunkSource(
+        np.asarray(extract_row(comparator)),
+        tuple(table1_distributions()),
+        2024,
+        BASELINE,
+        SIGKILL_DRAWS,
+    )
+    reference = run_stream(
+        source,
+        StreamingReduction({
+            "moments": MomentsReducer(block=4096),
+            "wins": WinCountReducer(),
+            "quantiles": ReservoirQuantiles(k=4096, seed=2024),
+            "topk": TopKReducer(k=32),
+            "pareto": ParetoReducer(),
+        }),
+        chunk_rows=65536,
+    )
+    with np.load(out_path) as archive:
+        resumed_state = {name: archive[name].copy() for name in archive.files}
+    _assert_states_equal(resumed_state, reference.to_state())

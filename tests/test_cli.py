@@ -202,3 +202,39 @@ def test_mc_stream_knobs_require_stream_flag():
     assert excinfo.value.code == 2
     with pytest.raises(SystemExit):
         main(["mc", "--draws", "100", "--chunk-rows", "64"])
+    with pytest.raises(SystemExit):
+        main(["mc", "--draws", "100", "--checkpoint", "ck.bin"])
+
+
+def test_mc_checkpoint_every_requires_checkpoint():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["mc", "--stream", "--draws", "100", "--checkpoint-every", "64"])
+    assert excinfo.value.code == 2
+
+
+def test_mc_stream_checkpoint_resumes_from_file(tmp_path, capsys):
+    """The CLI wires --checkpoint/--checkpoint-every through to the
+    streaming path: a finished checkpoint is picked up on the rerun and
+    the reported summary is identical."""
+    ckpt = tmp_path / "mc.ckpt"
+    args = [
+        "mc", "--stream", "--draws", "512", "--seed", "9",
+        "--chunk-rows", "128", "--mc-workers", "1",
+        "--checkpoint", str(ckpt), "--checkpoint-every", "128",
+    ]
+    from repro.engine import reset_default_engine
+
+    def metrics(out: str) -> list[str]:
+        # Drop the run header (wall time / RSS vary); keep the table.
+        return [line for line in out.splitlines() if "|" in line]
+
+    try:
+        main(args)
+        first = capsys.readouterr().out
+        assert ckpt.exists()
+        main(args)  # resumes (here: fully short-circuits) from the file
+        second = capsys.readouterr().out
+        assert metrics(first) == metrics(second)
+        assert metrics(first)
+    finally:
+        reset_default_engine()

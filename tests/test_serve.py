@@ -21,6 +21,7 @@ import pytest
 from repro.core.comparison import PlatformComparator
 from repro.engine.engine import EvaluationEngine
 from repro.engine.serve import protocol
+from repro.engine.serve.backoff import JitteredBackoff
 from repro.engine.serve.client import ServeClient
 from repro.engine.serve.faults import FaultPlan
 from repro.engine.serve.protocol import (
@@ -249,6 +250,67 @@ def test_fault_plan_corruption_is_seed_deterministic(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Jittered backoff
+# ----------------------------------------------------------------------
+
+
+def test_jittered_backoff_full_mode_spread_and_cap():
+    backoff = JitteredBackoff(base_s=0.05, cap_s=2.0, mode="full", seed=11)
+    # The ceiling doubles per attempt and saturates at the cap.
+    assert backoff.ceiling(1) == 0.05
+    assert backoff.ceiling(2) == 0.1
+    assert backoff.ceiling(7) == 2.0
+    assert backoff.ceiling(1000) == 2.0  # huge attempts must not overflow
+    for attempt in range(1, 12):
+        delays = [backoff.delay(attempt) for _ in range(50)]
+        ceiling = backoff.ceiling(attempt)
+        assert all(0.0 <= d <= ceiling for d in delays)
+        # Full jitter genuinely spreads: not everyone retries together.
+        assert len({round(d, 12) for d in delays}) > 40
+    # Per-call base (the server's RETRY_AFTER hint) scales the ceiling.
+    assert backoff.ceiling(3, base_s=0.4) == 1.6
+
+
+def test_jittered_backoff_equal_mode_keeps_escalating_floor():
+    backoff = JitteredBackoff(base_s=0.1, cap_s=5.0, mode="equal", seed=7)
+    for attempt in range(1, 8):
+        ceiling = backoff.ceiling(attempt)
+        delays = [backoff.delay(attempt) for _ in range(50)]
+        # Equal jitter never drops below half the ceiling: a crash loop
+        # cannot be respawned near-instantly by a lucky draw.
+        assert all(ceiling / 2.0 <= d <= ceiling for d in delays)
+    assert backoff.ceiling(1) < backoff.ceiling(2) < backoff.ceiling(6)
+
+
+def test_jittered_backoff_seeded_and_validated():
+    a = JitteredBackoff(seed=3)
+    b = JitteredBackoff(seed=3)
+    assert [a.delay(i) for i in (1, 2, 3)] == [b.delay(i) for i in (1, 2, 3)]
+    assert JitteredBackoff(seed=3).delay(2) != JitteredBackoff(seed=4).delay(2)
+    with pytest.raises(ParameterError, match="base_s"):
+        JitteredBackoff(base_s=0.0)
+    with pytest.raises(ParameterError, match="cap_s"):
+        JitteredBackoff(base_s=1.0, cap_s=0.5)
+    with pytest.raises(ParameterError, match="mode"):
+        JitteredBackoff(mode="none")
+    with pytest.raises(ParameterError, match="attempt"):
+        JitteredBackoff().delay(0)
+
+
+def test_fault_plan_kill_delays_are_seed_deterministic():
+    delays = FaultPlan(seed=9).kill_delays(8, 0.05, 0.5)
+    assert delays == FaultPlan(seed=9).kill_delays(8, 0.05, 0.5)
+    assert delays != FaultPlan(seed=10).kill_delays(8, 0.05, 0.5)
+    assert len(delays) == 8
+    assert all(0.05 <= d < 0.5 for d in delays)
+    assert FaultPlan().kill_delays(0) == ()
+    with pytest.raises(ValueError, match="count"):
+        FaultPlan().kill_delays(-1)
+    with pytest.raises(ValueError, match="hi_s"):
+        FaultPlan().kill_delays(2, 0.5, 0.1)
+
+
+# ----------------------------------------------------------------------
 # End-to-end server behaviour (no injected chaos)
 # ----------------------------------------------------------------------
 
@@ -292,6 +354,34 @@ def test_zero_worker_server_degrades_in_process_bit_identically():
     np.testing.assert_array_equal(served.winners, local.winners)
     assert stats.degraded_inprocess >= 1
     assert stats.responses_ok >= 1
+
+
+def test_worker_periodic_snapshot_rewarms_a_restarted_server(tmp_path):
+    """With ``snapshot_every_s`` set, workers re-dump their warm store
+    to ``cache_file`` after replies — so a *new* server (a restart)
+    starts with the previous fleet's warmth instead of a cold store."""
+    cache = tmp_path / "warm.npz"
+    batch = _batch(10)
+
+    async def serve_once():
+        async with BatchServer(
+            workers=1, cache_file=str(cache), snapshot_every_s=0.0,
+        ) as server:
+            async with ServeClient(server.host, server.port) as client:
+                await client.evaluate("dnn", batch, deadline_s=30.0)
+            # The snapshot lands after the reply; give the worker loop a
+            # beat to write it before the server tears the fleet down.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and not cache.exists():
+                await asyncio.sleep(0.01)
+
+    asyncio.run(serve_once())
+    assert cache.exists(), "worker never snapshotted its warm store"
+    warm = EvaluationEngine()
+    try:
+        assert warm.load_cache(cache) > 0
+    finally:
+        warm.close()
 
 
 def test_full_queue_sheds_newest_with_retry_after():

@@ -290,6 +290,50 @@ def test_store_save_load_roundtrip_bit_identical(tmp_path):
     assert stats.hits == 20 and stats.misses == 0 and stats.size == 20
 
 
+def test_store_save_crash_mid_write_keeps_previous_snapshot(
+    tmp_path, monkeypatch
+):
+    """A save that dies mid-write must not tear the previous snapshot.
+
+    ``save`` goes through the atomic writer (tmp + fsync + os.replace),
+    so a crash while the new bytes are being written leaves the old
+    file byte-identical and loadable — and no temp litter behind.
+    """
+    store = ShardedResultStore(capacity=64, shards=4)
+    lo, hi, floats, ints = _rows(range(12))
+    store.put_batch(lo, hi, floats, ints)
+    path = store.save(tmp_path / "warmth.npz")
+    before = path.read_bytes()
+
+    lo2, hi2, floats2, ints2 = _rows(range(12, 24))
+    store.put_batch(lo2, hi2, floats2, ints2)
+
+    import repro.engine.atomicio as atomicio
+
+    real_replace = atomicio.os.replace
+
+    def _dies(src_path, dst_path):
+        raise OSError("simulated crash before rename")
+
+    monkeypatch.setattr(atomicio.os, "replace", _dies)
+    with pytest.raises(OSError, match="simulated crash"):
+        store.save(path)
+    monkeypatch.setattr(atomicio.os, "replace", real_replace)
+
+    assert path.read_bytes() == before
+    assert not list(tmp_path.glob("*.tmp.*"))
+    loaded = ShardedResultStore(capacity=64, shards=4)
+    assert loaded.load(path) == 12
+    hits, got_f, _ = loaded.get_batch(lo, hi)
+    assert hits.all()
+    np.testing.assert_array_equal(got_f, floats)
+
+    # And a healthy save afterwards picks up the full store again.
+    store.save(path)
+    fresh = ShardedResultStore(capacity=64, shards=4)
+    assert fresh.load(path) == 24
+
+
 def test_store_overflow_save_load_keeps_most_recent(tmp_path):
     """Fill past capacity, round-trip, and verify eviction + counters."""
     store = ShardedResultStore(capacity=8, shards=2)
