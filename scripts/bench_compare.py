@@ -33,6 +33,14 @@ same threshold of headroom — exceeding it **fails**, baseline or not:
 the streaming pipeline's bounded-memory contract is a gate, not a
 trajectory.
 
+Absolute floors work the same way: a top-level ``min_<metric>_gate``
+key applies to every workload dict carrying ``<metric>`` (currently
+``min_fused_speedup_gate`` vs the ``mc_stream_fused`` workload's
+``fused_speedup``) and a value below the floor **fails** with no
+headroom — the emitting benchmark asserts the identical bound, so the
+comparison can only trip when someone hand-edits the JSON or the
+emitter's assert is bypassed, and then it must trip.
+
 Usage:
     python scripts/bench_compare.py [--threshold 0.25]
     python scripts/bench_compare.py --update-baselines   # re-anchor
@@ -161,6 +169,60 @@ def check_rss_budgets(
     return lines, violations
 
 
+def _collect_floor_gates(tree: dict) -> list[tuple[str, float, float]]:
+    """``(path, value, floor)`` for metrics with a declared floor.
+
+    Each top-level ``min_<metric>_gate`` key pairs with every workload
+    dict that carries ``<metric>``; unmatched gates are ignored (they
+    describe bounds the emitter asserts on derived quantities).
+    """
+    floors = {
+        key[len("min_"):-len("_gate")]: float(value)
+        for key, value in tree.items()
+        if key.startswith("min_") and key.endswith("_gate")
+        and isinstance(value, (int, float))
+    }
+    gates: list[tuple[str, float, float]] = []
+
+    def visit(node: object, prefix: str) -> None:
+        if isinstance(node, dict):
+            for metric, floor in floors.items():
+                if isinstance(node.get(metric), (int, float)):
+                    path = f"{prefix}.{metric}" if prefix else metric
+                    gates.append((path, float(node[metric]), floor))
+            for key, value in node.items():
+                visit(value, f"{prefix}.{key}" if prefix else key)
+        elif isinstance(node, list):
+            for index, value in enumerate(node):
+                visit(value, f"{prefix}[{index}]")
+
+    visit(tree.get("workloads", {}), "workloads")
+    return gates
+
+
+def check_floor_gates(fresh_path: Path) -> tuple[list[str], list[str]]:
+    """Declared absolute floors: ``(report_lines, violations)``.
+
+    Checked against the fresh file alone with zero headroom — a
+    declared floor is a hard gate, not a machine-relative trajectory.
+    """
+    lines: list[str] = []
+    violations: list[str] = []
+    for path, value, floor in _collect_floor_gates(
+        json.loads(fresh_path.read_text())
+    ):
+        marker = "!" if value < floor else " "
+        lines.append(
+            f"  {marker} {path:<60} {value:>12g} / floor {floor:g}"
+        )
+        if value < floor:
+            violations.append(
+                f"{fresh_path.name}: {path} {value:g} is below its "
+                f"declared floor of {floor:g}"
+            )
+    return lines, violations
+
+
 def compare_file(
     fresh_path: Path, baseline_path: Path, threshold: float
 ) -> tuple[list[str], list[str], list[str]]:
@@ -254,6 +316,11 @@ def main(argv: "list[str] | None" = None) -> int:
             print(f"== {path.name} peak-RSS budgets ==")
             print("\n".join(rss_lines))
         all_regressions.extend(rss_violations)
+        floor_lines, floor_violations = check_floor_gates(path)
+        if floor_lines:
+            print(f"== {path.name} declared floors ==")
+            print("\n".join(floor_lines))
+        all_regressions.extend(floor_violations)
         baseline_path = BASELINE_DIR / path.name
         if not baseline_path.exists():
             print(

@@ -27,6 +27,14 @@
 # (SIGKILLed streaming Monte-Carlo resumed to bit-identical results)
 # and the checkpoint_stream workload's <= 5% overhead budget over the
 # fault-free stream.
+# The fused kernel tier gates: the registry parity sweep runs twice —
+# once on the default tier resolution (fused; Numba when importable,
+# the buffer-reuse NumPy backend otherwise) and once pinned to the
+# plain chain via REPRO_KERNEL=numpy, so both tiers hold the
+# rtol<=1e-12 + bit-identical-winners contract with and without the
+# compiled backend — and the mc_stream_fused workload must clear its
+# >= 4x draws/s gate over the NumPy chain (min_fused_speedup_gate,
+# re-checked as an absolute floor by bench_compare.py).
 # Both benches emit JSON trajectories (benchmarks/BENCH_engine.json,
 # benchmarks/BENCH_serving.json), which this script surfaces and then
 # diffs against the committed anchors in benchmarks/baselines/ via
@@ -50,6 +58,13 @@ echo "== static analysis + registry parity audit =="
 # JSON report lands next to the bench trajectories; bench_compare.py
 # recognises its audit_version marker and skips it.
 python -m repro.cli audit --json benchmarks/BENCH_audit.json
+
+echo
+echo "== registry parity sweep, chain tier (REPRO_KERNEL=numpy) =="
+# The audit above swept the fused tier (the default REPRO_KERNEL
+# resolution); this pass pins the always-available chain fallback so a
+# missing/broken Numba can never hide a parity break in either tier.
+REPRO_KERNEL=numpy python -m repro.cli audit --parity-only
 
 echo
 echo "== tier-1: unit + integration tests =="

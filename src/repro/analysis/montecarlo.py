@@ -78,19 +78,31 @@ class ParameterDistribution:
             return float(np.exp(rng.uniform(np.log(self.low), np.log(self.high))))
         return float(rng.uniform(self.low, self.high))
 
-    def column_from_uniform(self, u: np.ndarray) -> np.ndarray:
+    def column_from_uniform(
+        self, u: np.ndarray, out: "np.ndarray | None" = None
+    ) -> np.ndarray:
         """Map unit-interval draws onto this distribution, vectorised.
 
         Applies the same affine (or log-affine) transform NumPy's
         ``Generator.uniform`` applies to its underlying unit doubles, so
         a column built from ``rng.random(n)`` is bit-identical to ``n``
         sequential :meth:`sample` calls on the same generator state.
+
+        ``out`` recycles a caller-owned buffer for the result (the
+        streaming chunk source reuses per-thread columns to avoid
+        megabyte allocations per chunk); the transform itself runs
+        in place either way — same operations, same operand order,
+        bit-identical values, one temporary instead of three.
         """
         u = np.asarray(u, dtype=np.float64)
         if self.kind == "loguniform":
             log_low, log_high = np.log(self.low), np.log(self.high)
-            return np.exp(log_low + (log_high - log_low) * u)
-        return self.low + (self.high - self.low) * u
+            out = np.multiply(log_high - log_low, u, out=out)
+            np.add(log_low, out, out=out)
+            return np.exp(out, out=out)
+        out = np.multiply(self.high - self.low, u, out=out)
+        np.add(self.low, out, out=out)
+        return out
 
     def sample_column(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Draw ``n`` values as one column (consumes ``n`` unit doubles).

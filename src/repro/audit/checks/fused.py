@@ -1,0 +1,101 @@
+"""GF-FUSE — fused-tier kernels must twin the NumPy chain.
+
+Every module-level ``fused_<name>`` function in the compiled/fused
+kernel tier (:mod:`repro.engine.vector.fused`) is a drop-in twin of the
+chain kernel ``<name>``: the parity sweep calls both with the same
+positional arguments and compares the results to the tier's
+``rtol <= 1e-12`` contract.  This checker enforces statically what the
+sweep assumes at runtime —
+
+* the chain twin ``<name>`` exists as a module-level function somewhere
+  in the tree, and
+* the two positional parameter lists match name-for-name, in order.
+
+Keyword-only parameters are the fused tier's plumbing (``ctx``,
+``pool``, scratch buffers) and are exempt on both sides — they never
+carry registry data, so a signature drift there cannot skew parity.
+
+A fused kernel whose twin is missing, or whose positional arguments
+have drifted, is exactly the failure mode that turns a parity sweep
+into a false green: the sweep would either skip the kernel or feed the
+twins different columns.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+
+from repro.audit.linter import Checker, Finding, ModuleInfo
+
+#: Module-level function-name prefix that marks a fused-tier kernel.
+FUSED_PREFIX = "fused_"
+
+
+def _positional_params(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    """Positional parameter names, in order (kw-only plumbing exempt)."""
+    args = node.args
+    return tuple(a.arg for a in (*args.posonlyargs, *args.args))
+
+
+def _module_functions(module: ModuleInfo):
+    """``(name, node)`` for every function defined at module level."""
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+
+
+class FusedTwinChecker(Checker):
+    """Require a signature-matched NumPy twin for every fused kernel."""
+
+    id = "GF-FUSE"
+    summary = (
+        "fused-tier kernels (fused_<name>) must have a module-level "
+        "NumPy twin <name> with the same positional signature"
+    )
+
+    def check_project(self, modules: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        fused: list[tuple[ModuleInfo, str, ast.FunctionDef]] = []
+        twins: dict[str, tuple[ModuleInfo, ast.FunctionDef]] = {}
+        for module in modules:
+            if module.is_test:
+                continue
+            for name, node in _module_functions(module):
+                if name.startswith(FUSED_PREFIX):
+                    fused.append((module, name, node))
+                elif name not in twins:
+                    twins[name] = (module, node)
+
+        for module, name, node in fused:
+            twin_name = name[len(FUSED_PREFIX):]
+            twin = twins.get(twin_name)
+            if twin is None:
+                yield Finding(
+                    check=self.id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    symbol=name,
+                    message=(
+                        f"fused kernel {name!r} has no module-level NumPy "
+                        f"twin {twin_name!r} — the parity sweep cannot "
+                        "compare the fused tier against the chain"
+                    ),
+                )
+                continue
+            twin_module, twin_node = twin
+            ours = _positional_params(node)
+            theirs = _positional_params(twin_node)
+            if ours != theirs:
+                yield Finding(
+                    check=self.id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    symbol=name,
+                    message=(
+                        f"fused kernel {name!r} positional signature "
+                        f"({', '.join(ours)}) drifted from its twin "
+                        f"{twin_name!r} in {twin_module.relpath} "
+                        f"({', '.join(theirs)}) — the parity sweep would "
+                        "feed the two tiers different columns"
+                    ),
+                )

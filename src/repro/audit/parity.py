@@ -10,6 +10,11 @@ evaluation paths agree on the perturbed comparators:
 * **kernel** — :meth:`VectorizedEvaluator.evaluate_param_batch` over a
   :class:`ParameterBatch` of the same comparators (``rtol <= 1e-12``
   against scalar, the kernels' documented parity contract);
+* **fused** — :meth:`VectorizedEvaluator.reduce_batch` through the
+  fused kernel tier (:mod:`repro.engine.vector.fused`) on the same
+  batch: values to ``rtol <= 1e-12`` against scalar, winners
+  bit-identical (the fused tier's documented contract — values may
+  reassociate, verdicts may not);
 * **streaming** — :func:`run_stream` over the same batch with
   single-row chunks, against both a one-shot sequential reduction and
   an explicit split/:meth:`merge` of the kernel result (bit-identical
@@ -104,6 +109,7 @@ class ColumnReport:
     outputs_changed: bool
     kernel_max_rel_err: float
     stream_bitident: bool
+    fused_max_rel_err: float = 0.0
     error: str | None = None
 
     @property
@@ -114,6 +120,7 @@ class ColumnReport:
             and self.moved
             and self.outputs_changed
             and self.kernel_max_rel_err <= KERNEL_RTOL
+            and self.fused_max_rel_err <= KERNEL_RTOL
             and self.stream_bitident
         )
 
@@ -127,6 +134,7 @@ class ColumnReport:
             "moved": self.moved,
             "outputs_changed": self.outputs_changed,
             "kernel_max_rel_err": self.kernel_max_rel_err,
+            "fused_max_rel_err": self.fused_max_rel_err,
             "stream_bitident": self.stream_bitident,
             "error": self.error,
         }
@@ -146,7 +154,8 @@ class ColumnReport:
         detail = f" ({'; '.join(flags)})" if flags else ""
         return (
             f"  {status} {self.name}: {self.n_values} value(s), "
-            f"kernel rel err {self.kernel_max_rel_err:.2e}{detail}"
+            f"kernel rel err {self.kernel_max_rel_err:.2e}, "
+            f"fused rel err {self.fused_max_rel_err:.2e}{detail}"
         )
 
 
@@ -155,6 +164,7 @@ class ParityReport:
     """Aggregate parity outcome across all probed columns."""
 
     columns: tuple[ColumnReport, ...]
+    kernel_tier: str = "numpy-chain"
 
     @property
     def ok(self) -> bool:
@@ -173,6 +183,7 @@ class ParityReport:
             "columns_probed": len(self.columns),
             "columns_failed": self.n_failed,
             "kernel_rtol": KERNEL_RTOL,
+            "kernel_tier": self.kernel_tier,
             "columns": [c.as_dict() for c in self.columns],
         }
 
@@ -180,7 +191,8 @@ class ParityReport:
         """Multi-line human rendering (failures always, passes summarised)."""
         lines = [
             f"parity: {len(self.columns)} columns probed, "
-            f"{self.n_failed} failed (kernel rtol {KERNEL_RTOL:g})"
+            f"{self.n_failed} failed (kernel rtol {KERNEL_RTOL:g}, "
+            f"fused tier {self.kernel_tier})"
         ]
         lines.extend(c.render() for c in self.columns if not c.ok)
         return "\n".join(lines)
@@ -496,6 +508,7 @@ def _probe_column(
     probe: ColumnProbe,
     base: PlatformComparator,
     evaluator: VectorizedEvaluator,
+    fused: VectorizedEvaluator,
     values_per_column: int,
 ) -> ColumnReport:
     """Run one column probe end to end."""
@@ -520,6 +533,16 @@ def _probe_column(
     )
     if not np.array_equal(winners_s, np.asarray(kres.winners)):
         rel_err = math.inf
+
+    # Fused tier: values to the same rtol, winners bit-identical.
+    fres = fused.reduce_batch(params, batch)
+    fused_rel_err = max(
+        _max_rel_err(ratios_s, fres.ratios),
+        _max_rel_err(fpga_s, fres.fpga_totals),
+        _max_rel_err(asic_s, fres.asic_totals),
+    )
+    if not np.array_equal(winners_s, np.asarray(fres.winners)):
+        fused_rel_err = math.inf
 
     outputs_changed = bool(
         np.any(ratios_s[1:] != ratios_s[0])
@@ -555,6 +578,7 @@ def _probe_column(
         moved=moved,
         outputs_changed=outputs_changed,
         kernel_max_rel_err=rel_err,
+        fused_max_rel_err=fused_rel_err,
         stream_bitident=stream_bitident,
     )
 
@@ -564,8 +588,14 @@ def run_parity(
     columns: Sequence[int] | None = None,
     base: PlatformComparator | None = None,
     probes: Sequence[ColumnProbe] | None = None,
+    kernel_tier: str | None = None,
 ) -> ParityReport:
     """Probe every registry column (or ``columns``) and report parity.
+
+    ``kernel_tier`` selects the fused-tier backend for the fused sweep
+    (default: the ``REPRO_KERNEL`` environment resolution, so
+    ``REPRO_KERNEL=numpy repro audit`` validates the chain fallback
+    while a plain run validates the fused kernels).
 
     Per-column exceptions are captured into failing
     :class:`ColumnReport` entries rather than aborting the sweep, so
@@ -582,12 +612,15 @@ def run_parity(
     if columns is not None:
         wanted = set(columns)
         probes = [p for p in probes if p.column in wanted]
-    evaluator = VectorizedEvaluator()
+    # The chain reference always goes through evaluate_param_batch; the
+    # fused evaluator serves whatever tier resolution picks.
+    evaluator = VectorizedEvaluator(kernel_tier="numpy")
+    fused = VectorizedEvaluator(kernel_tier=kernel_tier)
     reports = []
     for probe in probes:
         try:
             reports.append(
-                _probe_column(probe, base, evaluator, values_per_column)
+                _probe_column(probe, base, evaluator, fused, values_per_column)
             )
         except Exception as exc:  # noqa: BLE001 - one broken probe must not hide the rest of the sweep
             reports.append(
@@ -598,9 +631,12 @@ def run_parity(
                     moved=False,
                     outputs_changed=False,
                     kernel_max_rel_err=math.inf,
+                    fused_max_rel_err=math.inf,
                     stream_bitident=False,
                     error=f"{type(exc).__name__}: {exc}",
                 )
             )
     reports.sort(key=lambda r: r.column)
-    return ParityReport(columns=tuple(reports))
+    return ParityReport(
+        columns=tuple(reports), kernel_tier=fused.kernel_tier_name
+    )

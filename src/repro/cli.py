@@ -301,12 +301,14 @@ def _cmd_mc(
         ),
     ))
     if stream:
+        # Reduce-only streaming serves through the fused kernel tier
+        # (REPRO_KERNEL-selectable); materialized runs keep the chain.
         pipeline = (
             f"streaming reduction, {engine.stream_workers(mc_workers)} "
-            f"worker(s)"
+            f"worker(s), {engine.kernel_tier_name} kernel"
         )
     else:
-        pipeline = "columnar parameter-space pipeline"
+        pipeline = "columnar parameter-space pipeline, numpy-chain kernel"
     print(
         f"\n{draws} draws in {elapsed:.3f} s "
         f"({draws / elapsed:,.0f} draws/s, {pipeline}); "

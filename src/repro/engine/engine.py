@@ -77,6 +77,7 @@ from repro.engine.vector import (
 )
 from repro.engine.vector.checkpoint import Checkpoint
 from repro.engine.vector.evaluator import _patch_fallback_rows
+from repro.engine.vector.fused import kernel_tier_label
 from repro.engine.vector.kernels import ratio_kernel, winner_kernel
 from repro.engine.vector.reducers import StreamingReduction
 from repro.engine.vector.streaming import (
@@ -184,6 +185,10 @@ class EvaluationEngine:
             the scalar path per pair.
         cache_shards: Hash shards of the result store (the digest's low
             word routes each entry).
+        kernel_tier: Fused kernel tier for the streaming reduce paths
+            (``auto``/``fused``/``numba``/``numpy``); ``None`` honours
+            the ``REPRO_KERNEL`` environment variable.  See
+            :mod:`repro.engine.vector.fused`.
         cache_file: Optional ``.npz`` path; when it exists its entries
             are loaded at construction, and :meth:`save_cache` with no
             argument writes back to it — cache warmth then survives
@@ -199,6 +204,7 @@ class EvaluationEngine:
         min_vector_batch: int = MIN_VECTOR_BATCH,
         cache_shards: int = DEFAULT_CACHE_SHARDS,
         cache_file: "str | Path | None" = None,
+        kernel_tier: "str | None" = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
@@ -212,6 +218,10 @@ class EvaluationEngine:
         self.chunk_size = chunk_size
         self.vectorize = vectorize
         self.min_vector_batch = min_vector_batch
+        # Validates the spelling eagerly: a bad tier fails at
+        # construction, not mid-stream in a worker process.
+        kernel_tier_label(kernel_tier)
+        self.kernel_tier = kernel_tier
         self._vector = VectorizedEvaluator()
         self._store = ShardedResultStore(capacity=cache_size, shards=cache_shards)
         self._pool: ProcessPoolExecutor | None = None
@@ -232,6 +242,15 @@ class EvaluationEngine:
     def cache_stats(self) -> CacheStats:
         """Hit/miss/size counters of the result store."""
         return self._store.stats()
+
+    @property
+    def kernel_tier_name(self) -> str:
+        """Label of the kernel tier streaming reduces resolve to.
+
+        ``fused-numba``/``fused-numpy``/``numpy-chain`` — resolved live
+        so an engine with no explicit ``kernel_tier`` reflects the
+        current ``REPRO_KERNEL`` environment."""
+        return kernel_tier_label(self.kernel_tier)
 
     @property
     def result_store(self) -> ShardedResultStore:
@@ -904,6 +923,7 @@ class EvaluationEngine:
         chunk_rows: "int | None" = None,
         workers: "int | None" = None,
         checkpoint: "Checkpoint | None" = None,
+        dtype: "type | None" = None,
     ) -> StreamingReduction:
         """Fold a chunk source through the kernels into ``reduction``.
 
@@ -920,12 +940,18 @@ class EvaluationEngine:
         makes the run durable: progress persists atomically on the
         configured cadence and a rerun resumes from completed units —
         still bit-identical to an uninterrupted run.
+
+        ``dtype=np.float32`` opts the fused tier's summary feed into
+        float32 (summaries within ``rtol <= 1e-5`` of a float64 run,
+        win counts still exact); ignored on the chain tier, which is
+        always float64.
         """
         workers = self.stream_workers(workers)
         pool = self._stream_pool_get(workers) if workers > 1 else None
         result = run_stream(
             source, reduction, chunk_rows=chunk_rows, workers=workers,
-            pool=pool, checkpoint=checkpoint,
+            pool=pool, checkpoint=checkpoint, kernel_tier=self.kernel_tier,
+            kernel_dtype=dtype if dtype is not None else np.float64,
         )
         self._note_computed(int(source.n))
         return result

@@ -43,6 +43,7 @@ from repro.core.scenario import Scenario
 from repro.engine.engine import EvaluationEngine
 from repro.engine.store import comparator_digest
 from repro.engine.vector import BatchResult, ScenarioBatch
+from repro.engine.vector.fused import kernel_tier_label
 from repro.errors import ParameterError
 
 #: Default micro-batching window: long enough to coalesce a burst of
@@ -542,7 +543,11 @@ def serving_benchmark(
             # Serving always materialises result rows (clients receive
             # per-row slices); recorded so BENCH_serving.json stays
             # comparable if a streaming reducer mode lands here too.
+            # kernel_tier is the tier a reduce= path would serve under
+            # the current REPRO_KERNEL resolution, making the artifact
+            # self-describing about the deployed kernel stack.
             "reduce_mode": "materialized",
+            "kernel_tier": kernel_tier_label(None),
             "persisted_entries": int(persisted),
             "warm_concurrent_hit_rate": round(float(warm_hit_rate), 4),
             "warm_concurrent_rows_recomputed": int(warm_recomputed),

@@ -114,24 +114,34 @@ class ScenarioBatch:
             all(t == lifetimes[0] for t in lifetimes)
             and scenario.volume == int(scenario.volume)
         )
+
+        # Stride-0 broadcast views instead of materialised np.full
+        # columns: a tiled batch is constant by construction, so the
+        # streaming hot path should not pay n-element allocation and
+        # page-fault cost per chunk for seven constant columns.  The
+        # views are read-only, which every consumer (kernels, the shm
+        # packer, concat/take — both of which copy) already respects,
+        # and rank-aware evaluators can detect the uniformity in O(1)
+        # from ``strides[0] == 0``.
+        def const(value, dtype) -> np.ndarray:
+            return np.broadcast_to(np.asarray(value).astype(dtype), (n,))
+
         return cls(
-            num_apps=np.full(n, scenario.num_apps, dtype=np.int64),
-            volume=np.full(n, scenario.volume, dtype=np.int64),
-            lifetime=np.full(n, lifetimes[0], dtype=np.float64),
-            evaluation_years=np.full(
-                n,
+            num_apps=const(scenario.num_apps, np.int64),
+            volume=const(scenario.volume, np.int64),
+            lifetime=const(lifetimes[0], np.float64),
+            evaluation_years=const(
                 np.nan if scenario.evaluation_years is None
                 else scenario.evaluation_years,
+                np.float64,
             ),
-            app_size_mgates=np.full(
-                n,
+            app_size_mgates=const(
                 np.nan if scenario.app_size_mgates is None
                 else scenario.app_size_mgates,
+                np.float64,
             ),
-            enforce_chip_lifetime=np.full(
-                n, scenario.enforce_chip_lifetime, dtype=bool
-            ),
-            covered=np.full(n, uniform, dtype=bool),
+            enforce_chip_lifetime=const(scenario.enforce_chip_lifetime, bool),
+            covered=const(uniform, bool),
             scenarios=None if uniform else (scenario,) * n,
         )
 

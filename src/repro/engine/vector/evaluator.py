@@ -623,10 +623,50 @@ def _patch_fallback_rows(
 class VectorizedEvaluator:
     """Batch evaluation through the NumPy kernels.
 
-    Stateless apart from the memoised per-comparator constants; safe to
-    share (the engine owns one and the analysis batch entry points reach
-    it through the engine).
+    Stateless apart from the memoised per-comparator constants and the
+    optional fused kernel's scratch pool; safe to share from one thread
+    (the engine owns one and the analysis batch entry points reach it
+    through the engine).
+
+    ``kernel_tier`` selects the fused single-pass tier for
+    :meth:`reduce_batch` (``auto``/``fused``/``numba``/``numpy``; default
+    honours the ``REPRO_KERNEL`` environment variable).  ``kernel_dtype``
+    (``float32``/``float64``) is the fused tier's summary precision —
+    see :class:`~repro.engine.vector.fused.FusedKernel`.
     """
+
+    def __init__(
+        self,
+        kernel_tier: "str | None" = None,
+        kernel_dtype: "np.dtype | type" = np.float64,
+    ) -> None:
+        from repro.engine.vector.fused import make_kernel
+
+        self._fused = make_kernel(kernel_tier, kernel_dtype)
+
+    @property
+    def kernel_tier_name(self) -> str:
+        """Resolved backend label (``fused-numpy``/``numpy-chain``/...)."""
+        return self._fused.name if self._fused is not None else "numpy-chain"
+
+    def reduce_batch(
+        self, params: ParameterBatch, batch: ScenarioBatch
+    ) -> "BatchResult | FusedResult":
+        """Reduce-only evaluation: fused tier when armed, chain otherwise.
+
+        The streaming chunk workers feed reducers through this method.
+        With a fused kernel the return value is the slimmer
+        :class:`~repro.engine.vector.fused.FusedResult` (ratios, totals,
+        winners, exact win count — everything a
+        :class:`~repro.engine.vector.reducers.StreamingReducer`
+        consumes); batches the fused tier cannot serve (uncovered rows)
+        fall back to the chain transparently.
+        """
+        if self._fused is not None:
+            result = self._fused.evaluate(params, batch)
+            if result is not None:
+                return result
+        return self.evaluate_param_batch(params, batch)
 
     @staticmethod
     def covers(scenario: Scenario) -> bool:

@@ -38,6 +38,22 @@ YIELD_MODEL_CODES = {
 }
 
 
+def _into(ufunc, a, b, out):
+    """``ufunc(a, b)`` into ``out`` when shapes permit, fresh otherwise.
+
+    ``out`` must be a temporary the caller owns exclusively — never a
+    caller-supplied operand column — so the reuse cannot alias a live
+    input.  ``out`` may be ``a`` or ``b`` itself (elementwise ufuncs are
+    well-defined with an input as ``out``); values and operation order
+    are identical to the out-of-place spelling either way.
+    """
+    if isinstance(out, np.ndarray) and out.shape == np.broadcast_shapes(
+        np.shape(a), np.shape(b)
+    ):
+        return ufunc(a, b, out=out)
+    return ufunc(a, b)
+
+
 # ----------------------------------------------------------------------
 # Composition helpers
 # ----------------------------------------------------------------------
@@ -219,7 +235,8 @@ def manufacturing_per_die_kg(
     area_cm2 = np.empty_like(die_area_mm2)
     charge = np.broadcast_to(np.asarray(charge_wafer_waste, dtype=bool),
                              die_area_mm2.shape)
-    if np.any(charge):
+    any_charge = bool(np.any(charge))
+    if any_charge:
         area_cm2[charge] = wafer_area_per_die_kernel(
             die_area_mm2[charge],
             np.broadcast_to(wafer_diameter_mm, die_area_mm2.shape)[charge],
@@ -227,22 +244,33 @@ def manufacturing_per_die_kg(
             np.broadcast_to(scribe_mm, die_area_mm2.shape)[charge],
         )
     if not np.all(charge):
-        area_cm2[~charge] = (die_area_mm2 / MM2_PER_CM2)[~charge]
+        if any_charge:
+            area_cm2[~charge] = (die_area_mm2 / MM2_PER_CM2)[~charge]
+        else:
+            np.divide(die_area_mm2, MM2_PER_CM2, out=area_cm2)
     total_yield = die_yield_kernel(
         die_area_mm2 / MM2_PER_CM2,
         defect_density_per_cm2,
         yield_model_code,
         line_yield,
     )
-    scale = area_cm2 / total_yield
-    energy = epa_kwh_per_cm2 * fab_intensity_kg_per_kwh * scale
-    gas = gpa_kg_per_cm2 * (1.0 - gas_abatement) * scale
-    blended = (
-        recycled_fraction * mpa_recycled_kg_per_cm2
-        + (1.0 - recycled_fraction) * mpa_new_kg_per_cm2
-    )
-    material = blended * scale
-    return energy + gas + material
+    # The tails below reuse finished temporaries as ``out=`` buffers
+    # (``area_cm2`` is dead once ``scale`` exists, each product owns its
+    # left factor): same values, same operation order, about half the
+    # full-rank allocations on hot multi-comparator batches.
+    scale = _into(np.divide, area_cm2, total_yield, area_cm2)
+    energy = np.multiply(epa_kwh_per_cm2, fab_intensity_kg_per_kwh)
+    energy = _into(np.multiply, energy, scale, energy)
+    gas = np.subtract(1.0, gas_abatement)
+    gas = _into(np.multiply, gpa_kg_per_cm2, gas, gas)
+    gas = _into(np.multiply, gas, scale, gas)
+    blended = np.multiply(recycled_fraction, mpa_recycled_kg_per_cm2)
+    other = np.subtract(1.0, recycled_fraction)
+    other = _into(np.multiply, other, mpa_new_kg_per_cm2, other)
+    blended = _into(np.add, blended, other, blended)
+    material = _into(np.multiply, blended, scale, blended)
+    total = _into(np.add, energy, gas, energy)
+    return _into(np.add, total, material, total)
 
 
 # ----------------------------------------------------------------------
@@ -321,7 +349,14 @@ def operation_per_chip_year_kg(
     intensity_kg_per_kwh: np.ndarray,
 ) -> np.ndarray:
     """Vectorised :meth:`OperationModel.per_chip_year_kg`."""
-    idle = (1.0 - duty_cycle) * idle_fraction_of_peak
-    effective_duty = (duty_cycle + idle) * pue
-    energy = (np.asarray(power_w, dtype=np.float64) / 1000.0) * effective_duty * HOURS_PER_YEAR
-    return intensity_kg_per_kwh * energy
+    # Same chain as before, accumulated through owned temporaries with
+    # ``out=`` where shapes permit (see :func:`_into`): the duty prefix
+    # collapses to one buffer instead of three full-rank temporaries.
+    idle = np.subtract(1.0, duty_cycle)
+    idle = _into(np.multiply, idle, idle_fraction_of_peak, idle)
+    effective_duty = _into(np.add, duty_cycle, idle, idle)
+    effective_duty = _into(np.multiply, effective_duty, pue, effective_duty)
+    energy = np.divide(np.asarray(power_w, dtype=np.float64), 1000.0)
+    energy = _into(np.multiply, energy, effective_duty, energy)
+    energy = _into(np.multiply, energy, HOURS_PER_YEAR, energy)
+    return _into(np.multiply, intensity_kg_per_kwh, energy, energy)

@@ -163,27 +163,43 @@ class MomentsReducer:
             raise ParameterError(
                 f"chunk offset {offset} is not aligned to block {block}"
             )
+        finite_all = np.isfinite(values)
+        all_finite = bool(finite_all.all())
+        centred_buf = np.empty(min(block, values.shape[0]))
         for start in range(0, values.shape[0], block):
             segment = values[start : start + block]
-            finite = np.isfinite(segment)
-            n_finite = int(np.count_nonzero(finite))
-            masked = np.where(finite, segment, 0.0)
-            total = float(masked.sum())
-            if n_finite:
-                centred = np.where(finite, segment - total / n_finite, 0.0)
-                m2 = float((centred * centred).sum())
+            if all_finite:
+                # Fast path for fully finite chunks (every realistic
+                # stream): same reductions over the same values — the
+                # masked spellings below select the whole segment — so
+                # the stored partials are bit-identical, without the
+                # mask temporaries and fancy-indexed copies.
+                n_finite = int(segment.shape[0])
+                total = float(segment.sum())
+                centred = np.subtract(
+                    segment, total / n_finite, out=centred_buf[: n_finite]
+                )
+                np.multiply(centred, centred, out=centred)
+                m2 = float(centred.sum())
+                seg_min = float(segment.min())
+                seg_max = float(segment.max())
             else:
-                m2 = 0.0
+                finite = finite_all[start : start + block]
+                n_finite = int(np.count_nonzero(finite))
+                masked = np.where(finite, segment, 0.0)
+                total = float(masked.sum())
+                if n_finite:
+                    centred = np.where(finite, segment - total / n_finite, 0.0)
+                    m2 = float((centred * centred).sum())
+                else:
+                    m2 = 0.0
+                seg_min = float(segment[finite].min()) if n_finite else math.inf
+                seg_max = float(segment[finite].max()) if n_finite else -math.inf
             key = (offset + start) // block
             if key in self._blocks:
                 raise ParameterError(f"block {key} reduced twice")
             self._blocks[key] = (
-                int(segment.shape[0]),
-                n_finite,
-                total,
-                m2,
-                float(segment[finite].min()) if n_finite else math.inf,
-                float(segment[finite].max()) if n_finite else -math.inf,
+                int(segment.shape[0]), n_finite, total, m2, seg_min, seg_max,
             )
 
     def merge(self, other: "MomentsReducer") -> None:
@@ -289,6 +305,14 @@ class WinCountReducer:
         return WinCountReducer()
 
     def update(self, result: BatchResult, offset: int) -> None:
+        # Fused-tier results carry an exact precomputed win count
+        # (counted on the float64 winner mask) — consuming it skips
+        # materialising the string winner column per chunk.
+        count = getattr(result, "fpga_win_count", None)
+        if count is not None:
+            self.n += int(result.size)
+            self.fpga_wins += int(count)
+            return
         self.n += int(result.winners.shape[0])
         self.fpga_wins += int(np.count_nonzero(result.winners == "fpga"))
 
@@ -403,6 +427,22 @@ def _splitmix64(x: np.ndarray) -> np.ndarray:
         return z ^ (z >> np.uint64(31))
 
 
+def _splitmix64_into(x: np.ndarray, out: np.ndarray, tmp: np.ndarray) -> np.ndarray:
+    """:func:`_splitmix64` into caller scratch — identical uint64 results
+    (integer arithmetic is exact), zero temporaries."""
+    with np.errstate(over="ignore"):  # modular uint64 arithmetic on purpose
+        np.add(x, np.uint64(0x9E3779B97F4A7C15), out=out)
+        np.right_shift(out, np.uint64(30), out=tmp)
+        np.bitwise_xor(out, tmp, out=out)
+        np.multiply(out, np.uint64(0xBF58476D1CE4E5B9), out=out)
+        np.right_shift(out, np.uint64(27), out=tmp)
+        np.bitwise_xor(out, tmp, out=out)
+        np.multiply(out, np.uint64(0x94D049BB133111EB), out=out)
+        np.right_shift(out, np.uint64(31), out=tmp)
+        np.bitwise_xor(out, tmp, out=out)
+        return out
+
+
 class ReservoirQuantiles:
     """Deterministic bottom-k quantile sketch over finite column values.
 
@@ -417,7 +457,7 @@ class ReservoirQuantiles:
     """
 
     __slots__ = ("alignment", "source", "k", "_seed_mix", "_n_seen",
-                 "_priorities", "_values")
+                 "_priorities", "_values", "_scratch")
 
     def __init__(
         self, k: int = DEFAULT_RESERVOIR_K, seed: int = 0,
@@ -432,6 +472,7 @@ class ReservoirQuantiles:
         self._n_seen = 0
         self._priorities = np.empty(0, dtype=np.uint64)
         self._values = np.empty(0, dtype=np.float64)
+        self._scratch: tuple[np.ndarray, ...] | None = None
 
     def fresh(self) -> "ReservoirQuantiles":
         clone = ReservoirQuantiles(k=self.k, source=self.source)
@@ -456,7 +497,40 @@ class ReservoirQuantiles:
 
     def update(self, result: BatchResult, offset: int) -> None:
         values = np.asarray(getattr(result, self.source), dtype=np.float64)
+        n = int(values.shape[0])
         finite = np.isfinite(values)
+        if n and self._priorities.shape[0] >= self.k and bool(finite.all()):
+            # Threshold fast path.  Once the reservoir holds k entries,
+            # a new row survives compression only if its priority beats
+            # the current k-th smallest (priorities are injective, so
+            # strict `<` loses nothing); pre-filtering the chunk down
+            # to those survivors yields the same kept *set* as the
+            # concatenate-everything path — and the set is the whole
+            # contract: `to_state`/`sample`/`quantiles` canonicalise
+            # in-memory order.  Priorities come from reused uint64
+            # scratch via the in-place splitmix (exact integer ops).
+            scratch = self._scratch
+            if scratch is None or scratch[0].shape[0] < n:
+                scratch = (
+                    np.arange(n, dtype=np.uint64),
+                    np.empty(n, dtype=np.uint64),
+                    np.empty(n, dtype=np.uint64),
+                )
+                self._scratch = scratch
+            base, pri, tmp = (s[:n] for s in scratch)
+            with np.errstate(over="ignore"):
+                np.add(base, np.uint64(offset), out=tmp)
+                np.bitwise_xor(tmp, np.uint64(self._seed_mix), out=tmp)
+            _splitmix64_into(tmp, pri, tmp)
+            admit = pri < self._priorities.max()
+            self._n_seen += n
+            if admit.any():
+                self._priorities = np.concatenate(
+                    [self._priorities, pri[admit]]
+                )
+                self._values = np.concatenate([self._values, values[admit]])
+                self._compress()
+            return
         indices = np.nonzero(finite)[0].astype(np.uint64) + np.uint64(offset)
         priorities = _splitmix64(indices ^ np.uint64(self._seed_mix))
         self._n_seen += int(indices.shape[0])

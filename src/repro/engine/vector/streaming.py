@@ -64,6 +64,7 @@ from repro.core.scenario import Scenario
 from repro.engine.vector.checkpoint import Checkpoint, CheckpointJournal
 from repro.engine.vector.columns import ScenarioBatch
 from repro.engine.vector.evaluator import VectorizedEvaluator
+from repro.engine.vector.fused import resolve_kernel_tier
 from repro.engine.vector.params import ParameterBatch
 from repro.engine.vector.reducers import StreamingReduction
 from repro.errors import ParameterError
@@ -77,8 +78,34 @@ DEFAULT_STREAM_CHUNK_ROWS = 131_072
 #: Hard cap on streaming workers (the kernels go memory-bandwidth bound).
 MAX_STREAM_WORKERS = 8
 
-#: One evaluator per process: stateless, shared by every span worker.
-_EVALUATOR = VectorizedEvaluator()
+#: One chain evaluator per process: stateless, shared by every span
+#: worker and by fallback paths regardless of the requested tier.
+_EVALUATOR = VectorizedEvaluator(kernel_tier="numpy")
+
+#: Per-thread cache of tier-armed evaluators, keyed by resolved backend
+#: and summary dtype.  Thread-local because a fused kernel's scratch
+#: pool is single-threaded state; resolved per call so ``REPRO_KERNEL``
+#: changes (tests, operators) take effect without a process restart.
+_TIERED = threading.local()
+
+
+def _evaluator_for(
+    kernel_tier: "str | None", kernel_dtype: "np.dtype | type | str"
+) -> VectorizedEvaluator:
+    backend = resolve_kernel_tier(kernel_tier)
+    if backend == "chain":
+        return _EVALUATOR
+    cache = getattr(_TIERED, "evaluators", None)
+    if cache is None:
+        cache = _TIERED.evaluators = {}
+    key = (backend, np.dtype(kernel_dtype).str)
+    evaluator = cache.get(key)
+    if evaluator is None:
+        evaluator = VectorizedEvaluator(
+            kernel_tier=kernel_tier, kernel_dtype=np.dtype(kernel_dtype)
+        )
+        cache[key] = evaluator
+    return evaluator
 
 
 class StreamStats:
@@ -334,7 +361,7 @@ class MonteCarloChunkSource:
     coordination and zero shipped data.
     """
 
-    __slots__ = ("n", "base_row", "distributions", "seed", "scenario")
+    __slots__ = ("n", "base_row", "distributions", "seed", "scenario", "_scratch")
 
     def __init__(
         self,
@@ -351,16 +378,45 @@ class MonteCarloChunkSource:
         self.distributions = tuple(distributions)
         self.seed = seed
         self.scenario = scenario
+        self._scratch = threading.local()
+
+    def __getstate__(self):
+        # Scratch buffers are per-process, per-thread; workers rebuild
+        # their own on first chunk.
+        return (self.n, self.base_row, self.distributions, self.seed,
+                self.scenario)
+
+    def __setstate__(self, state) -> None:
+        self.n, self.base_row, self.distributions, self.seed, self.scenario = state
+        self._scratch = threading.local()
+
+    def _buffers(self, m: int, k: int) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Per-thread sampling scratch: the unit matrix + value columns.
+
+        Streaming spans consume each chunk fully (evaluate + reduce)
+        before requesting the next, so the value columns handed to
+        ``ParameterBatch`` may be recycled chunk-over-chunk — that turns
+        ~6 MB of per-chunk allocation (and the page faults behind it)
+        into steady-state buffer reuse.  Buffers are thread-local
+        because thread-pool workers share one source instance.
+        """
+        tls = self._scratch
+        bufs = getattr(tls, "bufs", None)
+        if bufs is None or bufs[0].shape != (m, k):
+            bufs = (np.empty((m, k)), [np.empty(m) for _ in range(k)])
+            tls.bufs = bufs
+        return bufs
 
     def chunk(self, start: int, stop: int) -> tuple[ParameterBatch, ScenarioBatch]:
         m = stop - start
         k = len(self.distributions)
         rng = np.random.default_rng(self.seed)
         rng.bit_generator.advance(start * k)
-        u = rng.random((m, k))
+        u, cols = self._buffers(m, k)
+        rng.random(out=u)
         params = ParameterBatch(m, base_row=self.base_row)
         for j, dist in enumerate(self.distributions):
-            dist.apply_column(params, dist.column_from_uniform(u[:, j]))
+            dist.apply_column(params, dist.column_from_uniform(u[:, j], out=cols[j]))
         return params, ScenarioBatch.tile(self.scenario, m)
 
     def checkpoint_token(self) -> str:
@@ -396,6 +452,8 @@ def _reduce_span(
     stop: int,
     chunk_rows: int,
     close_source: bool = True,
+    kernel_tier: "str | None" = None,
+    kernel_dtype: str = "<f8",
 ) -> StreamingReduction:
     """Worker body: fold one contiguous row span, chunk by chunk.
 
@@ -413,11 +471,12 @@ def _reduce_span(
     under the remaining spans.  The caller's ``finally`` closes it once
     at the end instead.
     """
+    evaluator = _evaluator_for(kernel_tier, kernel_dtype)
     try:
         for s in range(start, stop, chunk_rows):
             e = min(s + chunk_rows, stop)
             params, batch = source.chunk(s, e)
-            reduction.update(_EVALUATOR.evaluate_param_batch(params, batch), s)
+            reduction.update(evaluator.reduce_batch(params, batch), s)
             # Drop the chunk views before the next lap (and before the
             # detach below — a live view keeps the mapping exported).
             del params, batch
@@ -451,8 +510,15 @@ def run_stream(
     workers: int = 1,
     pool: "Executor | None" = None,
     checkpoint: "Checkpoint | None" = None,
+    kernel_tier: "str | None" = None,
+    kernel_dtype: "np.dtype | type | str" = np.float64,
 ) -> StreamingReduction:
     """Reduce a chunk source, sequentially or on a process pool.
+
+    ``kernel_tier``/``kernel_dtype`` select the fused kernel tier the
+    chunk workers evaluate through (see
+    :mod:`repro.engine.vector.fused`); the default honours
+    ``REPRO_KERNEL`` in each worker process, chain when unset.
 
     Returns a **new** reduction (the caller's ``reduction`` is only a
     prototype).  With ``workers > 1`` and a ``pool``, one span task per
@@ -481,6 +547,7 @@ def run_stream(
     n = int(source.n)
     if n < 1:
         raise ParameterError("streaming reduction needs at least one row")
+    dtype_str = np.dtype(kernel_dtype).str
     chunk = aligned_chunk_rows(chunk_rows, reduction.alignment, n)
     if checkpoint is not None:
         journal = CheckpointJournal.open(
@@ -489,13 +556,14 @@ def run_stream(
         return _run_stream_checkpointed(
             source, reduction, journal, chunk,
             workers if pool is not None else 1, pool,
+            kernel_tier, dtype_str,
         )
     spans = _spans(n, chunk, workers if pool is not None else 1)
     if len(spans) > 1 and _picklable(source, reduction):
         try:
             futures = [
                 pool.submit(_reduce_span, source, reduction.fresh(), start,
-                            stop, chunk)
+                            stop, chunk, True, kernel_tier, dtype_str)
                 for start, stop in spans
             ]
         except BrokenExecutor:
@@ -519,7 +587,8 @@ def run_stream(
                         start, stop = spans[index]
                         parts[index] = _reduce_span(
                             source, reduction.fresh(), start, stop, chunk,
-                            close_source=False,
+                            close_source=False, kernel_tier=kernel_tier,
+                            kernel_dtype=dtype_str,
                         )
             except BaseException:
                 # A model error from one span: cancel unstarted siblings
@@ -535,7 +604,10 @@ def run_stream(
             for part in parts:
                 merged.merge(part)
             return merged
-    return _reduce_span(source, reduction.fresh(), 0, n, chunk)
+    return _reduce_span(
+        source, reduction.fresh(), 0, n, chunk,
+        kernel_tier=kernel_tier, kernel_dtype=dtype_str,
+    )
 
 
 def _run_stream_checkpointed(
@@ -545,6 +617,8 @@ def _run_stream_checkpointed(
     chunk: int,
     workers: int,
     pool: "Executor | None",
+    kernel_tier: "str | None" = None,
+    kernel_dtype: str = "<f8",
 ) -> StreamingReduction:
     """Drain a journal's pending units, parallel or sequential.
 
@@ -563,7 +637,7 @@ def _run_stream_checkpointed(
         try:
             futures = [
                 pool.submit(_reduce_span, source, reduction.fresh(), start,
-                            stop, chunk)
+                            stop, chunk, True, kernel_tier, kernel_dtype)
                 for _, start, stop in pending
             ]
         except BrokenExecutor:
@@ -578,7 +652,8 @@ def _run_stream_checkpointed(
                         lost += 1
                         part = _reduce_span(
                             source, reduction.fresh(), start, stop, chunk,
-                            close_source=False,
+                            close_source=False, kernel_tier=kernel_tier,
+                            kernel_dtype=kernel_dtype,
                         )
                     journal.complete(index, part)
             except BaseException:
@@ -603,7 +678,8 @@ def _run_stream_checkpointed(
             # point, which is the documented durability granularity.
             _reduce_span(
                 source, journal.merged, start, stop, chunk,
-                close_source=False,
+                close_source=False, kernel_tier=kernel_tier,
+                kernel_dtype=kernel_dtype,
             )
             journal.mark(index)
         journal.flush(force=True)

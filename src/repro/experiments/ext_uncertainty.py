@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from repro.analysis.montecarlo import ParameterDistribution, monte_carlo_batch
 from repro.analysis.sensitivity import tornado
 from repro.core.comparison import PlatformComparator
@@ -25,7 +27,7 @@ from repro.experiments.base import ExperimentReport
 from repro.manufacturing.act import ManufacturingModel
 from repro.operation.energy import OperatingProfile
 from repro.operation.model import OperationModel
-from repro.units import g_per_kwh_to_kg_per_kwh
+from repro.units import GRAMS_PER_KG
 
 BASELINE = Scenario(num_apps=5, app_lifetime_years=2.0, volume=1_000_000)
 N_SAMPLES = 300
@@ -78,7 +80,10 @@ def _set_design_intensity(comparator, value):
 
 
 def _use_intensity_cols(params, values):
-    params.set_col(pcols.OP_CI, g_per_kwh_to_kg_per_kwh(values))
+    # Out of place on purpose: ``values`` doubles as the recorded draw
+    # in the materialized path, so the unit conversion must not mutate
+    # it.
+    params.set_col(pcols.OP_CI, np.divide(values, GRAMS_PER_KG))
 
 
 def _duty_cols(params, values):
@@ -113,7 +118,7 @@ def _delta_cols(params, values):
 def _design_intensity_cols(params, values):
     defaults = design_cols(DesignModel(energy_source=1.0))
     params.set_col(pcols.DES_ANNUAL_KWH, defaults[0])
-    params.set_col(pcols.DES_CI, g_per_kwh_to_kg_per_kwh(values))
+    params.set_col(pcols.DES_CI, np.divide(values, GRAMS_PER_KG))
     params.set_col(pcols.DES_AVG_GATES, defaults[2])
     params.set_col(pcols.DES_BETA, defaults[3])
 

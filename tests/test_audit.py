@@ -19,6 +19,7 @@ from repro.audit.checks.checkpoint import CheckpointContractChecker
 from repro.audit.checks.coverage import CoverageChecker
 from repro.audit.checks.exceptions import ExceptionHygieneChecker
 from repro.audit.checks.floatsum import FloatAccumulationChecker
+from repro.audit.checks.fused import FusedTwinChecker
 from repro.audit.checks.rng import RngDisciplineChecker
 from repro.audit.checks.sharedmem import SharedMemoryChecker
 from repro.audit.checks.spawn import SpawnSafetyChecker
@@ -457,6 +458,110 @@ def test_checkpoint_registry_reducers_all_satisfy_contract():
 
 
 # ----------------------------------------------------------------------
+# GF-FUSE
+# ----------------------------------------------------------------------
+
+
+def _fused_findings(modules):
+    return {f.symbol: f for f in FusedTwinChecker().check_project(modules)}
+
+
+def test_fused_flags_kernel_without_twin():
+    by_symbol = _fused_findings(
+        [
+            _module(
+                """
+                def fused_orphan_kernel(a, b, *, ctx):
+                    return a + b
+                """,
+                relpath="engine/vector/fused.py",
+            )
+        ]
+    )
+    finding = by_symbol["fused_orphan_kernel"]
+    assert finding.check == "GF-FUSE"
+    assert "no module-level NumPy twin" in finding.message
+
+
+def test_fused_flags_positional_signature_drift():
+    by_symbol = _fused_findings(
+        [
+            _module(
+                """
+                def fused_ratio(fpga_totals, asic_totals, *, pool):
+                    return fpga_totals / asic_totals
+                """,
+                relpath="engine/vector/fused.py",
+            ),
+            _module(
+                """
+                def ratio(asic_totals, fpga_totals):
+                    return fpga_totals / asic_totals
+                """,
+                relpath="engine/vector/kernels.py",
+            ),
+        ]
+    )
+    finding = by_symbol["fused_ratio"]
+    assert "drifted" in finding.message
+    assert "engine/vector/kernels.py" in finding.message
+
+
+def test_fused_accepts_matching_twins_with_kwonly_plumbing():
+    # Keyword-only plumbing (ctx/pool) differs by design; positional
+    # agreement is what the parity sweep relies on.
+    assert not _fused_findings(
+        [
+            _module(
+                """
+                def fused_ratio(fpga_totals, asic_totals, *, ctx, pool=None):
+                    return fpga_totals / asic_totals
+                """,
+                relpath="engine/vector/fused.py",
+            ),
+            _module(
+                """
+                def ratio(fpga_totals, asic_totals):
+                    return fpga_totals / asic_totals
+                """,
+                relpath="engine/vector/kernels.py",
+            ),
+        ]
+    )
+
+
+def test_fused_skips_test_modules():
+    assert not _fused_findings(
+        [
+            _module(
+                """
+                def fused_fake_kernel(a, b):
+                    return a + b
+                """,
+                relpath="tests/test_mod.py",
+            )
+        ]
+    )
+
+
+def test_fused_shipped_tree_is_clean():
+    # Every shipped fused_* kernel has a signature-matched chain twin —
+    # and the check is not vacuous: the fused tier ships real kernels.
+    import ast as ast_mod
+
+    from repro.audit.linter import collect_modules
+
+    modules = collect_modules()
+    assert not list(FusedTwinChecker().check_project(modules))
+    fused = next(m for m in modules if m.relpath == "engine/vector/fused.py")
+    n_kernels = sum(
+        isinstance(node, ast_mod.FunctionDef) and node.name.startswith("fused_")
+        for node in fused.tree.body
+    )
+    assert n_kernels >= 10
+
+
+# ----------------------------------------------------------------------
 # Baseline reconciliation
 # ----------------------------------------------------------------------
 
@@ -527,7 +632,7 @@ def test_shipped_tree_is_lint_clean():
 def test_all_checkers_have_distinct_ids():
     checkers = all_checkers()
     ids = [c.id for c in checkers]
-    assert len(set(ids)) == len(ids) == 7
+    assert len(set(ids)) == len(ids) == 8
 
 
 # ----------------------------------------------------------------------
@@ -542,7 +647,36 @@ def test_parity_all_columns_agree():
     for column in report.columns:
         assert column.moved and column.outputs_changed, column.render()
         assert column.kernel_max_rel_err <= KERNEL_RTOL, column.render()
+        assert column.fused_max_rel_err <= KERNEL_RTOL, column.render()
         assert column.stream_bitident, column.render()
+
+
+def test_parity_reports_fused_tier_and_chain_override():
+    fused = run_parity(values_per_column=1, columns=[P.OP_CI])
+    assert fused.kernel_tier in ("fused-numpy", "fused-numba")
+    chain = run_parity(
+        values_per_column=1, columns=[P.OP_CI], kernel_tier="numpy"
+    )
+    assert chain.kernel_tier == "numpy-chain"
+    assert chain.ok, chain.render()
+
+
+def test_parity_catches_skewed_fused_kernel(monkeypatch):
+    import repro.engine.vector.fused as fused_mod
+
+    real = fused_mod.fused_operation_per_chip_year_kg
+
+    def skewed(*args, **kwargs):
+        return fused_mod._mul(kwargs["ctx"], real(*args, **kwargs), 1.01)
+
+    monkeypatch.setattr(
+        fused_mod, "fused_operation_per_chip_year_kg", skewed
+    )
+    report = run_parity(values_per_column=1, columns=[P.OP_CI])
+    assert not report.ok
+    assert report.columns[0].fused_max_rel_err > KERNEL_RTOL
+    # The chain path is untouched — only the fused sweep trips.
+    assert report.columns[0].kernel_max_rel_err <= KERNEL_RTOL
 
 
 def test_parity_catches_skewed_kernel(monkeypatch):
