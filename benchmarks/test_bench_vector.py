@@ -473,6 +473,11 @@ def test_checkpoint_overhead_within_gate(comparator, tmp_path):
         "fault_free_s": round(plain_s, 4),
         "checkpointed_s": round(ckpt_s, 4),
         "overhead_fraction": round(max(0.0, overhead), 4),
+        # Unclamped signed value for diagnosability: a clamped 0.0 with
+        # a negative raw overhead means the checkpointed arm measured
+        # *faster* than the fault-free arm — timer noise, i.e. the run
+        # was taken on a contended machine and should be re-recorded.
+        "overhead_fraction_raw": round(overhead, 4),
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
